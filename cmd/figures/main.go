@@ -1,0 +1,174 @@
+// Command figures regenerates every figure artifact of the reproduction in
+// one run: timeline CSVs and SVGs for the profile figures (1, 3, 4) and
+// CSV series for the performance-model figures (5, 6, 9-16), written to an
+// output directory.
+//
+// Usage:
+//
+//	figures -out ./out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/arch"
+	"repro/internal/hardware"
+	"repro/internal/perfmodel"
+	"repro/internal/pipeline"
+	"repro/internal/schedule"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	out := flag.String("out", "figures-out", "output directory")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	profileFigures(*out)
+	modelFigures(*out)
+	fmt.Printf("all figure artifacts written to %s\n", *out)
+}
+
+// profileFigures regenerates the timeline-based figures.
+func profileFigures(dir string) {
+	cases := []struct {
+		name   string
+		a      arch.Transformer
+		method string
+		stages int
+		blocks int
+		nmicro int
+		dp     int
+		invPar bool
+	}{
+		{"figure1_gpipe_schematic", arch.BERTBase, "gpipe", 4, 1, 4, 1, false},
+		{"figure3_gpipe_bertbase", arch.BERTBase, "gpipe", 4, 3, 4, 1, false},
+		{"figure3_1f1b_bertbase", arch.BERTBase, "1f1b", 4, 3, 4, 1, false},
+		{"figure3_gpipe_data_inv_parallel", arch.BERTBase, "gpipe", 4, 3, 4, 2, true},
+		{"figure4_chimera_bertlarge", arch.BERTLarge, "chimera", 8, 3, 8, 2, true},
+	}
+	for _, c := range cases {
+		dpCost := c.dp
+		dpSched := c.dp
+		if c.method == "chimera" {
+			dpSched = 1 // Chimera's pair replication is built in
+		}
+		costs, err := pipeline.CostsFor(pipeline.CostConfig{
+			Arch: c.a, BlocksPerStage: c.blocks, MicroBatch: 32,
+			GPU: hardware.P100, DataParallelWidth: dpCost,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := schedule.Assign(schedule.Config{
+			Method: c.method, Stages: c.stages, MicroBatches: c.nmicro, Costs: costs,
+			DataParallelWidth: dpSched, InversionParallel: c.invPar,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeTimeline(dir, c.name+"_vanilla", res.VanillaTimeline)
+		writeTimeline(dir, c.name+"_pipefisher", res.Timeline)
+		fmt.Printf("%-36s util %.1f%% -> %.1f%%, refresh %d step(s)\n",
+			c.name, 100*res.VanillaUtilization, 100*res.Utilization, res.RefreshSteps)
+	}
+}
+
+func writeTimeline(dir, name string, tl *pipeline.Timeline) {
+	csvF, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer csvF.Close()
+	if err := trace.WriteCSV(csvF, tl); err != nil {
+		log.Fatal(err)
+	}
+	svgF, err := os.Create(filepath.Join(dir, name+".svg"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svgF.Close()
+	if err := trace.RenderSVG(svgF, tl, 1200); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// modelFigures regenerates the performance-model CSV series.
+func modelFigures(dir string) {
+	sweeps := []struct {
+		name string
+		a    arch.Transformer
+	}{
+		{"figure6_11_bertbase", arch.BERTBase},
+		{"figure12_bertlarge", arch.BERTLarge},
+		{"figure13_t5base", arch.T5Base},
+		{"figure14_t5large", arch.T5Large},
+		{"figure15_opt125m", arch.OPT125M},
+		{"figure16_opt350m", arch.OPT350M},
+	}
+	for _, s := range sweeps {
+		f, err := os.Create(filepath.Join(dir, s.name+".csv"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bmicros := []int{1, 2, 4, 8, 16, 32, 64}
+		if s.a.SeqLen >= 2048 {
+			bmicros = []int{1, 2, 4, 8}
+		}
+		pts, err := perfmodel.Sweep(s.a, perfmodel.Chimera, []int{4, 8, 16, 32}, bmicros, []int{1, 2, 3}, hardware.All())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(f, "gpu,d,nmicro,bmicro,throughput_seqs_per_s,ratio,speedup_vs_skip")
+		for _, p := range pts {
+			fmt.Fprintf(f, "%s,%d,%d,%d,%.1f,%.2f,%.3f\n",
+				p.GPU, p.D, p.NMicro, p.BMicro,
+				p.Model.ThroughputPipeFisher, p.Model.Ratio, p.Model.SpeedupVsSkip())
+		}
+		f.Close()
+		fmt.Printf("%-36s %d sweep points\n", s.name, len(pts))
+	}
+	// Figure 5/9/10 grids.
+	for _, g := range []struct {
+		name   string
+		a      arch.Transformer
+		method perfmodel.Method
+	}{
+		{"figure5_9_chimera_bertbase_grid", arch.BERTBase, perfmodel.Chimera},
+		{"figure9_gpipe_bertbase_grid", arch.BERTBase, perfmodel.GPipe1F1B},
+		{"figure10_chimera_bertlarge_grid", arch.BERTLarge, perfmodel.Chimera},
+		{"figure10_gpipe_bertlarge_grid", arch.BERTLarge, perfmodel.GPipe1F1B},
+	} {
+		f, err := os.Create(filepath.Join(dir, g.name+".csv"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(f, "bmicro,d,recompute,tbubble_ms,throughput_pipefisher,ratio,mem_total_gb")
+		for _, bm := range []int{8, 16, 32} {
+			for _, d := range []int{4, 8, 16} {
+				for _, rec := range []bool{false, true} {
+					m, err := perfmodel.Evaluate(perfmodel.Input{
+						Arch: g.a, GPU: hardware.P100, Method: g.method,
+						D: d, NMicro: d, BMicro: bm, Recompute: rec,
+					})
+					if err != nil {
+						log.Fatal(err)
+					}
+					fmt.Fprintf(f, "%d,%d,%t,%.2f,%.1f,%.2f,%.3f\n",
+						bm, d, rec, float64(m.TBubble)/1000,
+						m.ThroughputPipeFisher, m.Ratio, m.Memory.Total()/1e9)
+				}
+			}
+		}
+		f.Close()
+		fmt.Printf("%-36s grid written\n", g.name)
+	}
+}

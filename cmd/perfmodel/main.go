@@ -1,0 +1,121 @@
+// Command perfmodel regenerates the paper's performance-model figures
+// (Figures 5, 6 and 9-16) as CSV tables on stdout.
+//
+// Examples:
+//
+//	perfmodel -figure 5          # Chimera + BERT-Base time/memory/throughput/ratio grid
+//	perfmodel -figure 6          # BERT-Base scaling over B_micro, D, N_micro, hardware
+//	perfmodel -figure 10         # GPipe/1F1B vs Chimera for BERT-Large
+//	perfmodel -arch T5-Base -method chimera   # custom sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/hardware"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("perfmodel: ")
+	var (
+		figure     = flag.Int("figure", 0, "paper figure to regenerate: 5, 6, 9-16 (0 = custom sweep)")
+		archName   = flag.String("arch", "BERT-Base", "architecture for custom sweeps")
+		methodName = flag.String("method", "chimera", "pipeline scheme: chimera or gpipe/1f1b")
+	)
+	flag.Parse()
+
+	switch *figure {
+	case 0:
+		a, err := arch.ByName(*archName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		method := perfmodel.Chimera
+		if *methodName != "chimera" {
+			method = perfmodel.GPipe1F1B
+		}
+		sweepFigure(a, method)
+	case 5:
+		gridFigure(arch.BERTBase, perfmodel.Chimera)
+	case 6, 11:
+		sweepFigure(arch.BERTBase, perfmodel.Chimera)
+	case 9:
+		gridFigure(arch.BERTBase, perfmodel.GPipe1F1B)
+		gridFigure(arch.BERTBase, perfmodel.Chimera)
+	case 10:
+		gridFigure(arch.BERTLarge, perfmodel.GPipe1F1B)
+		gridFigure(arch.BERTLarge, perfmodel.Chimera)
+	case 12:
+		sweepFigure(arch.BERTLarge, perfmodel.Chimera)
+	case 13:
+		sweepFigure(arch.T5Base, perfmodel.Chimera)
+	case 14:
+		sweepFigure(arch.T5Large, perfmodel.Chimera)
+	case 15:
+		sweepFigure(arch.OPT125M, perfmodel.Chimera)
+	case 16:
+		sweepFigure(arch.OPT350M, perfmodel.Chimera)
+	default:
+		log.Fatalf("unknown figure %d", *figure)
+	}
+}
+
+// gridFigure prints the Figure 5/9/10-style grid: per (BMicro, D) time and
+// memory breakdown plus throughput and ratio, with and without activation
+// recomputation.
+func gridFigure(a arch.Transformer, method perfmodel.Method) {
+	fmt.Printf("# %s, %s, N_micro = D, P100 (Figure 5/9/10 grid)\n", a.Name, method)
+	fmt.Println("bmicro,d,recompute,tf_ms,tb_ms,tprec_ms,tbubble_ms,tcurv_ms,tinv_ms,throughput_vanilla,throughput_pipefisher,throughput_kfac_skip,throughput_kfac,ratio,mem_act_gb,mem_peak_err_gb,mem_save_err_gb,mem_curv_inv_gb,mem_param_grad_gb")
+	for _, b := range []int{8, 16, 32} {
+		for _, d := range []int{4, 8, 16} {
+			for _, rec := range []bool{false, true} {
+				m, err := perfmodel.Evaluate(perfmodel.Input{
+					Arch: a, GPU: hardware.P100, Method: method,
+					D: d, NMicro: d, BMicro: b, Recompute: rec,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%d,%d,%t,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f,%.1f,%.1f,%.1f,%.1f,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+					b, d, rec,
+					ms(m.Tf), ms(m.Tb), ms(m.Tprec), ms(m.TBubble),
+					ms(m.Tcurv), ms(m.Tinv),
+					m.ThroughputVanilla, m.ThroughputPipeFisher,
+					m.ThroughputKFACSkip, m.ThroughputKFACNaive,
+					m.Ratio,
+					gb(m.Memory.Act), gb(m.Memory.PeakErr), gb(m.Memory.SaveErr),
+					gb(m.Memory.CurvInv), gb(m.Memory.ParamGrad))
+			}
+		}
+	}
+	fmt.Println()
+}
+
+// sweepFigure prints the Figure 6/11-16-style sweep: throughput, ratio and
+// speedup-vs-skip over B_micro for each (D, N_micro, GPU).
+func sweepFigure(a arch.Transformer, method perfmodel.Method) {
+	fmt.Printf("# %s, %s sweep (Figure 6/11-16 style)\n", a.Name, method)
+	fmt.Println("gpu,d,nmicro,bmicro,throughput_seqs_per_s,ratio,speedup_vs_skip")
+	bmicros := []int{1, 2, 4, 8, 16, 32, 64}
+	if a.SeqLen >= 2048 {
+		bmicros = []int{1, 2, 4, 8} // OPT figures stop at B=8
+	}
+	pts, err := perfmodel.Sweep(a, method, []int{4, 8, 16, 32}, bmicros, []int{1, 2, 3}, hardware.All())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("%s,%d,%d,%d,%.1f,%.2f,%.3f\n",
+			p.GPU, p.D, p.NMicro, p.BMicro,
+			p.Model.ThroughputPipeFisher, p.Model.Ratio, p.Model.SpeedupVsSkip())
+	}
+	fmt.Println()
+}
+
+func ms(us hardware.Microseconds) float64 { return float64(us) / 1000 }
+func gb(bytes float64) float64            { return bytes / 1e9 }

@@ -1,0 +1,112 @@
+// Command pipefisher runs a pipeline schedule with PipeFisher's automatic
+// K-FAC work assignment and renders the resulting timeline, reproducing the
+// profiles of Figures 1, 3 and 4.
+//
+// Examples:
+//
+//	pipefisher -method gpipe -arch BERT-Base -stages 4 -blocks 3 -nmicro 4 -bmicro 32
+//	pipefisher -method chimera -arch BERT-Large -stages 8 -blocks 3 -nmicro 8 -bmicro 32 -invparallel
+//	pipefisher -method gpipe -stages 4 -nmicro 4 -bmicro 32 -dp 2 -invparallel -csv out.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/hardware"
+	"repro/internal/pipeline"
+	"repro/internal/schedule"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pipefisher: ")
+	var (
+		method      = flag.String("method", "gpipe", "pipeline schedule: gpipe, 1f1b, chimera")
+		archName    = flag.String("arch", "BERT-Base", "architecture (Table 3 name)")
+		gpuName     = flag.String("gpu", "P100", "GPU profile: P100, V100, RTX3090")
+		stages      = flag.Int("stages", 4, "number of pipeline stages D")
+		blocks      = flag.Int("blocks", 3, "transformer blocks per stage")
+		nmicro      = flag.Int("nmicro", 4, "micro-batches per device per step")
+		bmicro      = flag.Int("bmicro", 32, "micro-batch size")
+		dp          = flag.Int("dp", 1, "data-parallel width W (gpipe/1f1b)")
+		invParallel = flag.Bool("invparallel", false, "split inversion work across the stage's devices")
+		recompute   = flag.Bool("recompute", false, "activation recomputation")
+		width       = flag.Int("width", 120, "ASCII timeline width")
+		csvPath     = flag.String("csv", "", "write the augmented timeline as CSV to this file")
+		svgPath     = flag.String("svg", "", "write the augmented timeline as SVG to this file")
+		vanilla     = flag.Bool("vanilla", false, "also render the vanilla (no K-FAC) timeline")
+	)
+	flag.Parse()
+
+	a, err := arch.ByName(*archName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := hardware.ByName(*gpuName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	costs, err := pipeline.CostsFor(pipeline.CostConfig{
+		Arch: a, BlocksPerStage: *blocks, MicroBatch: *bmicro, GPU: g,
+		DataParallelWidth: *dp, Recompute: *recompute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := schedule.Assign(schedule.Config{
+		Method: *method, Stages: *stages, MicroBatches: *nmicro, Costs: costs,
+		DataParallelWidth: *dp, InversionParallel: *invParallel,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *vanilla {
+		if err := trace.RenderASCII(os.Stdout, res.VanillaTimeline, *width); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	if err := trace.RenderASCII(os.Stdout, res.Timeline, *width); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("GPU utilization:   %.1f%% -> %.1f%% with PipeFisher\n",
+		100*res.VanillaUtilization, 100*res.Utilization)
+	fmt.Printf("step time:         %.1f ms -> %.1f ms (+%.1f%% precondition overhead)\n",
+		float64(res.VanillaStepTime)/1000, float64(res.StepTime)/1000,
+		100*float64(res.StepTime-res.VanillaStepTime)/float64(res.VanillaStepTime))
+	fmt.Printf("curvature+inverse refreshed every %d step(s); per-stage: %v\n",
+		res.RefreshSteps, res.RefreshStepsPerStage)
+	if res.Unassigned > 0 {
+		fmt.Printf("WARNING: %d K-FAC work items did not fit in the simulated window\n", res.Unassigned)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f, res.Timeline); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline CSV written to %s\n", *csvPath)
+	}
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.RenderSVG(f, res.Timeline, 1200); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline SVG written to %s\n", *svgPath)
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "PipeFisher:
+// Efficient Training of Large Language Models Using Pipelining and Fisher
+// Information Matrices" (Osawa, Li, Hoefler — MLSys 2023).
+//
+// The library lives under internal/ (see DESIGN.md for the module map);
+// the benchmark harness in bench_test.go regenerates every table and
+// figure of the paper's evaluation, and cmd/ plus examples/ provide
+// runnable entry points.
+package repro

@@ -1,0 +1,64 @@
+// Perfsweep example: the Figure 6 scaling study. For BERT-Base blocks on
+// Chimera, sweep the micro-batch size, pipeline depth, micro-batch count
+// and hardware, and print how the (curvature+inversion)/bubble ratio — the
+// number of pipeline steps PipeFisher needs per curvature refresh — moves
+// with each axis, plus the throughput advantage over naive K-FAC with
+// update skipping.
+//
+// Run: go run ./examples/perfsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/hardware"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	fmt.Println("BERT-Base on Chimera: (curv+inv)/bubble ratio by micro-batch size")
+	fmt.Println("(paper Figure 6: ratio falls with B_micro and D, rises with N_micro)")
+	fmt.Println()
+
+	for _, gpu := range hardware.All() {
+		fmt.Printf("--- %s ---\n", gpu.Name)
+		fmt.Printf("%-22s", "config \\ B_micro")
+		bmicros := []int{1, 2, 4, 8, 16, 32, 64}
+		for _, b := range bmicros {
+			fmt.Printf("%8d", b)
+		}
+		fmt.Println()
+		for _, d := range []int{4, 8, 16, 32} {
+			for _, factor := range []int{1, 3} {
+				fmt.Printf("D=%-3d N_micro=%-4d ratio", d, factor*d)
+				for _, b := range bmicros {
+					m, err := perfmodel.Evaluate(perfmodel.Input{
+						Arch: arch.BERTBase, GPU: gpu, Method: perfmodel.Chimera,
+						D: d, NMicro: factor * d, BMicro: b,
+					})
+					if err != nil {
+						log.Fatal(err)
+					}
+					fmt.Printf("%8.2f", m.Ratio)
+				}
+				fmt.Println()
+			}
+		}
+		// Speedup vs K-FAC+skip at N_micro = D (the favourable regime).
+		fmt.Printf("%-22s", "speedup vs skip (N=D)")
+		for _, b := range bmicros {
+			m, err := perfmodel.Evaluate(perfmodel.Input{
+				Arch: arch.BERTBase, GPU: gpu, Method: perfmodel.Chimera,
+				D: 8, NMicro: 8, BMicro: b,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%7.2fx", m.SpeedupVsSkip())
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+}

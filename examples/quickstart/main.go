@@ -1,0 +1,64 @@
+// Quickstart: fill GPipe's pipeline bubbles with K-FAC work.
+//
+// This example walks the core PipeFisher flow end to end in ~40 lines:
+// model the per-stage costs of a BERT-Base pipeline stage, run the paper's
+// automatic work assignment, and inspect how much of the idle bubble time
+// now performs second-order-optimizer work.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/hardware"
+	"repro/internal/pipeline"
+	"repro/internal/schedule"
+	"repro/internal/trace"
+)
+
+func main() {
+	// 1. Model the work durations of one pipeline stage: 3 BERT-Base
+	//    blocks per stage, micro-batches of 32 sequences, on a P100 —
+	//    the exact Figure 3 configuration.
+	costs, err := pipeline.CostsFor(pipeline.CostConfig{
+		Arch:           arch.BERTBase,
+		BlocksPerStage: 3,
+		MicroBatch:     32,
+		GPU:            hardware.P100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Run PipeFisher's automatic work assignment on a 4-stage GPipe
+	//    schedule with 4 micro-batches per step.
+	res, err := schedule.Assign(schedule.Config{
+		Method:       "gpipe",
+		Stages:       4,
+		MicroBatches: 4,
+		Costs:        costs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Render both timelines: vanilla GPipe (top) and GPipe with the
+	//    K-FAC work packed into the bubbles (bottom).
+	if err := trace.RenderASCII(os.Stdout, res.VanillaTimeline, 110); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := trace.RenderASCII(os.Stdout, res.Timeline, 110); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The headline numbers of Figure 3.
+	fmt.Println()
+	fmt.Printf("utilization %.1f%% -> %.1f%% | refresh every %d step(s) | step overhead +%.1f%%\n",
+		100*res.VanillaUtilization, 100*res.Utilization, res.RefreshSteps,
+		100*float64(res.StepTime-res.VanillaStepTime)/float64(res.VanillaStepTime))
+}

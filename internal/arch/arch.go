@@ -1,0 +1,236 @@
+// Package arch describes the Transformer architectures evaluated by the
+// paper (Table 3) and derives the per-block work and memory quantities the
+// performance model and pipeline simulator consume: forward/backward FLOPs,
+// K-FAC curvature/inversion/precondition costs, and the parameter /
+// activation / error / factor memory footprints of §3.3.
+package arch
+
+import "fmt"
+
+// Transformer is one architecture configuration, matching Table 3 of the
+// paper. A "block" is one encoder/decoder layer: multi-head self-attention
+// followed by a feed-forward sublayer.
+type Transformer struct {
+	// Name identifies the model ("BERT-Base", ...).
+	Name string
+	// DModel is the encoder dimensionality (d_model).
+	DModel int
+	// DFF is the intermediate feed-forward dimensionality (d_ff).
+	DFF int
+	// Heads is the number of attention heads (h).
+	Heads int
+	// SeqLen is the training sequence length (S).
+	SeqLen int
+	// Blocks is the total number of transformer blocks (L).
+	Blocks int
+	// VocabSize is the vocabulary size (for embedding / head sizing).
+	VocabSize int
+}
+
+// Table 3 configurations. Sequence lengths follow the paper: 128 for BERT
+// Phase 1, 512 for T5, 2048 for OPT.
+var (
+	BERTBase  = Transformer{Name: "BERT-Base", DModel: 768, DFF: 3072, Heads: 12, SeqLen: 128, Blocks: 12, VocabSize: 30522}
+	BERTLarge = Transformer{Name: "BERT-Large", DModel: 1024, DFF: 4096, Heads: 16, SeqLen: 128, Blocks: 24, VocabSize: 30522}
+	T5Base    = Transformer{Name: "T5-Base", DModel: 768, DFF: 3072, Heads: 12, SeqLen: 512, Blocks: 12, VocabSize: 32128}
+	T5Large   = Transformer{Name: "T5-Large", DModel: 1024, DFF: 4096, Heads: 16, SeqLen: 512, Blocks: 24, VocabSize: 32128}
+	OPT125M   = Transformer{Name: "OPT-125M", DModel: 768, DFF: 3072, Heads: 12, SeqLen: 2048, Blocks: 12, VocabSize: 50272}
+	OPT350M   = Transformer{Name: "OPT-350M", DModel: 1024, DFF: 4096, Heads: 16, SeqLen: 2048, Blocks: 24, VocabSize: 50272}
+)
+
+// ByName looks up a predefined architecture.
+func ByName(name string) (Transformer, error) {
+	for _, t := range All() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Transformer{}, fmt.Errorf("arch: unknown architecture %q", name)
+}
+
+// All lists the predefined architectures in Table 3 order.
+func All() []Transformer {
+	return []Transformer{BERTBase, BERTLarge, T5Base, T5Large, OPT125M, OPT350M}
+}
+
+// LinearLayer describes one fully-connected layer inside a block to which
+// K-FAC is applied: its input and output dimensions (din, dout) determine
+// the Kronecker-factor sizes A (din x din) and B (dout x dout).
+type LinearLayer struct {
+	// Name labels the layer within a block ("attn.q", "ffn.1", ...).
+	Name string
+	// DIn and DOut are the layer's input and output dimensionalities.
+	DIn, DOut int
+}
+
+// KFACLayers lists the fully-connected layers of one block that receive
+// K-FAC treatment, following Pauloski et al. (2022) as cited in §4: the
+// Q/K/V/output projections and the two feed-forward matrices. The final
+// classification head (d_out = vocab) is excluded, exactly as in the paper.
+func (t Transformer) KFACLayers() []LinearLayer {
+	d, ff := t.DModel, t.DFF
+	return []LinearLayer{
+		{Name: "attn.q", DIn: d, DOut: d},
+		{Name: "attn.k", DIn: d, DOut: d},
+		{Name: "attn.v", DIn: d, DOut: d},
+		{Name: "attn.out", DIn: d, DOut: d},
+		{Name: "ffn.1", DIn: d, DOut: ff},
+		{Name: "ffn.2", DIn: ff, DOut: d},
+	}
+}
+
+// BlockParams returns the parameter count of one block (weights + biases +
+// the two layer norms).
+func (t Transformer) BlockParams() float64 {
+	d := float64(t.DModel)
+	ff := float64(t.DFF)
+	attn := 4 * (d*d + d) // Q, K, V, out projections
+	ffn := d*ff + ff + ff*d + d
+	norms := 2 * 2 * d
+	return attn + ffn + norms
+}
+
+// BlockForwardFLOPs returns the forward-pass FLOP count of one block for a
+// micro-batch of the given size at the architecture's sequence length.
+// Standard transformer accounting: 2 FLOPs per multiply-add, projections
+// 4·d², attention score+value matmuls 2·2·S·d, feed-forward 2·d·d_ff per
+// token.
+func (t Transformer) BlockForwardFLOPs(microBatch int) float64 {
+	tokens := float64(microBatch) * float64(t.SeqLen)
+	d := float64(t.DModel)
+	ff := float64(t.DFF)
+	s := float64(t.SeqLen)
+	perToken := 2*(4*d*d) + 2*(2*s*d) + 2*(2*d*ff)
+	return tokens * perToken
+}
+
+// BlockBackwardFLOPs returns the backward-pass FLOP count (the usual 2x the
+// forward cost: grads w.r.t. both activations and weights).
+func (t Transformer) BlockBackwardFLOPs(microBatch int) float64 {
+	return 2 * t.BlockForwardFLOPs(microBatch)
+}
+
+// BlockCurvatureFLOPs returns the FLOPs to compute all Kronecker factors of
+// one block for one micro-batch: for each K-FAC layer, A_l = U_A U_A^T costs
+// 2·din²·T and B_l = U_B U_B^T costs 2·dout²·T where T is the token count
+// (§2.3.1).
+func (t Transformer) BlockCurvatureFLOPs(microBatch int) float64 {
+	tokens := float64(microBatch) * float64(t.SeqLen)
+	var flops float64
+	for _, l := range t.KFACLayers() {
+		din, dout := float64(l.DIn), float64(l.DOut)
+		flops += 2 * din * din * tokens
+		flops += 2 * dout * dout * tokens
+	}
+	return flops
+}
+
+// BlockInversionFLOPs returns the FLOPs to invert all Kronecker factors of
+// one block. Cholesky factorization costs n³/3 and cholesky_inverse 2n³/3,
+// so each factor of size n costs about n³. Inversion cost is independent of
+// batch size and sequence length — the property that drives the paper's
+// (curv+inv)/bubble trends.
+func (t Transformer) BlockInversionFLOPs() float64 {
+	var flops float64
+	for _, l := range t.KFACLayers() {
+		din, dout := float64(l.DIn), float64(l.DOut)
+		flops += din * din * din
+		flops += dout * dout * dout
+	}
+	return flops
+}
+
+// BlockPreconditionFLOPs returns the FLOPs of the per-step preconditioning
+// B⁻¹ G A⁻¹ for all K-FAC layers of one block: two GEMMs per layer,
+// 2·dout²·din + 2·dout·din².
+func (t Transformer) BlockPreconditionFLOPs() float64 {
+	var flops float64
+	for _, l := range t.KFACLayers() {
+		din, dout := float64(l.DIn), float64(l.DOut)
+		flops += 2*dout*dout*din + 2*dout*din*din
+	}
+	return flops
+}
+
+// Memory quantities of §3.3 (Table 1), all in bytes, fp32 (4 bytes/value) as
+// the paper trains in fp32 (Appendix B.2).
+
+const bytesPerValue = 4
+
+// BlockParamBytes is Mθ for one block: parameters only (gradients and
+// optimizer state are accounted separately by callers that need them).
+func (t Transformer) BlockParamBytes() float64 {
+	return t.BlockParams() * bytesPerValue
+}
+
+// BlockActivationBytes is Mact for one block and one micro-batch: the
+// activations that must be retained for the backward pass. Accounts for the
+// attention input/outputs, score matrices, and FFN intermediates.
+func (t Transformer) BlockActivationBytes(microBatch int) float64 {
+	tokens := float64(microBatch) * float64(t.SeqLen)
+	d := float64(t.DModel)
+	ff := float64(t.DFF)
+	s := float64(t.SeqLen)
+	h := float64(t.Heads)
+	// Per token: block input, Q, K, V, attention output, attn-proj output,
+	// norm outputs (2), ffn intermediate (d_ff), ffn output, plus the
+	// h·S attention probabilities per token.
+	perToken := (9*d + ff) + h*s
+	return tokens * perToken * bytesPerValue
+}
+
+// BlockPeakErrorBytes is Mpeak_err for one block and one micro-batch: the
+// transient error (gradient w.r.t. activation) buffers live during the
+// backward pass. Roughly two d-sized tensors plus the d_ff intermediate.
+func (t Transformer) BlockPeakErrorBytes(microBatch int) float64 {
+	tokens := float64(microBatch) * float64(t.SeqLen)
+	d := float64(t.DModel)
+	ff := float64(t.DFF)
+	return tokens * (2*d + ff) * bytesPerValue
+}
+
+// BlockSaveErrorBytes is Msave_err for one block and one micro-batch: the
+// per-layer output errors e_l that must be kept to build the B_l factors
+// (one dout-sized tensor per K-FAC layer per token).
+func (t Transformer) BlockSaveErrorBytes(microBatch int) float64 {
+	tokens := float64(microBatch) * float64(t.SeqLen)
+	var perToken float64
+	for _, l := range t.KFACLayers() {
+		perToken += float64(l.DOut)
+	}
+	return tokens * perToken * bytesPerValue
+}
+
+// BlockCurvatureBytes is Mcurv (= Minv) for one block: the Kronecker
+// factors A_l and B_l of every K-FAC layer.
+func (t Transformer) BlockCurvatureBytes() float64 {
+	var vals float64
+	for _, l := range t.KFACLayers() {
+		din, dout := float64(l.DIn), float64(l.DOut)
+		vals += din*din + dout*dout
+	}
+	return vals * bytesPerValue
+}
+
+// FactorDims returns the distinct Kronecker-factor dimensions of one block
+// in declaration order, one entry per factor (A then B for each layer).
+// The schedule package uses this to split inversion work across devices.
+func (t Transformer) FactorDims() []int {
+	var dims []int
+	for _, l := range t.KFACLayers() {
+		dims = append(dims, l.DIn, l.DOut)
+	}
+	return dims
+}
+
+// Scale returns a copy of t with DModel and DFF multiplied by k (and heads
+// scaled to keep the head dimension constant). Appendix A.2 uses this to
+// discuss block-diagonal approximations for larger Transformers.
+func (t Transformer) Scale(k int) Transformer {
+	s := t
+	s.Name = fmt.Sprintf("%s-x%d", t.Name, k)
+	s.DModel *= k
+	s.DFF *= k
+	s.Heads *= k
+	return s
+}

@@ -1,0 +1,51 @@
+package bert
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+)
+
+func BenchmarkModelStep(b *testing.B) {
+	m, err := New(TinyConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := data.NewCorpus(TinyConfig().VocabSize, 1.0, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := c.MakeBatch(16, data.DefaultBatchConfig(m.Config.SeqLen))
+	params := m.Params()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nn.ZeroGrads(params)
+		if _, err := m.Step(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPretrainStepNVLAMBvsKFAC(b *testing.B) {
+	for _, kind := range []OptimizerKind{OptNVLAMB, OptKFAC} {
+		b.Run(string(kind), func(b *testing.B) {
+			m, err := New(TinyConfig(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := data.NewCorpus(TinyConfig().VocabSize, 1.0, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps := b.N
+			if steps < 2 {
+				steps = 2
+			}
+			b.ResetTimer()
+			if _, err := Pretrain(m, c, TrainConfig{Optimizer: kind, Steps: steps, BatchSize: 8}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,184 @@
+package bert
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+)
+
+func tinyModel(t *testing.T, seed uint64) *Model {
+	t.Helper()
+	m, err := New(TinyConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func tinyCorpus(t *testing.T, seed uint64) *data.Corpus {
+	t.Helper()
+	c, err := data.NewCorpus(TinyConfig().VocabSize, 1.0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{VocabSize: 2, DModel: 32, DFF: 64, Heads: 4, Blocks: 2, SeqLen: 16},
+		{VocabSize: 96, DModel: 0, DFF: 64, Heads: 4, Blocks: 2, SeqLen: 16},
+		{VocabSize: 96, DModel: 30, DFF: 64, Heads: 4, Blocks: 2, SeqLen: 16},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg, 1); err == nil {
+			t.Fatalf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+func TestModelStructure(t *testing.T) {
+	m := tinyModel(t, 1)
+	if len(m.Blocks) != 2 {
+		t.Fatalf("expected 2 blocks, got %d", len(m.Blocks))
+	}
+	// 6 K-FAC layers per block; heads excluded.
+	layers := m.KFACLayers()
+	if len(layers) != 12 {
+		t.Fatalf("expected 12 K-FAC layers, got %d", len(layers))
+	}
+	for _, l := range layers {
+		if l == m.MLMHead || l == m.NSPHead {
+			t.Fatal("classification heads must be excluded from K-FAC (§4)")
+		}
+	}
+	if nn.NumParameters(m.Params()) < 10000 {
+		t.Fatalf("model suspiciously small: %d params", nn.NumParameters(m.Params()))
+	}
+}
+
+func TestStepProducesFiniteLossAndGrads(t *testing.T) {
+	m := tinyModel(t, 2)
+	c := tinyCorpus(t, 3)
+	batch := c.MakeBatch(4, data.DefaultBatchConfig(m.Config.SeqLen))
+	nn.ZeroGrads(m.Params())
+	loss, err := m.Step(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(loss.Total) || loss.Total <= 0 {
+		t.Fatalf("bad loss %v", loss)
+	}
+	// Initial MLM loss should be near log(vocab) for a random model.
+	wantMLM := math.Log(float64(m.Config.VocabSize))
+	if math.Abs(loss.MLM-wantMLM) > 1.0 {
+		t.Fatalf("initial MLM loss %.3f far from log V = %.3f", loss.MLM, wantMLM)
+	}
+	// NSP loss near log 2.
+	if math.Abs(loss.NSP-math.Ln2) > 0.5 {
+		t.Fatalf("initial NSP loss %.3f far from ln 2", loss.NSP)
+	}
+	if gn := nn.GradNorm(m.Params()); gn <= 0 || math.IsNaN(gn) {
+		t.Fatalf("bad grad norm %g", gn)
+	}
+}
+
+func TestStepShapeValidation(t *testing.T) {
+	m := tinyModel(t, 4)
+	c, _ := data.NewCorpus(m.Config.VocabSize, 1.0, 5)
+	batch := c.MakeBatch(2, data.DefaultBatchConfig(8)) // wrong seq len
+	if _, err := m.Step(batch); err == nil {
+		t.Fatal("expected error for mismatched sequence length")
+	}
+}
+
+func TestPretrainLossDecreases(t *testing.T) {
+	m := tinyModel(t, 6)
+	c := tinyCorpus(t, 7)
+	res, err := Pretrain(m, c, TrainConfig{Optimizer: OptNVLAMB, Steps: 60, BatchSize: 8, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Losses) != 60 {
+		t.Fatalf("expected 60 losses, got %d", len(res.Losses))
+	}
+	first := mean(res.Losses[:10])
+	last := mean(res.Losses[50:])
+	if last >= first-0.3 {
+		t.Fatalf("loss did not decrease: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestPretrainKFACRuns(t *testing.T) {
+	m := tinyModel(t, 9)
+	c := tinyCorpus(t, 10)
+	res, err := Pretrain(m, c, TrainConfig{
+		Optimizer: OptKFAC, Steps: 40, BatchSize: 8,
+		CurvatureEvery: 2, InversionEvery: 4, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CurvatureRefreshes == 0 || res.InverseRefreshes == 0 {
+		t.Fatalf("K-FAC work not performed: %d curvature, %d inverse",
+			res.CurvatureRefreshes, res.InverseRefreshes)
+	}
+	// The refresh cadence must follow the configured interval.
+	if res.CurvatureRefreshes != 20 {
+		t.Fatalf("curvature refreshes %d, want 20 (every 2 of 40)", res.CurvatureRefreshes)
+	}
+	if math.IsNaN(res.FinalLoss) {
+		t.Fatal("NaN final loss")
+	}
+	first := mean(res.Losses[:5])
+	last := mean(res.Losses[35:])
+	if last >= first {
+		t.Fatalf("K-FAC loss did not decrease: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestStepsToReach(t *testing.T) {
+	r := &TrainResult{Losses: []float64{5, 4, 3, 2, 1}}
+	if got := r.StepsToReach(10); got != 0 {
+		t.Fatalf("StepsToReach(10) = %d, want 0", got)
+	}
+	if got := r.StepsToReach(0.5); got != -1 {
+		t.Fatalf("StepsToReach(0.5) = %d, want -1", got)
+	}
+	if got := r.StepsToReach(3.0); got <= 0 {
+		t.Fatalf("StepsToReach(3.0) = %d, want positive", got)
+	}
+}
+
+func TestUnknownOptimizer(t *testing.T) {
+	m := tinyModel(t, 12)
+	c := tinyCorpus(t, 13)
+	if _, err := Pretrain(m, c, TrainConfig{Optimizer: "adamw", Steps: 2}); err == nil {
+		t.Fatal("expected error for unknown optimizer")
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	run := func() float64 {
+		m := tinyModel(t, 20)
+		c := tinyCorpus(t, 21)
+		res, err := Pretrain(m, c, TrainConfig{Optimizer: OptNVLAMB, Steps: 10, BatchSize: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Losses[9]
+	}
+	if run() != run() {
+		t.Fatal("training must be bit-deterministic for fixed seeds")
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

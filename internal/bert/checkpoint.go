@@ -1,0 +1,79 @@
+package bert
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Checkpointing serializes model parameters so long pretraining runs (the
+// paper's Phase 1 is 7038 steps) can stop and resume. Only parameter
+// values are stored; optimizer state and K-FAC factors are rebuilt within
+// a few steps, matching PipeFisher's frequent-refresh design.
+
+// checkpointFile is the on-disk format: the config for shape validation
+// plus the flattened parameter tensors in Params() order.
+type checkpointFile struct {
+	Config Config
+	Names  []string
+	Shapes [][2]int
+	Data   [][]float64
+}
+
+// Save writes the model's parameters to w in gob format.
+func (m *Model) Save(w io.Writer) error {
+	params := m.Params()
+	cf := checkpointFile{Config: m.Config}
+	for _, p := range params {
+		cf.Names = append(cf.Names, p.Name)
+		cf.Shapes = append(cf.Shapes, [2]int{p.Value.Rows, p.Value.Cols})
+		cf.Data = append(cf.Data, append([]float64(nil), p.Value.Data...))
+	}
+	return gob.NewEncoder(w).Encode(cf)
+}
+
+// Load restores parameters previously written by Save into the model. The
+// model must have been built with the same Config; mismatches are
+// rejected.
+func (m *Model) Load(r io.Reader) error {
+	var cf checkpointFile
+	if err := gob.NewDecoder(r).Decode(&cf); err != nil {
+		return fmt.Errorf("bert: decoding checkpoint: %w", err)
+	}
+	if cf.Config != m.Config {
+		return fmt.Errorf("bert: checkpoint config %+v does not match model %+v", cf.Config, m.Config)
+	}
+	params := m.Params()
+	if len(cf.Names) != len(params) {
+		return fmt.Errorf("bert: checkpoint has %d params, model has %d", len(cf.Names), len(params))
+	}
+	for i, p := range params {
+		if cf.Names[i] != p.Name {
+			return fmt.Errorf("bert: checkpoint param %d is %q, model expects %q", i, cf.Names[i], p.Name)
+		}
+		if cf.Shapes[i] != [2]int{p.Value.Rows, p.Value.Cols} {
+			return fmt.Errorf("bert: checkpoint param %q has shape %v, model expects %dx%d",
+				p.Name, cf.Shapes[i], p.Value.Rows, p.Value.Cols)
+		}
+		if len(cf.Data[i]) != len(p.Value.Data) {
+			return fmt.Errorf("bert: checkpoint param %q has %d values, want %d",
+				p.Name, len(cf.Data[i]), len(p.Value.Data))
+		}
+	}
+	// Validate everything first, then commit, so a bad checkpoint never
+	// leaves the model half-loaded.
+	for i, p := range params {
+		copy(p.Value.Data, cf.Data[i])
+	}
+	return nil
+}
+
+// ParamsChecksum returns a cheap fingerprint of the parameters, useful for
+// asserting save/load round-trips and training determinism.
+func (m *Model) ParamsChecksum() float64 {
+	var sum float64
+	for _, p := range m.Params() {
+		sum += p.Value.FrobeniusNorm()
+	}
+	return sum
+}

@@ -1,0 +1,26 @@
+package data
+
+import "testing"
+
+func BenchmarkMakeBatch(b *testing.B) {
+	c, err := NewCorpus(30522, 1.0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultBatchConfig(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.MakeBatch(32, cfg)
+	}
+}
+
+func BenchmarkSentence(b *testing.B) {
+	c, err := NewCorpus(30522, 1.0, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sentence(512)
+	}
+}

@@ -1,0 +1,211 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewCorpusValidation(t *testing.T) {
+	if _, err := NewCorpus(3, 1, 1); err == nil {
+		t.Fatal("expected error for tiny vocab")
+	}
+	if _, err := NewCorpus(100, 0, 1); err == nil {
+		t.Fatal("expected error for zero exponent")
+	}
+	if _, err := NewCorpus(100, 1.0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfHeadDominates(t *testing.T) {
+	c, err := NewCorpus(1000, 1.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[c.sampleUnigram()]++
+	}
+	// The most frequent word should be the rank-0 word, and the head
+	// should be far more frequent than deep-tail words.
+	head := counts[FirstWordID]
+	tail := counts[FirstWordID+800]
+	if head < 20*tail+1 {
+		t.Fatalf("Zipf head (%d) must dominate tail (%d)", head, tail)
+	}
+	// Empirical frequency of rank 1 roughly half of rank 0 (s=1).
+	second := counts[FirstWordID+1]
+	ratio := float64(head) / float64(second+1)
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Fatalf("rank0/rank1 ratio %.2f outside [1.5, 3.0]", ratio)
+	}
+}
+
+func TestSentenceTokensInRange(t *testing.T) {
+	c, _ := NewCorpus(200, 1.1, 3)
+	s := c.Sentence(500)
+	if len(s) != 500 {
+		t.Fatalf("sentence length %d", len(s))
+	}
+	for _, tok := range s {
+		if tok < FirstWordID || tok >= 200 {
+			t.Fatalf("token %d out of word range", tok)
+		}
+	}
+}
+
+func TestMakeExampleStructure(t *testing.T) {
+	c, _ := NewCorpus(300, 1.0, 11)
+	cfg := DefaultBatchConfig(32)
+	ex := c.MakeExample(cfg)
+	if len(ex.Tokens) != 32 || len(ex.Targets) != 32 {
+		t.Fatalf("example length %d/%d, want 32", len(ex.Tokens), len(ex.Targets))
+	}
+	if ex.Tokens[0] != ClsID {
+		t.Fatal("example must start with [CLS]")
+	}
+	if ex.Tokens[31] != SepID {
+		t.Fatal("example must end with [SEP]")
+	}
+	// Masked positions must have valid original tokens as targets.
+	for i, tgt := range ex.Targets {
+		if tgt == -1 {
+			continue
+		}
+		if tgt < FirstWordID || tgt >= 300 {
+			t.Fatalf("target %d at %d out of range", tgt, i)
+		}
+	}
+}
+
+func TestMaskingRate(t *testing.T) {
+	c, _ := NewCorpus(500, 1.0, 13)
+	cfg := DefaultBatchConfig(64)
+	var masked, maskTok, total int
+	const examples = 2000
+	for i := 0; i < examples; i++ {
+		ex := c.MakeExample(cfg)
+		for j, tgt := range ex.Targets {
+			if ex.Tokens[j] >= FirstWordID || ex.Tokens[j] == MaskID {
+				total++
+			}
+			if tgt >= 0 {
+				masked++
+				if ex.Tokens[j] == MaskID {
+					maskTok++
+				}
+			}
+		}
+	}
+	rate := float64(masked) / float64(total)
+	if math.Abs(rate-0.15) > 0.02 {
+		t.Fatalf("masking rate %.3f, want ~0.15", rate)
+	}
+	// 80% of masked positions carry [MASK].
+	maskFrac := float64(maskTok) / float64(masked)
+	if math.Abs(maskFrac-0.8) > 0.03 {
+		t.Fatalf("[MASK] fraction %.3f, want ~0.8", maskFrac)
+	}
+}
+
+func TestSpecialsNeverMasked(t *testing.T) {
+	c, _ := NewCorpus(100, 1.0, 17)
+	cfg := DefaultBatchConfig(16)
+	for i := 0; i < 500; i++ {
+		ex := c.MakeExample(cfg)
+		if ex.Targets[0] != -1 {
+			t.Fatal("[CLS] position must never be a target")
+		}
+	}
+}
+
+func TestNextSentenceBalance(t *testing.T) {
+	c, _ := NewCorpus(100, 1.0, 19)
+	cfg := DefaultBatchConfig(16)
+	var next int
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if c.MakeExample(cfg).IsNext {
+			next++
+		}
+	}
+	frac := float64(next) / n
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("IsNext fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestMakeBatch(t *testing.T) {
+	c, _ := NewCorpus(200, 1.0, 23)
+	cfg := DefaultBatchConfig(16)
+	b := c.MakeBatch(8, cfg)
+	if b.BatchSize != 8 || b.SeqLen != 16 {
+		t.Fatalf("batch shape %d x %d", b.BatchSize, b.SeqLen)
+	}
+	if len(b.Tokens) != 128 || len(b.Targets) != 128 || len(b.IsNext) != 8 {
+		t.Fatalf("flattened lengths wrong: %d %d %d", len(b.Tokens), len(b.Targets), len(b.IsNext))
+	}
+	if b.MaskedCount() == 0 {
+		t.Fatal("batch should contain masked positions")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	c1, _ := NewCorpus(200, 1.0, 42)
+	c2, _ := NewCorpus(200, 1.0, 42)
+	b1 := c1.MakeBatch(4, DefaultBatchConfig(16))
+	b2 := c2.MakeBatch(4, DefaultBatchConfig(16))
+	for i := range b1.Tokens {
+		if b1.Tokens[i] != b2.Tokens[i] || b1.Targets[i] != b2.Targets[i] {
+			t.Fatal("same seed must produce identical batches")
+		}
+	}
+}
+
+func TestMakeBatchPanics(t *testing.T) {
+	c, _ := NewCorpus(200, 1.0, 29)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for zero batch")
+			}
+		}()
+		c.MakeBatch(0, DefaultBatchConfig(16))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for tiny seq len")
+			}
+		}()
+		c.MakeExample(BatchConfig{SeqLen: 4, MaskProb: 0.15})
+	}()
+}
+
+func TestBigramStructureIsLearnable(t *testing.T) {
+	// The deterministic successor must appear far more often after its
+	// predecessor than chance.
+	c, _ := NewCorpus(104, 1.0, 31)
+	words := 100
+	succ := FirstWordID + (2*0+1)%words // successor of rank-0 word
+	var after0, total0 int
+	prev := c.sampleUnigram()
+	for i := 0; i < 100000; i++ {
+		tok := c.NextToken(prev)
+		if prev == FirstWordID {
+			total0++
+			if tok == succ {
+				after0++
+			}
+		}
+		prev = tok
+	}
+	if total0 < 100 {
+		t.Skip("rank-0 word too rare in this draw")
+	}
+	frac := float64(after0) / float64(total0)
+	if frac < 0.3 {
+		t.Fatalf("bigram successor fraction %.3f, want >= 0.3 (mix 0.5)", frac)
+	}
+}

@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bert"
+	"repro/internal/data"
+	"repro/internal/kfac"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+func newModelAndCorpus(t *testing.T) (*bert.Model, *data.Corpus) {
+	t.Helper()
+	m, err := bert.New(bert.TinyConfig(), 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := data.NewCorpus(bert.TinyConfig().VocabSize, 1.0, 321)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, c
+}
+
+func TestNewValidation(t *testing.T) {
+	m, _ := newModelAndCorpus(t)
+	if _, err := New(m, 0, 2); err == nil {
+		t.Fatal("expected error for zero stages")
+	}
+	if _, err := New(m, 2, 0); err == nil {
+		t.Fatal("expected error for zero micro-batches")
+	}
+	// TinyConfig has 2 blocks: 3 stages cannot divide them.
+	if _, err := New(m, 3, 2); err == nil {
+		t.Fatal("expected error for indivisible blocks")
+	}
+}
+
+func TestTrainStepBatchValidation(t *testing.T) {
+	m, c := newModelAndCorpus(t)
+	e, err := New(m, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch size 6 not divisible by 4 micro-batches.
+	batch := c.MakeBatch(6, data.DefaultBatchConfig(m.Config.SeqLen))
+	if _, err := e.TrainStep(batch); err == nil {
+		t.Fatal("expected error for indivisible batch")
+	}
+	wrong := c.MakeBatch(4, data.DefaultBatchConfig(8))
+	if _, err := e.TrainStep(wrong); err == nil {
+		t.Fatal("expected error for wrong sequence length")
+	}
+}
+
+// The headline correctness property: a pipelined, micro-batched,
+// recomputation-based GPipe step produces the same loss and the same
+// parameter gradients as a single-device full-batch step.
+func TestPipelineMatchesSingleDevice(t *testing.T) {
+	m, c := newModelAndCorpus(t)
+	batch := c.MakeBatch(8, data.DefaultBatchConfig(m.Config.SeqLen))
+	params := m.Params()
+
+	// Single-device reference.
+	nn.ZeroGrads(params)
+	refLoss, err := m.Step(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refGrads := make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		refGrads[i] = p.Grad.Clone()
+	}
+
+	// Pipelined execution: 2 stages, 4 micro-batches of 2 sequences.
+	e, err := New(m, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn.ZeroGrads(params)
+	res, err := e.TrainStep(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if math.Abs(res.Loss.Total-refLoss.Total) > 1e-9 {
+		t.Fatalf("pipelined loss %.12f != single-device %.12f", res.Loss.Total, refLoss.Total)
+	}
+	if math.Abs(res.Loss.MLM-refLoss.MLM) > 1e-9 || math.Abs(res.Loss.NSP-refLoss.NSP) > 1e-9 {
+		t.Fatalf("loss breakdown differs: %+v vs %+v", res.Loss, refLoss)
+	}
+	if res.Loss.MaskedCount != refLoss.MaskedCount {
+		t.Fatalf("masked count %d != %d", res.Loss.MaskedCount, refLoss.MaskedCount)
+	}
+	for i, p := range params {
+		if !p.Grad.AllClose(refGrads[i], 1e-9) {
+			t.Fatalf("gradient mismatch for %s (max diff %g)",
+				p.Name, p.Grad.Sub(refGrads[i]).MaxAbs())
+		}
+	}
+}
+
+func TestPipelineMatchesAcrossMicroBatchCounts(t *testing.T) {
+	// Gradients must be invariant to the micro-batch count (1, 2, 4).
+	m, c := newModelAndCorpus(t)
+	batch := c.MakeBatch(8, data.DefaultBatchConfig(m.Config.SeqLen))
+	params := m.Params()
+	var ref []*tensor.Matrix
+	for _, micro := range []int{1, 2, 4} {
+		e, err := New(m, 2, micro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nn.ZeroGrads(params)
+		if _, err := e.TrainStep(batch); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = make([]*tensor.Matrix, len(params))
+			for i, p := range params {
+				ref[i] = p.Grad.Clone()
+			}
+			continue
+		}
+		for i, p := range params {
+			if !p.Grad.AllClose(ref[i], 1e-9) {
+				t.Fatalf("micro=%d: gradient differs for %s", micro, p.Name)
+			}
+		}
+	}
+}
+
+func TestStageBusyReported(t *testing.T) {
+	m, c := newModelAndCorpus(t)
+	e, err := New(m, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := c.MakeBatch(4, data.DefaultBatchConfig(m.Config.SeqLen))
+	nn.ZeroGrads(m.Params())
+	res, err := e.TrainStep(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StageBusy) != 2 {
+		t.Fatalf("expected 2 stage busy entries, got %d", len(res.StageBusy))
+	}
+	for s, busy := range res.StageBusy {
+		if busy <= 0 {
+			t.Fatalf("stage %d reported no busy time", s)
+		}
+	}
+}
+
+func TestEngineTrainingConverges(t *testing.T) {
+	// End-to-end: pipeline-parallel training with LAMB reduces the loss.
+	m, c := newModelAndCorpus(t)
+	e, err := New(m, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := m.Params()
+	opt := optim.NewLAMB(params, 0.01)
+	sched := optim.PolyDecaySchedule{BaseLR: 5e-3, WarmupSteps: 5, TotalSteps: 40, Power: 0.5}
+	var first, last float64
+	const steps = 40
+	for step := 0; step < steps; step++ {
+		batch := c.MakeBatch(8, data.DefaultBatchConfig(m.Config.SeqLen))
+		nn.ZeroGrads(params)
+		res, err := e.TrainStep(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Step(sched.LR(step))
+		if step < 5 {
+			first += res.Loss.Total / 5
+		}
+		if step >= steps-5 {
+			last += res.Loss.Total / 5
+		}
+	}
+	if last >= first-0.2 {
+		t.Fatalf("pipelined training did not converge: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestEngineKFAC(t *testing.T) {
+	m, c := newModelAndCorpus(t)
+	e, err := New(m, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.KFACPrecondition() != 0 {
+		t.Fatal("preconditioning before EnableKFAC must be a no-op")
+	}
+	if err := e.KFACRefresh(1); err == nil {
+		t.Fatal("expected error refreshing before EnableKFAC")
+	}
+	e.EnableKFAC(kfac.Options{Damping: 1e-2, StatDecay: 0.9, UsePiDamping: true})
+
+	params := m.Params()
+	batch := c.MakeBatch(8, data.DefaultBatchConfig(m.Config.SeqLen))
+	nn.ZeroGrads(params)
+	res, err := e.TrainStep(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.KFACRefresh(float64(res.Loss.MaskedCount)); err != nil {
+		t.Fatal(err)
+	}
+	// Each stage has 1 block = 6 K-FAC layers; both stages precondition.
+	if got := e.KFACPrecondition(); got != 12 {
+		t.Fatalf("preconditioned %d layers, want 12", got)
+	}
+	for _, p := range params {
+		if p.Grad.HasNaN() {
+			t.Fatalf("NaN gradient in %s after K-FAC preconditioning", p.Name)
+		}
+	}
+}
+
+func TestEngineKFACTrainingConverges(t *testing.T) {
+	// Full PipeFisher-style loop through the engine: pipelined step,
+	// per-stage curvature/inversion refresh every 2 steps, precondition
+	// every step, LAMB update.
+	m, c := newModelAndCorpus(t)
+	e, err := New(m, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.EnableKFAC(kfac.Options{Damping: 1e-2, StatDecay: 0.95, UsePiDamping: true})
+	params := m.Params()
+	opt := optim.NewLAMB(params, 0.01)
+	sched := optim.PolyDecaySchedule{BaseLR: 5e-3, WarmupSteps: 3, TotalSteps: 30, Power: 0.5}
+	var first, last float64
+	const steps = 30
+	for step := 0; step < steps; step++ {
+		batch := c.MakeBatch(8, data.DefaultBatchConfig(m.Config.SeqLen))
+		nn.ZeroGrads(params)
+		res, err := e.TrainStep(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step%2 == 0 {
+			if err := e.KFACRefresh(float64(res.Loss.MaskedCount + 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.KFACPrecondition()
+		opt.Step(sched.LR(step))
+		if step < 5 {
+			first += res.Loss.Total / 5
+		}
+		if step >= steps-5 {
+			last += res.Loss.Total / 5
+		}
+	}
+	if last >= first-0.1 {
+		t.Fatalf("PipeFisher-style training did not converge: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestStageLayers(t *testing.T) {
+	m, _ := newModelAndCorpus(t)
+	e, err := New(m, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.StageLayers(0)); got != 6 {
+		t.Fatalf("stage 0 has %d K-FAC layers, want 6", got)
+	}
+	if got := len(e.StageLayers(1)); got != 6 {
+		t.Fatalf("stage 1 has %d K-FAC layers, want 6", got)
+	}
+	// Stages own disjoint layers.
+	seen := map[*nn.Dense]bool{}
+	for s := 0; s < e.Stages(); s++ {
+		for _, l := range e.StageLayers(s) {
+			if seen[l] {
+				t.Fatal("stages share a layer")
+			}
+			seen[l] = true
+		}
+	}
+}

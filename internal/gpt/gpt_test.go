@@ -1,0 +1,154 @@
+package gpt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+)
+
+func newModelAndCorpus(t *testing.T, seed uint64) (*Model, *data.Corpus) {
+	t.Helper()
+	m, err := New(TinyConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := data.NewCorpus(TinyConfig().VocabSize, 1.0, seed+1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, c
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{VocabSize: 2, DModel: 32, DFF: 64, Heads: 4, Blocks: 2, SeqLen: 16},
+		{VocabSize: 96, DModel: 30, DFF: 64, Heads: 4, Blocks: 2, SeqLen: 16},
+		{VocabSize: 96, DModel: 32, DFF: 64, Heads: 4, Blocks: 2, SeqLen: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg, 1); err == nil {
+			t.Fatalf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+func TestAllBlocksAreCausal(t *testing.T) {
+	m, _ := newModelAndCorpus(t, 1)
+	for i, b := range m.Blocks {
+		if !b.Attn.Causal {
+			t.Fatalf("block %d is not causal", i)
+		}
+	}
+	// Heads excluded from K-FAC.
+	for _, l := range m.KFACLayers() {
+		if l == m.LMHead {
+			t.Fatal("LM head must be excluded from K-FAC")
+		}
+	}
+	if len(m.KFACLayers()) != 12 {
+		t.Fatalf("expected 12 K-FAC layers, got %d", len(m.KFACLayers()))
+	}
+}
+
+func TestStepInitialLossNearLogVocab(t *testing.T) {
+	m, c := newModelAndCorpus(t, 2)
+	batch := SampleBatch(c, 8, m.Config.SeqLen)
+	nn.ZeroGrads(m.Params())
+	loss, count, err := m.Step(batch, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 8*(m.Config.SeqLen-1) {
+		t.Fatalf("predicted positions %d, want %d", count, 8*(m.Config.SeqLen-1))
+	}
+	if math.Abs(loss-math.Log(float64(m.Config.VocabSize))) > 1.0 {
+		t.Fatalf("initial loss %.3f far from log V", loss)
+	}
+	if gn := nn.GradNorm(m.Params()); gn <= 0 || math.IsNaN(gn) {
+		t.Fatalf("bad grad norm %g", gn)
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	m, _ := newModelAndCorpus(t, 3)
+	if _, _, err := m.Step(make([]int, 7), 2); err == nil {
+		t.Fatal("expected error for wrong token count")
+	}
+}
+
+func TestNextTokenTargets(t *testing.T) {
+	tokens := []int{10, 11, 12, 20, 21, 22}
+	targets := nextTokenTargets(tokens, 2, 3)
+	want := []int{11, 12, nn.IgnoreIndex, 21, 22, nn.IgnoreIndex}
+	for i := range want {
+		if targets[i] != want[i] {
+			t.Fatalf("targets %v, want %v", targets, want)
+		}
+	}
+}
+
+func TestPretrainAdamConverges(t *testing.T) {
+	m, c := newModelAndCorpus(t, 4)
+	losses, err := Pretrain(m, c, TrainConfig{Steps: 80, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := mean(losses[:10])
+	last := mean(losses[70:])
+	if last >= first-0.3 {
+		t.Fatalf("decoder LM did not converge: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestPretrainKFACConverges(t *testing.T) {
+	m, c := newModelAndCorpus(t, 5)
+	losses, err := Pretrain(m, c, TrainConfig{UseKFAC: true, Steps: 60, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := mean(losses[:10])
+	last := mean(losses[50:])
+	if last >= first-0.2 {
+		t.Fatalf("K-FAC decoder training did not converge: %.3f -> %.3f", first, last)
+	}
+}
+
+func TestPerplexityImprovesWithTraining(t *testing.T) {
+	m, c := newModelAndCorpus(t, 6)
+	heldOut := SampleBatch(c, 16, m.Config.SeqLen)
+	before, err := m.Perplexity(heldOut, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Pretrain(m, c, TrainConfig{Steps: 80, BatchSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.Perplexity(heldOut, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("perplexity did not improve: %.1f -> %.1f", before, after)
+	}
+	// Untrained perplexity should be near vocab size (~96).
+	if before < 30 || before > 300 {
+		t.Fatalf("untrained perplexity %.1f outside plausible range", before)
+	}
+}
+
+func TestPerplexityValidation(t *testing.T) {
+	m, _ := newModelAndCorpus(t, 7)
+	if _, err := m.Perplexity(make([]int, 5), 2); err == nil {
+		t.Fatal("expected error for wrong token count")
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,112 @@
+package hardware
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"P100", "V100", "RTX3090"} {
+		g, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if g.Name != name {
+			t.Fatalf("ByName(%q) returned %q", name, g.Name)
+		}
+	}
+	if _, err := ByName("H100"); err == nil {
+		t.Fatal("expected error for unknown GPU")
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	all := All()
+	if len(all) != 3 || all[0].Name != "P100" || all[1].Name != "V100" || all[2].Name != "RTX3090" {
+		t.Fatalf("All() wrong: %v", all)
+	}
+}
+
+func TestTimeComputeBound(t *testing.T) {
+	// A huge GEMM is compute bound: time ≈ flops / (peak * eff).
+	g := P100
+	op := Op{FLOPs: 1e12, Bytes: 1e6, Kernels: 1, GEMMLike: true}
+	got := g.Time(op)
+	want := Microseconds(1e12 / (g.PeakFLOPs * g.GemmEfficiency) * 1e6)
+	if diff := got - want - g.KernelOverhead; diff < -1 || diff > 1 {
+		t.Fatalf("compute-bound time: got %d, want about %d", got, want+g.KernelOverhead)
+	}
+}
+
+func TestTimeMemoryBound(t *testing.T) {
+	// A pure copy is memory bound: time ≈ bytes / bandwidth.
+	g := V100
+	op := Op{FLOPs: 1, Bytes: 9e8, Kernels: 1}
+	got := g.Time(op)
+	want := Microseconds(9e8/g.MemBandwidth*1e6) + g.KernelOverhead
+	if diff := got - want; diff < -1 || diff > 1 {
+		t.Fatalf("memory-bound time: got %d, want about %d", got, want)
+	}
+}
+
+func TestTimeMinimumOneMicrosecond(t *testing.T) {
+	g := RTX3090
+	if got := g.Time(Op{FLOPs: 1, Bytes: 1, Kernels: 0}); got < 1 {
+		t.Fatalf("Time must be at least 1us, got %d", got)
+	}
+}
+
+func TestFasterGPUIsFaster(t *testing.T) {
+	op := Op{FLOPs: 1e12, Bytes: 1e8, Kernels: 1, GEMMLike: true}
+	tP, tV, tR := P100.Time(op), V100.Time(op), RTX3090.Time(op)
+	if !(tR < tV && tV < tP) {
+		t.Fatalf("expected RTX3090 < V100 < P100 on a big GEMM, got %d %d %d", tP, tV, tR)
+	}
+}
+
+func TestGemmTimeScalesWithSize(t *testing.T) {
+	g := P100
+	small := g.GemmTime(256, 256, 256)
+	big := g.GemmTime(1024, 1024, 1024)
+	if big <= small {
+		t.Fatalf("bigger GEMM must take longer: %d vs %d", small, big)
+	}
+}
+
+func TestAllReduceTime(t *testing.T) {
+	ic := DefaultInterconnect
+	if got := ic.AllReduceTime(1e9, 1); got != 0 {
+		t.Fatalf("single participant all-reduce must be free, got %d", got)
+	}
+	t2 := ic.AllReduceTime(1e9, 2)
+	t8 := ic.AllReduceTime(1e9, 8)
+	if t2 <= 0 || t8 <= t2 {
+		t.Fatalf("all-reduce times not monotone: n=2 %d, n=8 %d", t2, t8)
+	}
+}
+
+func TestP2PTime(t *testing.T) {
+	ic := DefaultInterconnect
+	small := ic.P2PTime(1e3)
+	large := ic.P2PTime(1e9)
+	if small < ic.LatencyUS {
+		t.Fatalf("P2P must include latency, got %d", small)
+	}
+	if large <= small {
+		t.Fatal("larger P2P message must take longer")
+	}
+}
+
+// Property: time is monotone in FLOPs and bytes.
+func TestTimeMonotoneProperty(t *testing.T) {
+	f := func(flopsExp, bytesExp uint8) bool {
+		f1 := float64(uint64(1) << (flopsExp % 40))
+		b1 := float64(uint64(1) << (bytesExp % 30))
+		op1 := Op{FLOPs: f1, Bytes: b1, Kernels: 1, GEMMLike: true}
+		op2 := Op{FLOPs: f1 * 2, Bytes: b1 * 2, Kernels: 1, GEMMLike: true}
+		return P100.Time(op2) >= P100.Time(op1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

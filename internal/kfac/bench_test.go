@@ -1,0 +1,71 @@
+package kfac
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// benchPreconditioner builds a 64->64 layer with captured stats — the
+// per-layer shape of the tiny-BERT experiments.
+func benchPreconditioner(b *testing.B) *Preconditioner {
+	b.Helper()
+	rng := tensor.NewRNG(1)
+	layer := nn.NewDense("fc", 64, 64, rng)
+	layer.CaptureKFAC = true
+	x := tensor.RandN(rng, 512, 64, 1)
+	layer.Forward(x)
+	layer.Backward(tensor.RandN(rng, 512, 64, 0.5))
+	return NewPreconditioner([]*nn.Dense{layer}, DefaultOptions())
+}
+
+func BenchmarkUpdateCurvature(b *testing.B) {
+	p := benchPreconditioner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.UpdateCurvature(512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateInverses(b *testing.B) {
+	p := benchPreconditioner(b)
+	if err := p.UpdateCurvature(512); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.UpdateInverses(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateInversesBlockDiagonal(b *testing.B) {
+	p := benchPreconditioner(b)
+	if err := p.UpdateCurvature(512); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.UpdateInversesBlockDiagonal(4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrecondition(b *testing.B) {
+	p := benchPreconditioner(b)
+	if err := p.UpdateCurvature(512); err != nil {
+		b.Fatal(err)
+	}
+	if err := p.UpdateInverses(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Precondition()
+	}
+}

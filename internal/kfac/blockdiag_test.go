@@ -1,0 +1,145 @@
+package kfac
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestBlockDiagonalInverseValidation(t *testing.T) {
+	if _, err := BlockDiagonalInverse(tensor.Zeros(2, 3), 2, 0); err == nil {
+		t.Fatal("expected error for rectangular input")
+	}
+	if _, err := BlockDiagonalInverse(tensor.Eye(4), 0, 0); err == nil {
+		t.Fatal("expected error for zero blocks")
+	}
+}
+
+func TestBlockDiagonalInverseOneBlockIsFullInverse(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	m := tensor.RandSPD(rng, 6, 1)
+	full, err := tensor.SPDInverse(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := BlockDiagonalInverse(m, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !one.AllClose(full, 1e-10) {
+		t.Fatal("numBlocks=1 must equal the full inverse")
+	}
+}
+
+func TestBlockDiagonalExactWhenMatrixIsBlockDiagonal(t *testing.T) {
+	// If the true matrix is exactly block diagonal, the approximation is
+	// exact — the Appendix A.2 best case.
+	rng := tensor.NewRNG(2)
+	a := tensor.RandSPD(rng, 4, 1)
+	b := tensor.RandSPD(rng, 4, 1)
+	m := tensor.Zeros(8, 8)
+	for i := 0; i < 4; i++ {
+		copy(m.Data[i*8:i*8+4], a.Row(i))
+		copy(m.Data[(4+i)*8+4:(4+i)*8+8], b.Row(i))
+	}
+	full, err := tensor.SPDInverse(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := BlockDiagonalInverse(m, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx.AllClose(full, 1e-8) {
+		t.Fatal("block-diagonal inverse must be exact for block-diagonal input")
+	}
+}
+
+func TestBlockDiagonalInverseZeroesOffBlocks(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	m := tensor.RandSPD(rng, 8, 2)
+	inv, err := BlockDiagonalInverse(m, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 4 blocks of size 2, entries outside the 2x2 diagonal blocks
+	// must be zero.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i/2 != j/2 && inv.At(i, j) != 0 {
+				t.Fatalf("off-block entry (%d,%d) = %g, want 0", i, j, inv.At(i, j))
+			}
+		}
+	}
+}
+
+func TestBlockDiagonalMoreBlocksThanRowsClamps(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	m := tensor.RandSPD(rng, 3, 1)
+	inv, err := BlockDiagonalInverse(m, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clamped to 3 blocks of size 1: a diagonal approximation.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j && inv.At(i, j) != 0 {
+				t.Fatal("diagonal approximation must be diagonal")
+			}
+		}
+	}
+}
+
+func TestUpdateInversesBlockDiagonal(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	layer := buildLayer(t, rng, 32, 8, 8)
+	p := NewPreconditioner([]*nn.Dense{layer}, Options{Damping: 1e-2})
+	if err := p.UpdateInversesBlockDiagonal(2); err == nil {
+		t.Fatal("expected error before curvature exists")
+	}
+	if err := p.UpdateCurvature(32); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UpdateInversesBlockDiagonal(0); err == nil {
+		t.Fatal("expected error for zero blocks")
+	}
+	if err := p.UpdateInversesBlockDiagonal(2); err != nil {
+		t.Fatal(err)
+	}
+	s := p.States()[0]
+	if !s.HasInverses() {
+		t.Fatal("block-diagonal inverses not installed")
+	}
+	// Preconditioning still works and is finite.
+	if n := p.Precondition(); n != 1 {
+		t.Fatalf("preconditioned %d layers, want 1", n)
+	}
+	if layer.GW.HasNaN() {
+		t.Fatal("NaN in block-diagonally preconditioned gradient")
+	}
+}
+
+// Property: the block-diagonal inverse of an SPD matrix is itself SPD
+// (each block inverse is SPD; the direct sum preserves it).
+func TestBlockDiagonalInverseSPDProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		n := 2 + rng.Intn(8)
+		k := 1 + rng.Intn(4)
+		m := tensor.RandSPD(rng, n, 1)
+		inv, err := BlockDiagonalInverse(m, k, 0)
+		if err != nil {
+			return false
+		}
+		if !inv.IsSymmetric(1e-9) {
+			return false
+		}
+		_, err = tensor.Cholesky(inv.Symmetrize())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package kfac implements Kronecker-Factored Approximate Curvature
+// (Martens & Grosse, 2015) as described in §2.3 of the PipeFisher paper:
+// per-layer Kronecker factors A_l = ⟨a a^T⟩ and B_l = ⟨e e^T⟩ estimated from
+// mini-batch activations and error signals, Cholesky-based inversion with
+// factored Tikhonov damping, and gradient preconditioning
+// ĝ_l = B_l⁻¹ G_l A_l⁻¹ via the (A ⊗ B)⁻¹ vec identity.
+//
+// The package deliberately separates the three kinds of K-FAC work the
+// paper schedules independently (curvature, inversion, precondition) so the
+// pipeline scheduler can interleave them with forward/backward work, and so
+// stale inverses can precondition fresh gradients exactly as in §3.1.
+package kfac
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// ErrNoStats is returned when curvature work is requested for a layer that
+// has not captured activation/error statistics.
+var ErrNoStats = errors.New("kfac: layer has no captured statistics (enable CaptureKFAC and run forward+backward)")
+
+// LayerState holds the K-FAC state of a single fully-connected layer.
+type LayerState struct {
+	// Layer is the underlying dense layer whose gradients are
+	// preconditioned.
+	Layer *nn.Dense
+	// A and B are the exponential moving averages of the Kronecker
+	// factors: A is din x din, B is dout x dout.
+	A, B *tensor.Matrix
+	// AInv and BInv are the cached inverses used for preconditioning; they
+	// may be stale relative to A and B (the paper refreshes them every few
+	// pipeline steps).
+	AInv, BInv *tensor.Matrix
+	// CurvatureUpdates counts curvature refreshes; InverseUpdates counts
+	// inversion refreshes. InverseAge counts preconditioning steps since
+	// the inverses were last refreshed (the "staleness" of §3.1).
+	CurvatureUpdates int
+	InverseUpdates   int
+	InverseAge       int
+}
+
+// HasInverses reports whether the layer has usable cached inverses.
+func (s *LayerState) HasInverses() bool { return s.AInv != nil && s.BInv != nil }
+
+// Options configure a Preconditioner.
+type Options struct {
+	// Damping is the Tikhonov damping λ added (in factored form) before
+	// inversion. Typical values 1e-3..1e-1.
+	Damping float64
+	// StatDecay is the EMA decay for the Kronecker factors; 0 replaces the
+	// factors entirely at each curvature refresh.
+	StatDecay float64
+	// UsePiDamping enables the factored damping split of Martens & Grosse:
+	// A gets π·sqrt(λ) and B gets sqrt(λ)/π with π = sqrt((tr A/din)/(tr B/dout)).
+	UsePiDamping bool
+}
+
+// DefaultOptions mirror common K-FAC practice for transformer pretraining.
+func DefaultOptions() Options {
+	return Options{Damping: 1e-2, StatDecay: 0.95, UsePiDamping: true}
+}
+
+// Preconditioner manages the K-FAC state of a set of dense layers.
+type Preconditioner struct {
+	opts   Options
+	states []*LayerState
+}
+
+// NewPreconditioner registers the given layers for K-FAC and enables their
+// statistics capture.
+func NewPreconditioner(layers []*nn.Dense, opts Options) *Preconditioner {
+	if opts.Damping < 0 {
+		panic(fmt.Sprintf("kfac: negative damping %g", opts.Damping))
+	}
+	if opts.StatDecay < 0 || opts.StatDecay >= 1 {
+		panic(fmt.Sprintf("kfac: StatDecay must be in [0,1), got %g", opts.StatDecay))
+	}
+	p := &Preconditioner{opts: opts}
+	for _, l := range layers {
+		l.CaptureKFAC = true
+		p.states = append(p.states, &LayerState{Layer: l})
+	}
+	return p
+}
+
+// States exposes the per-layer K-FAC state (read-mostly; used by tests and
+// the scheduler).
+func (p *Preconditioner) States() []*LayerState { return p.states }
+
+// NumLayers returns the number of registered layers.
+func (p *Preconditioner) NumLayers() int { return len(p.states) }
+
+// UpdateCurvature computes fresh Kronecker factors for every registered
+// layer from the statistics captured during the latest forward/backward.
+//
+// lossScale is the number of terms the training loss averaged over (e.g.
+// the count of masked tokens): with a mean-reduced loss the captured output
+// gradients are dL/dy_i = (1/M) dl_i/dy_i, so the per-example errors of the
+// empirical Fisher (§2.2) are e_i = M·(dL/dy_i) and
+// B_l = (1/N) Σ e e^T = (M²/N) · Ḡ^T Ḡ where Ḡ stacks the captured rows.
+func (p *Preconditioner) UpdateCurvature(lossScale float64) error {
+	for _, s := range p.states {
+		if err := p.updateLayerCurvature(s, lossScale); err != nil {
+			return fmt.Errorf("layer %q: %w", s.Layer.Name, err)
+		}
+	}
+	return nil
+}
+
+// UpdateCurvatureLayer refreshes the factors of a single registered layer
+// (identified by index), used by schedules that spread curvature work.
+func (p *Preconditioner) UpdateCurvatureLayer(index int, lossScale float64) error {
+	if index < 0 || index >= len(p.states) {
+		return fmt.Errorf("kfac: layer index %d out of range [0,%d)", index, len(p.states))
+	}
+	return p.updateLayerCurvature(p.states[index], lossScale)
+}
+
+func (p *Preconditioner) updateLayerCurvature(s *LayerState, lossScale float64) error {
+	acts, grads, ok := s.Layer.KFACStats()
+	if !ok {
+		return ErrNoStats
+	}
+	n := float64(acts.Rows)
+	if n == 0 {
+		return ErrNoStats
+	}
+	// A = (1/N) X^T X ; B = (M²/N) Ḡ^T Ḡ  (see UpdateCurvature).
+	newA := tensor.TMatMul(acts, acts)
+	newA.ScaleInPlace(1 / n)
+	newB := tensor.TMatMul(grads, grads)
+	newB.ScaleInPlace(lossScale * lossScale / n)
+
+	decay := p.opts.StatDecay
+	if s.A == nil || decay == 0 {
+		s.A, s.B = newA, newB
+	} else {
+		s.A.ScaleInPlace(decay)
+		s.A.AddScaledInPlace(1-decay, newA)
+		s.B.ScaleInPlace(decay)
+		s.B.AddScaledInPlace(1-decay, newB)
+	}
+	s.CurvatureUpdates++
+	return nil
+}
+
+// UpdateInverses refreshes the cached inverses of every registered layer.
+func (p *Preconditioner) UpdateInverses() error {
+	return p.UpdateInversesFor(nil)
+}
+
+// UpdateInversesFor refreshes the inverses of the layers with the given
+// indices (nil means all). This is the unit of "inversion parallelism"
+// (§2.3.2, Figure 2(ii,b)): different devices invert different layers.
+func (p *Preconditioner) UpdateInversesFor(indices []int) error {
+	if indices == nil {
+		indices = make([]int, len(p.states))
+		for i := range indices {
+			indices[i] = i
+		}
+	}
+	for _, i := range indices {
+		if i < 0 || i >= len(p.states) {
+			return fmt.Errorf("kfac: layer index %d out of range [0,%d)", i, len(p.states))
+		}
+		if err := p.invertLayer(p.states[i]); err != nil {
+			return fmt.Errorf("layer %q: %w", p.states[i].Layer.Name, err)
+		}
+	}
+	return nil
+}
+
+func (p *Preconditioner) invertLayer(s *LayerState) error {
+	if s.A == nil || s.B == nil {
+		return fmt.Errorf("kfac: no curvature for layer %q yet", s.Layer.Name)
+	}
+	dampA, dampB := p.factoredDamping(s)
+	ainv, err := tensor.SPDInverse(s.A.AddDiagonal(dampA), 0)
+	if err != nil {
+		return fmt.Errorf("inverting A: %w", err)
+	}
+	binv, err := tensor.SPDInverse(s.B.AddDiagonal(dampB), 0)
+	if err != nil {
+		return fmt.Errorf("inverting B: %w", err)
+	}
+	s.AInv, s.BInv = ainv, binv
+	s.InverseUpdates++
+	s.InverseAge = 0
+	return nil
+}
+
+// factoredDamping splits the damping λ between the two factors. With
+// UsePiDamping the split follows Martens & Grosse's π heuristic; otherwise
+// each factor receives sqrt(λ) so that the implied damping on A ⊗ B is λ
+// (plus cross terms).
+func (p *Preconditioner) factoredDamping(s *LayerState) (dampA, dampB float64) {
+	lambda := p.opts.Damping
+	root := math.Sqrt(lambda)
+	if !p.opts.UsePiDamping {
+		return root, root
+	}
+	trA := s.A.Trace() / float64(s.A.Rows)
+	trB := s.B.Trace() / float64(s.B.Rows)
+	if trA <= 0 || trB <= 0 {
+		return root, root
+	}
+	pi := math.Sqrt(trA / trB)
+	return root * pi, root / pi
+}
+
+// Precondition replaces each registered layer's weight gradient G_l with
+// B_l⁻¹ G_l A_l⁻¹ using the cached (possibly stale) inverses, and
+// increments their staleness counters. Layers without cached inverses are
+// left untouched — exactly the paper's rule that the first preconditioning
+// uses whatever inverses exist ("the first precondition ... is performed
+// with the stale inverse matrices calculated at previous steps", Figure 1).
+// It returns the number of layers that were preconditioned.
+func (p *Preconditioner) Precondition() int {
+	var done int
+	for _, s := range p.states {
+		if !s.HasInverses() {
+			continue
+		}
+		g := s.Layer.GW // dout x din
+		pre := tensor.MatMul(tensor.MatMul(s.BInv, g), s.AInv)
+		g.CopyFrom(pre)
+		s.InverseAge++
+		done++
+	}
+	return done
+}
+
+// PreconditionedGradient returns B⁻¹ G A⁻¹ for the layer at index without
+// mutating its gradient (reference computation for tests).
+func (p *Preconditioner) PreconditionedGradient(index int) (*tensor.Matrix, error) {
+	if index < 0 || index >= len(p.states) {
+		return nil, fmt.Errorf("kfac: layer index %d out of range", index)
+	}
+	s := p.states[index]
+	if !s.HasInverses() {
+		return nil, fmt.Errorf("kfac: layer %q has no inverses", s.Layer.Name)
+	}
+	return tensor.MatMul(tensor.MatMul(s.BInv, s.Layer.GW), s.AInv), nil
+}
+
+// MaxInverseAge returns the largest staleness among layers that have
+// inverses (0 if none do).
+func (p *Preconditioner) MaxInverseAge() int {
+	var mx int
+	for _, s := range p.states {
+		if s.HasInverses() && s.InverseAge > mx {
+			mx = s.InverseAge
+		}
+	}
+	return mx
+}

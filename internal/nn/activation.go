@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// GELU is the Gaussian Error Linear Unit activation used by BERT:
+// gelu(x) = x/2 * (1 + erf(x/sqrt(2))). The backward uses the exact
+// derivative.
+type GELU struct {
+	lastInput *tensor.Matrix
+}
+
+// NewGELU returns a GELU activation module.
+func NewGELU() *GELU { return &GELU{} }
+
+// Forward applies GELU element-wise.
+func (g *GELU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	g.lastInput = x
+	y := tensor.Zeros(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = 0.5 * v * (1 + math.Erf(v/math.Sqrt2))
+	}
+	return y
+}
+
+// Backward multiplies the upstream gradient by gelu'(x).
+func (g *GELU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if g.lastInput == nil {
+		panic("nn: GELU Backward before Forward")
+	}
+	out := tensor.Zeros(grad.Rows, grad.Cols)
+	invSqrt2Pi := 1 / math.Sqrt(2*math.Pi)
+	for i, v := range g.lastInput.Data {
+		cdf := 0.5 * (1 + math.Erf(v/math.Sqrt2))
+		pdf := invSqrt2Pi * math.Exp(-0.5*v*v)
+		out.Data[i] = grad.Data[i] * (cdf + v*pdf)
+	}
+	return out
+}
+
+// Params returns nil; GELU has no parameters.
+func (g *GELU) Params() []*Param { return nil }
+
+// ReLU is the rectified linear activation, used in ablations.
+type ReLU struct {
+	lastInput *tensor.Matrix
+}
+
+// NewReLU returns a ReLU activation module.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies max(0, x) element-wise.
+func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	r.lastInput = x
+	y := tensor.Zeros(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		}
+	}
+	return y
+}
+
+// Backward zeroes the gradient where the input was non-positive.
+func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if r.lastInput == nil {
+		panic("nn: ReLU Backward before Forward")
+	}
+	out := tensor.Zeros(grad.Rows, grad.Cols)
+	for i, v := range r.lastInput.Data {
+		if v > 0 {
+			out.Data[i] = grad.Data[i]
+		}
+	}
+	return out
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation (used by the BERT pooler).
+type Tanh struct {
+	lastOutput *tensor.Matrix
+}
+
+// NewTanh returns a Tanh activation module.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh element-wise.
+func (t *Tanh) Forward(x *tensor.Matrix) *tensor.Matrix {
+	y := tensor.Zeros(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		y.Data[i] = math.Tanh(v)
+	}
+	t.lastOutput = y
+	return y
+}
+
+// Backward multiplies by 1 - tanh²(x).
+func (t *Tanh) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if t.lastOutput == nil {
+		panic("nn: Tanh Backward before Forward")
+	}
+	out := tensor.Zeros(grad.Rows, grad.Cols)
+	for i, y := range t.lastOutput.Data {
+		out.Data[i] = grad.Data[i] * (1 - y*y)
+	}
+	return out
+}
+
+// Params returns nil; Tanh has no parameters.
+func (t *Tanh) Params() []*Param { return nil }

@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// negInf is the masking value for causal attention scores; softmax maps it
+// to exactly zero probability.
+var negInf = math.Inf(-1)
+
+// MultiHeadAttention implements the standard transformer self-attention
+// sublayer: Q/K/V projections, per-head scaled dot-product attention, and
+// an output projection. Inputs are token matrices of shape (B·S) x d; the
+// module must be told the sequence length so it can respect sequence
+// boundaries.
+//
+// The four projections are Dense layers, so K-FAC applies to them exactly
+// as the paper prescribes (all fully-connected layers except the final
+// classification head, §4).
+type MultiHeadAttention struct {
+	// Name labels the sublayer.
+	Name string
+	// Heads is the number of attention heads; DModel must divide evenly.
+	Heads  int
+	DModel int
+	// Causal masks attention so position i attends only to positions
+	// <= i, as in the decoder-only OPT models of Table 3.
+	Causal bool
+	// Q, K, V, Out are the four projection layers.
+	Q, K, V, Out *Dense
+
+	seqLen    int
+	batch     int
+	lastQ     *tensor.Matrix   // (B·S) x d
+	lastK     *tensor.Matrix   // (B·S) x d
+	lastV     *tensor.Matrix   // (B·S) x d
+	lastProbs []*tensor.Matrix // per (batch, head): S x S attention probabilities
+}
+
+// NewMultiHeadAttention builds the sublayer; d must be divisible by heads.
+func NewMultiHeadAttention(name string, d, heads int, rng *tensor.RNG) *MultiHeadAttention {
+	if heads <= 0 || d%heads != 0 {
+		panic(fmt.Sprintf("nn: attention %q: d_model %d not divisible by %d heads", name, d, heads))
+	}
+	return &MultiHeadAttention{
+		Name:   name,
+		Heads:  heads,
+		DModel: d,
+		Q:      NewDense(name+".q", d, d, rng),
+		K:      NewDense(name+".k", d, d, rng),
+		V:      NewDense(name+".v", d, d, rng),
+		Out:    NewDense(name+".out", d, d, rng),
+	}
+}
+
+// SetShape tells the module the (batch, seqLen) factorization of upcoming
+// token matrices. It must be called before Forward whenever the shape
+// changes.
+func (m *MultiHeadAttention) SetShape(batch, seqLen int) {
+	m.batch = batch
+	m.seqLen = seqLen
+}
+
+// Forward runs self-attention over each sequence independently.
+func (m *MultiHeadAttention) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if m.batch == 0 || m.seqLen == 0 {
+		panic(fmt.Sprintf("nn: attention %q Forward before SetShape", m.Name))
+	}
+	if x.Rows != m.batch*m.seqLen {
+		panic(fmt.Sprintf("nn: attention %q got %d tokens, want %d*%d", m.Name, x.Rows, m.batch, m.seqLen))
+	}
+	q := m.Q.Forward(x)
+	k := m.K.Forward(x)
+	v := m.V.Forward(x)
+	m.lastQ, m.lastK, m.lastV = q, k, v
+
+	d := m.DModel
+	dk := d / m.Heads
+	scale := 1 / math.Sqrt(float64(dk))
+	s := m.seqLen
+	concat := tensor.Zeros(x.Rows, d)
+	m.lastProbs = make([]*tensor.Matrix, m.batch*m.Heads)
+
+	for b := 0; b < m.batch; b++ {
+		base := b * s
+		for h := 0; h < m.Heads; h++ {
+			off := h * dk
+			// scores = Qh Kh^T * scale, S x S (future positions masked to
+			// -inf for causal attention).
+			scores := tensor.Zeros(s, s)
+			for i := 0; i < s; i++ {
+				qrow := q.Row(base + i)[off : off+dk]
+				srow := scores.Row(i)
+				for j := 0; j < s; j++ {
+					if m.Causal && j > i {
+						srow[j] = negInf
+						continue
+					}
+					krow := k.Row(base + j)[off : off+dk]
+					var dot float64
+					for t := 0; t < dk; t++ {
+						dot += qrow[t] * krow[t]
+					}
+					srow[j] = dot * scale
+				}
+			}
+			probs := SoftmaxRows(scores)
+			m.lastProbs[b*m.Heads+h] = probs
+			// Oh = probs Vh, written into the concat slice.
+			for i := 0; i < s; i++ {
+				prow := probs.Row(i)
+				orow := concat.Row(base + i)[off : off+dk]
+				for j := 0; j < s; j++ {
+					p := prow[j]
+					if p == 0 {
+						continue
+					}
+					vrow := v.Row(base + j)[off : off+dk]
+					for t := 0; t < dk; t++ {
+						orow[t] += p * vrow[t]
+					}
+				}
+			}
+		}
+	}
+	return m.Out.Forward(concat)
+}
+
+// Backward propagates through the output projection, the per-head
+// attention, and the Q/K/V projections.
+func (m *MultiHeadAttention) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if m.lastProbs == nil {
+		panic(fmt.Sprintf("nn: attention %q Backward before Forward", m.Name))
+	}
+	dConcat := m.Out.Backward(grad) // (B·S) x d
+
+	d := m.DModel
+	dk := d / m.Heads
+	scale := 1 / math.Sqrt(float64(dk))
+	s := m.seqLen
+	dQ := tensor.Zeros(dConcat.Rows, d)
+	dK := tensor.Zeros(dConcat.Rows, d)
+	dV := tensor.Zeros(dConcat.Rows, d)
+
+	for b := 0; b < m.batch; b++ {
+		base := b * s
+		for h := 0; h < m.Heads; h++ {
+			off := h * dk
+			probs := m.lastProbs[b*m.Heads+h]
+			// dP = dOh Vh^T ; dVh += P^T dOh.
+			dP := tensor.Zeros(s, s)
+			for i := 0; i < s; i++ {
+				dorow := dConcat.Row(base + i)[off : off+dk]
+				dprow := dP.Row(i)
+				prow := probs.Row(i)
+				for j := 0; j < s; j++ {
+					vrow := m.lastV.Row(base + j)[off : off+dk]
+					var dot float64
+					for t := 0; t < dk; t++ {
+						dot += dorow[t] * vrow[t]
+					}
+					dprow[j] = dot
+					// dVh[j] += P[i][j] * dOh[i]
+					p := prow[j]
+					if p != 0 {
+						dvrow := dV.Row(base + j)[off : off+dk]
+						for t := 0; t < dk; t++ {
+							dvrow[t] += p * dorow[t]
+						}
+					}
+				}
+			}
+			// Softmax backward to get dScores.
+			dScores := SoftmaxBackwardRows(probs, dP)
+			// dQh = dScores Kh * scale ; dKh = dScores^T Qh * scale.
+			for i := 0; i < s; i++ {
+				dsrow := dScores.Row(i)
+				dqrow := dQ.Row(base + i)[off : off+dk]
+				qrow := m.lastQ.Row(base + i)[off : off+dk]
+				for j := 0; j < s; j++ {
+					ds := dsrow[j] * scale
+					if ds == 0 {
+						continue
+					}
+					krow := m.lastK.Row(base + j)[off : off+dk]
+					dkrow := dK.Row(base + j)[off : off+dk]
+					for t := 0; t < dk; t++ {
+						dqrow[t] += ds * krow[t]
+						dkrow[t] += ds * qrow[t]
+					}
+				}
+			}
+		}
+	}
+
+	dx := m.Q.Backward(dQ)
+	dx.AddInPlace(m.K.Backward(dK))
+	dx.AddInPlace(m.V.Backward(dV))
+	return dx
+}
+
+// Params returns the parameters of the four projections.
+func (m *MultiHeadAttention) Params() []*Param {
+	var out []*Param
+	out = append(out, m.Q.Params()...)
+	out = append(out, m.K.Params()...)
+	out = append(out, m.V.Params()...)
+	out = append(out, m.Out.Params()...)
+	return out
+}
+
+// DenseLayers returns the K-FAC-eligible fully-connected layers.
+func (m *MultiHeadAttention) DenseLayers() []*Dense {
+	return []*Dense{m.Q, m.K, m.V, m.Out}
+}

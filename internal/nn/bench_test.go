@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func BenchmarkDenseForwardBackward(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	layer := NewDense("fc", 64, 64, rng)
+	x := tensor.RandN(rng, 256, 64, 1)
+	grad := tensor.RandN(rng, 256, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer.Forward(x)
+		layer.Backward(grad)
+	}
+}
+
+func BenchmarkDenseWithKFACCapture(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	layer := NewDense("fc", 64, 64, rng)
+	layer.CaptureKFAC = true
+	x := tensor.RandN(rng, 256, 64, 1)
+	grad := tensor.RandN(rng, 256, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		layer.Forward(x)
+		layer.Backward(grad)
+	}
+}
+
+func BenchmarkLayerNorm(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	ln := NewLayerNorm("ln", 64)
+	x := tensor.RandN(rng, 256, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := ln.Forward(x)
+		ln.Backward(y)
+	}
+}
+
+func BenchmarkGELU(b *testing.B) {
+	rng := tensor.NewRNG(4)
+	act := NewGELU()
+	x := tensor.RandN(rng, 256, 256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := act.Forward(x)
+		act.Backward(y)
+	}
+}
+
+func BenchmarkAttentionForwardBackward(b *testing.B) {
+	rng := tensor.NewRNG(5)
+	attn := NewMultiHeadAttention("attn", 64, 4, rng)
+	attn.SetShape(8, 32)
+	x := tensor.RandN(rng, 8*32, 64, 1)
+	grad := tensor.RandN(rng, 8*32, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attn.Forward(x)
+		attn.Backward(grad)
+	}
+}
+
+func BenchmarkTransformerBlock(b *testing.B) {
+	rng := tensor.NewRNG(6)
+	blk := NewTransformerBlock("block", 64, 128, 4, rng)
+	blk.SetShape(8, 32)
+	x := tensor.RandN(rng, 8*32, 64, 1)
+	grad := tensor.RandN(rng, 8*32, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blk.Forward(x)
+		blk.Backward(grad)
+	}
+}
+
+func BenchmarkCrossEntropy(b *testing.B) {
+	rng := tensor.NewRNG(7)
+	logits := tensor.RandN(rng, 512, 96, 1)
+	targets := make([]int, 512)
+	for i := range targets {
+		if i%4 == 0 {
+			targets[i] = rng.Intn(96)
+		} else {
+			targets[i] = IgnoreIndex
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CrossEntropy(logits, targets)
+	}
+}

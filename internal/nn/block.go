@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"repro/internal/tensor"
+)
+
+// TransformerBlock is one BERT-style encoder block: post-LN multi-head
+// self-attention followed by a post-LN GELU feed-forward sublayer, both
+// with residual connections:
+//
+//	h = LN1(x + Attn(x))
+//	y = LN2(h + FFN(h)),   FFN(h) = W2 · gelu(W1 · h)
+type TransformerBlock struct {
+	// Name labels the block ("block0", ...).
+	Name string
+	// Attn is the self-attention sublayer.
+	Attn *MultiHeadAttention
+	// Norm1 and Norm2 are the two post-LN normalizations.
+	Norm1, Norm2 *LayerNorm
+	// FF1 and FF2 are the feed-forward projections; Act sits between them.
+	FF1, FF2 *Dense
+	Act      *GELU
+
+	lastX *tensor.Matrix
+	lastH *tensor.Matrix
+}
+
+// NewTransformerBlock builds a block with the given model and feed-forward
+// dimensions.
+func NewTransformerBlock(name string, d, dff, heads int, rng *tensor.RNG) *TransformerBlock {
+	return &TransformerBlock{
+		Name:  name,
+		Attn:  NewMultiHeadAttention(name+".attn", d, heads, rng),
+		Norm1: NewLayerNorm(name+".norm1", d),
+		Norm2: NewLayerNorm(name+".norm2", d),
+		FF1:   NewDense(name+".ffn.1", d, dff, rng),
+		FF2:   NewDense(name+".ffn.2", dff, d, rng),
+		Act:   NewGELU(),
+	}
+}
+
+// SetShape forwards the (batch, seqLen) factorization to the attention
+// sublayer.
+func (b *TransformerBlock) SetShape(batch, seqLen int) {
+	b.Attn.SetShape(batch, seqLen)
+}
+
+// Forward runs the block on a token matrix.
+func (b *TransformerBlock) Forward(x *tensor.Matrix) *tensor.Matrix {
+	b.lastX = x
+	attnOut := b.Attn.Forward(x)
+	h := b.Norm1.Forward(x.Add(attnOut))
+	b.lastH = h
+	ff := b.FF2.Forward(b.Act.Forward(b.FF1.Forward(h)))
+	return b.Norm2.Forward(h.Add(ff))
+}
+
+// Backward propagates through both sublayers and their residuals.
+func (b *TransformerBlock) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	dSum2 := b.Norm2.Backward(grad)
+	// Residual: y2 = h + FFN(h); dh gets both branches.
+	dFF := b.FF1.Backward(b.Act.Backward(b.FF2.Backward(dSum2)))
+	dh := dSum2.Add(dFF)
+	dSum1 := b.Norm1.Backward(dh)
+	dAttn := b.Attn.Backward(dSum1)
+	return dSum1.Add(dAttn)
+}
+
+// Params returns every trainable parameter in the block.
+func (b *TransformerBlock) Params() []*Param {
+	var out []*Param
+	out = append(out, b.Attn.Params()...)
+	out = append(out, b.Norm1.Params()...)
+	out = append(out, b.FF1.Params()...)
+	out = append(out, b.FF2.Params()...)
+	out = append(out, b.Norm2.Params()...)
+	return out
+}
+
+// DenseLayers returns the six K-FAC-eligible fully-connected layers of the
+// block, matching arch.KFACLayers order: attn.q, attn.k, attn.v, attn.out,
+// ffn.1, ffn.2.
+func (b *TransformerBlock) DenseLayers() []*Dense {
+	out := b.Attn.DenseLayers()
+	return append(out, b.FF1, b.FF2)
+}

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Dense is a fully-connected layer computing Y = X W^T + b for token
+// matrices X (N x din), with W of shape dout x din and bias b of length
+// dout.
+//
+// When CaptureKFAC is set, Forward stores the input activations and
+// Backward stores the raw output gradients; the kfac package consumes both
+// through KFACStats to build the Kronecker factors A_l and B_l of §2.3.
+type Dense struct {
+	// Name labels the layer for parameter naming and K-FAC registration.
+	Name string
+	// W is the dout x din weight matrix; B the 1 x dout bias.
+	W, B *tensor.Matrix
+	// GW and GB accumulate gradients.
+	GW, GB *tensor.Matrix
+	// CaptureKFAC enables recording of activations and errors.
+	CaptureKFAC bool
+
+	lastInput      *tensor.Matrix // N x din, retained for backward + A_l
+	lastOutputGrad *tensor.Matrix // N x dout, retained for B_l
+}
+
+// NewDense builds a Dense layer with Xavier-initialized weights and zero
+// biases.
+func NewDense(name string, din, dout int, rng *tensor.RNG) *Dense {
+	return &Dense{
+		Name: name,
+		W:    tensor.XavierInit(rng, dout, din),
+		B:    tensor.Zeros(1, dout),
+		GW:   tensor.Zeros(dout, din),
+		GB:   tensor.Zeros(1, dout),
+	}
+}
+
+// DIn returns the input dimensionality.
+func (d *Dense) DIn() int { return d.W.Cols }
+
+// DOut returns the output dimensionality.
+func (d *Dense) DOut() int { return d.W.Rows }
+
+// Forward computes Y = X W^T + b and caches X.
+func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != d.W.Cols {
+		panic(fmt.Sprintf("nn: Dense %q expects %d input features, got %d", d.Name, d.W.Cols, x.Cols))
+	}
+	d.lastInput = x
+	y := tensor.MatMulT(x, d.W) // N x dout
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] += d.B.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward accumulates dW = dY^T X and db = colsum(dY), returns dX = dY W.
+func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.lastInput == nil {
+		panic(fmt.Sprintf("nn: Dense %q Backward before Forward", d.Name))
+	}
+	if grad.Rows != d.lastInput.Rows || grad.Cols != d.W.Rows {
+		panic(fmt.Sprintf("nn: Dense %q Backward got %dx%d grad, want %dx%d",
+			d.Name, grad.Rows, grad.Cols, d.lastInput.Rows, d.W.Rows))
+	}
+	if d.CaptureKFAC {
+		d.lastOutputGrad = grad.Clone()
+	}
+	d.GW.AddInPlace(tensor.TMatMul(grad, d.lastInput))
+	for i := 0; i < grad.Rows; i++ {
+		row := grad.Row(i)
+		for j := range row {
+			d.GB.Data[j] += row[j]
+		}
+	}
+	return tensor.MatMul(grad, d.W)
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param {
+	return []*Param{
+		{Name: d.Name + ".weight", Value: d.W, Grad: d.GW},
+		{Name: d.Name + ".bias", Value: d.B, Grad: d.GB},
+	}
+}
+
+// KFACStats returns the cached activations (N x din) and raw output
+// gradients (N x dout) from the most recent forward/backward pair. The
+// boolean is false until both are available. The output gradients are the
+// backprop values dL/dY; the kfac package rescales them into per-example
+// errors e_l.
+func (d *Dense) KFACStats() (acts, grads *tensor.Matrix, ok bool) {
+	if !d.CaptureKFAC || d.lastInput == nil || d.lastOutputGrad == nil {
+		return nil, nil, false
+	}
+	return d.lastInput, d.lastOutputGrad, true
+}
+
+// ClearCapture drops the cached K-FAC statistics (e.g. between curvature
+// refreshes, to release memory — the Msave_err term in the paper's memory
+// model exists precisely because these buffers are retained).
+func (d *Dense) ClearCapture() {
+	d.lastOutputGrad = nil
+}

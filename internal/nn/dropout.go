@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Dropout randomly zeroes activations during training with probability P,
+// scaling the survivors by 1/(1-P) (inverted dropout, as BERT uses with
+// P = 0.1). In evaluation mode it is the identity. The mask is drawn from
+// the module's own deterministic RNG so training remains reproducible.
+type Dropout struct {
+	// P is the drop probability in [0, 1).
+	P float64
+	// Training toggles between masking (true) and identity (false).
+	Training bool
+
+	rng      *tensor.RNG
+	lastMask *tensor.Matrix
+}
+
+// NewDropout builds a dropout module with the given probability and seed.
+func NewDropout(p float64, seed uint64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %g outside [0, 1)", p))
+	}
+	return &Dropout{P: p, Training: true, rng: tensor.NewRNG(seed)}
+}
+
+// Forward applies the mask (training) or passes through (eval).
+func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if !d.Training || d.P == 0 {
+		d.lastMask = nil
+		return x
+	}
+	keep := 1 - d.P
+	scale := 1 / keep
+	mask := tensor.Zeros(x.Rows, x.Cols)
+	out := tensor.Zeros(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			mask.Data[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	d.lastMask = mask
+	return out
+}
+
+// Backward applies the same mask to the upstream gradient.
+func (d *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.lastMask == nil {
+		return grad
+	}
+	return grad.Hadamard(d.lastMask)
+}
+
+// Params returns nil; dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }

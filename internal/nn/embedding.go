@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Embedding maps integer token ids to d-dimensional vectors. The forward
+// pass takes a slice of ids and returns an (len(ids)) x d matrix; gradients
+// are scattered back into the table rows.
+type Embedding struct {
+	// Name labels the layer for parameter naming.
+	Name string
+	// Table is the vocab x d embedding matrix; GTable its gradient.
+	Table, GTable *tensor.Matrix
+
+	lastIDs []int
+}
+
+// NewEmbedding builds a vocab x d embedding table with N(0, 0.02²)
+// initialization (BERT's initializer range).
+func NewEmbedding(name string, vocab, d int, rng *tensor.RNG) *Embedding {
+	return &Embedding{
+		Name:   name,
+		Table:  tensor.RandN(rng, vocab, d, 0.02),
+		GTable: tensor.Zeros(vocab, d),
+	}
+}
+
+// Lookup gathers the embedding rows for ids into a len(ids) x d matrix.
+func (e *Embedding) Lookup(ids []int) *tensor.Matrix {
+	d := e.Table.Cols
+	out := tensor.Zeros(len(ids), d)
+	for i, id := range ids {
+		if id < 0 || id >= e.Table.Rows {
+			panic(fmt.Sprintf("nn: Embedding %q id %d out of range [0,%d)", e.Name, id, e.Table.Rows))
+		}
+		copy(out.Row(i), e.Table.Row(id))
+	}
+	e.lastIDs = ids
+	return out
+}
+
+// BackwardIDs scatters grad rows back into the table gradient using the ids
+// from the most recent Lookup.
+func (e *Embedding) BackwardIDs(grad *tensor.Matrix) {
+	if e.lastIDs == nil {
+		panic(fmt.Sprintf("nn: Embedding %q BackwardIDs before Lookup", e.Name))
+	}
+	if grad.Rows != len(e.lastIDs) || grad.Cols != e.Table.Cols {
+		panic(fmt.Sprintf("nn: Embedding %q grad shape %dx%d, want %dx%d",
+			e.Name, grad.Rows, grad.Cols, len(e.lastIDs), e.Table.Cols))
+	}
+	for i, id := range e.lastIDs {
+		grow := grad.Row(i)
+		trow := e.GTable.Row(id)
+		for j, v := range grow {
+			trow[j] += v
+		}
+	}
+}
+
+// Params returns the embedding table parameter.
+func (e *Embedding) Params() []*Param {
+	return []*Param{{Name: e.Name + ".table", Value: e.Table, Grad: e.GTable}}
+}

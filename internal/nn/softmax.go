@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxRows applies a numerically-stable softmax to each row of x,
+// returning a new matrix.
+func SoftmaxRows(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.Zeros(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		orow := out.Row(i)
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+// SoftmaxBackwardRows computes the gradient through a row-wise softmax:
+// given probabilities p and upstream gradient dp, the input gradient is
+// ds_j = p_j (dp_j - Σ_k dp_k p_k) per row.
+func SoftmaxBackwardRows(probs, grad *tensor.Matrix) *tensor.Matrix {
+	out := tensor.Zeros(grad.Rows, grad.Cols)
+	for i := 0; i < grad.Rows; i++ {
+		prow := probs.Row(i)
+		grow := grad.Row(i)
+		orow := out.Row(i)
+		var dot float64
+		for j := range prow {
+			dot += prow[j] * grow[j]
+		}
+		for j := range prow {
+			orow[j] = prow[j] * (grow[j] - dot)
+		}
+	}
+	return out
+}
+
+// IgnoreIndex marks positions excluded from the loss (non-masked tokens in
+// MLM, padding, etc.), mirroring PyTorch's ignore_index convention.
+const IgnoreIndex = -1
+
+// CrossEntropy computes the mean negative log-likelihood of targets under a
+// row-wise softmax of logits, and the gradient of that mean loss with
+// respect to the logits. Rows whose target is IgnoreIndex contribute
+// nothing. The mean is taken over the contributing rows, as in BERT's MLM
+// loss. It returns the loss, the logits gradient, and the number of rows
+// that contributed.
+func CrossEntropy(logits *tensor.Matrix, targets []int) (float64, *tensor.Matrix, int) {
+	if logits.Rows != len(targets) {
+		panic(fmt.Sprintf("nn: CrossEntropy got %d logit rows for %d targets", logits.Rows, len(targets)))
+	}
+	grad := tensor.Zeros(logits.Rows, logits.Cols)
+	var count int
+	for _, t := range targets {
+		if t != IgnoreIndex {
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, grad, 0
+	}
+	var loss float64
+	invCount := 1 / float64(count)
+	for i, t := range targets {
+		if t == IgnoreIndex {
+			continue
+		}
+		if t < 0 || t >= logits.Cols {
+			panic(fmt.Sprintf("nn: CrossEntropy target %d out of range [0,%d)", t, logits.Cols))
+		}
+		row := logits.Row(i)
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - mx)
+		}
+		logZ := mx + math.Log(sum)
+		loss += logZ - row[t]
+		grow := grad.Row(i)
+		for j, v := range row {
+			p := math.Exp(v - logZ)
+			grow[j] = p * invCount
+		}
+		grow[t] -= invCount
+	}
+	return loss * invCount, grad, count
+}

@@ -1,0 +1,120 @@
+package optim
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Shampoo implements the preconditioned tensor optimizer of Gupta, Koren &
+// Singer (2018), the paper's §5 candidate for bubble filling beyond K-FAC:
+// for each matrix parameter G (dout x din) it accumulates Kronecker-
+// factored second-moment statistics
+//
+//	L += G G^T (dout x dout),  R += G^T G (din x din)
+//
+// and preconditions updates as L^{-1/4} G R^{-1/4}. The matrix roots come
+// from eigendecompositions (tensor.SymEigen), the work whose bubble
+// placement AssignShampoo models. Non-matrix parameters (biases, gains)
+// fall back to AdaGrad.
+type Shampoo struct {
+	params []*nn.Param
+	// Epsilon regularizes the statistics and clamps eigenvalues.
+	Epsilon float64
+	// UpdateFreq recomputes the matrix roots every UpdateFreq steps
+	// (between refreshes the stale roots precondition fresh gradients,
+	// exactly like PipeFisher's stale inverses).
+	UpdateFreq int
+	// Momentum applies heavy-ball momentum to the preconditioned update.
+	Momentum float64
+
+	step     int
+	l, r     []*tensor.Matrix // per-param statistics (nil for vectors)
+	lRoot    []*tensor.Matrix // cached inverse fourth roots
+	rRoot    []*tensor.Matrix
+	adagrad  [][]float64 // fallback accumulator for vector params
+	velocity [][]float64
+}
+
+// NewShampoo builds a Shampoo optimizer with the usual defaults
+// (eps 1e-6, refresh every 20 steps, momentum 0.9).
+func NewShampoo(params []*nn.Param) *Shampoo {
+	s := &Shampoo{
+		params: params, Epsilon: 1e-6, UpdateFreq: 20, Momentum: 0.9,
+		l:     make([]*tensor.Matrix, len(params)),
+		r:     make([]*tensor.Matrix, len(params)),
+		lRoot: make([]*tensor.Matrix, len(params)),
+		rRoot: make([]*tensor.Matrix, len(params)),
+	}
+	s.adagrad = make([][]float64, len(params))
+	s.velocity = make([][]float64, len(params))
+	for i, p := range params {
+		s.velocity[i] = make([]float64, len(p.Value.Data))
+		if isMatrixParam(p) {
+			s.l[i] = tensor.Zeros(p.Value.Rows, p.Value.Rows)
+			s.r[i] = tensor.Zeros(p.Value.Cols, p.Value.Cols)
+		} else {
+			s.adagrad[i] = make([]float64, len(p.Value.Data))
+		}
+	}
+	return s
+}
+
+// isMatrixParam reports whether the parameter is a genuine matrix (both
+// dimensions > 1), i.e. eligible for Kronecker-factored preconditioning.
+func isMatrixParam(p *nn.Param) bool {
+	return p.Value.Rows > 1 && p.Value.Cols > 1
+}
+
+// Step applies one Shampoo update.
+func (s *Shampoo) Step(lr float64) {
+	refresh := s.step%s.UpdateFreq == 0
+	s.step++
+	for i, p := range s.params {
+		v := s.velocity[i]
+		if s.l[i] == nil {
+			// AdaGrad fallback for vector parameters.
+			acc := s.adagrad[i]
+			for j := range p.Value.Data {
+				g := p.Grad.Data[j]
+				acc[j] += g * g
+				u := g / (math.Sqrt(acc[j]) + s.Epsilon)
+				v[j] = s.Momentum*v[j] + u
+				p.Value.Data[j] -= lr * v[j]
+			}
+			continue
+		}
+		g := p.Grad
+		// Accumulate statistics.
+		s.l[i].AddInPlace(tensor.MatMulT(g, g))
+		s.r[i].AddInPlace(tensor.TMatMul(g, g))
+		if refresh || s.lRoot[i] == nil {
+			lStat := s.l[i].AddDiagonal(s.Epsilon)
+			rStat := s.r[i].AddDiagonal(s.Epsilon)
+			if lr4, err := tensor.MatrixPower(lStat, -0.25, s.Epsilon); err == nil {
+				s.lRoot[i] = lr4
+			}
+			if rr4, err := tensor.MatrixPower(rStat, -0.25, s.Epsilon); err == nil {
+				s.rRoot[i] = rr4
+			}
+		}
+		pre := tensor.MatMul(tensor.MatMul(s.lRoot[i], g), s.rRoot[i])
+		// Graft the step size to the gradient norm so the effective LR is
+		// comparable to SGD's (standard Shampoo practice).
+		gn := g.FrobeniusNorm()
+		pn := pre.FrobeniusNorm()
+		scale := 1.0
+		if pn > 0 {
+			scale = gn / pn
+		}
+		for j := range p.Value.Data {
+			u := pre.Data[j] * scale
+			v[j] = s.Momentum*v[j] + u
+			p.Value.Data[j] -= lr * v[j]
+		}
+	}
+}
+
+// Params returns the managed parameters.
+func (s *Shampoo) Params() []*nn.Param { return s.params }

@@ -1,0 +1,104 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func matrixQuadratic(rows, cols int, start float64) []*nn.Param {
+	return []*nn.Param{{
+		Name:  "w",
+		Value: tensor.Full(rows, cols, start),
+		Grad:  tensor.Zeros(rows, cols),
+	}}
+}
+
+func TestShampooConvergesOnMatrixQuadratic(t *testing.T) {
+	params := matrixQuadratic(4, 4, 1)
+	opt := NewShampoo(params)
+	for i := 0; i < 200; i++ {
+		refreshQuadraticGrad(params)
+		opt.Step(0.05)
+	}
+	if norm := params[0].Value.FrobeniusNorm(); norm > 0.05 {
+		t.Fatalf("Shampoo failed to shrink quadratic: ||w|| = %g", norm)
+	}
+}
+
+func TestShampooVectorFallback(t *testing.T) {
+	// 1 x n parameters (biases) take the AdaGrad path and still converge.
+	params := quadraticParams(6, 1)
+	opt := NewShampoo(params)
+	for i := 0; i < 300; i++ {
+		refreshQuadraticGrad(params)
+		opt.Step(0.05)
+	}
+	if norm := params[0].Value.FrobeniusNorm(); norm > 0.1 {
+		t.Fatalf("AdaGrad fallback failed: ||w|| = %g", norm)
+	}
+}
+
+func TestShampooPreconditionsIllConditionedQuadratic(t *testing.T) {
+	// Loss 0.5 * sum_ij c_j w_ij² with condition number 10_000 across
+	// columns. First-order SGD crawls on the flat directions at any
+	// stable LR; Shampoo's R statistic equalizes them.
+	const rows, cols = 3, 4
+	scales := []float64{1, 0.01, 1e-3, 1e-4}
+	mkGrad := func(p *nn.Param) {
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				p.Grad.Set(i, j, scales[j]*p.Value.At(i, j))
+			}
+		}
+	}
+	run := func(opt Optimizer, p *nn.Param, lr float64, steps int) float64 {
+		for s := 0; s < steps; s++ {
+			mkGrad(p)
+			opt.Step(lr)
+		}
+		// Error in the flattest direction.
+		var worst float64
+		for i := 0; i < rows; i++ {
+			if a := math.Abs(p.Value.At(i, cols-1)); a > worst {
+				worst = a
+			}
+		}
+		return worst
+	}
+	sgdParams := matrixQuadratic(rows, cols, 1)
+	shampooParams := matrixQuadratic(rows, cols, 1)
+	sgdErr := run(NewSGD(sgdParams, 0, 0), sgdParams[0], 1.0, 300)
+	shErr := run(NewShampoo(shampooParams), shampooParams[0], 0.05, 300)
+	if shErr >= sgdErr {
+		t.Fatalf("Shampoo (%g) should beat SGD (%g) on the flat direction", shErr, sgdErr)
+	}
+}
+
+func TestShampooStaleRootsStillWork(t *testing.T) {
+	// Between refreshes the cached roots precondition fresh gradients
+	// (the PipeFisher staleness pattern). With UpdateFreq larger than the
+	// step count, only the first step's roots are ever used.
+	params := matrixQuadratic(4, 4, 1)
+	opt := NewShampoo(params)
+	opt.UpdateFreq = 1000
+	for i := 0; i < 300; i++ {
+		refreshQuadraticGrad(params)
+		opt.Step(0.01)
+	}
+	if params[0].Value.HasNaN() {
+		t.Fatal("stale-root updates produced NaN")
+	}
+	if norm := params[0].Value.FrobeniusNorm(); norm > 0.5 {
+		t.Fatalf("stale-root Shampoo made no progress: ||w|| = %g", norm)
+	}
+}
+
+func TestShampooParams(t *testing.T) {
+	params := matrixQuadratic(2, 2, 1)
+	if got := NewShampoo(params).Params(); len(got) != 1 {
+		t.Fatalf("Params() length %d", len(got))
+	}
+}

@@ -1,0 +1,56 @@
+package perfmodel
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/hardware"
+)
+
+// Choice reports the method-selection tradeoff of §3.3's closing remark:
+// "Chimera consistently achieves higher throughput than GPipe and 1F1B
+// (due to the smaller T_bubble), but instead the curvature information is
+// updated less frequently. Therefore, the pipeline method can be selected
+// based on the tradeoff between throughput and the frequency of extra
+// information updates."
+type Choice struct {
+	// GPipe1F1B and Chimera are the two evaluated models.
+	GPipe1F1B *Model
+	Chimera   *Model
+	// Recommended is the method picked under the given preference.
+	Recommended Method
+	// ThroughputGain is Chimera's throughput advantage (ratio >= 1).
+	ThroughputGain float64
+	// RefreshPenalty is Chimera's refresh-interval disadvantage in steps.
+	RefreshPenalty int
+}
+
+// ChooseMethod evaluates both pipeline schemes and recommends one.
+// maxRefreshSteps is the largest acceptable curvature refresh interval;
+// Chimera is chosen when its refresh interval stays within the budget
+// (taking its higher throughput), otherwise GPipe/1F1B.
+func ChooseMethod(a arch.Transformer, g hardware.GPU, d, nMicro, bMicro, maxRefreshSteps int) (*Choice, error) {
+	if maxRefreshSteps <= 0 {
+		return nil, fmt.Errorf("perfmodel: maxRefreshSteps must be positive, got %d", maxRefreshSteps)
+	}
+	gp, err := Evaluate(Input{Arch: a, GPU: g, Method: GPipe1F1B, D: d, NMicro: nMicro, BMicro: bMicro})
+	if err != nil {
+		return nil, err
+	}
+	ch, err := Evaluate(Input{Arch: a, GPU: g, Method: Chimera, D: d, NMicro: nMicro, BMicro: bMicro})
+	if err != nil {
+		return nil, err
+	}
+	c := &Choice{
+		GPipe1F1B:      gp,
+		Chimera:        ch,
+		ThroughputGain: ch.ThroughputPipeFisher / gp.ThroughputPipeFisher,
+		RefreshPenalty: ch.RefreshInterval() - gp.RefreshInterval(),
+	}
+	if ch.RefreshInterval() <= maxRefreshSteps {
+		c.Recommended = Chimera
+	} else {
+		c.Recommended = GPipe1F1B
+	}
+	return c, nil
+}

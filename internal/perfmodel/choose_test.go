@@ -1,0 +1,39 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/hardware"
+)
+
+func TestChooseMethodTradeoff(t *testing.T) {
+	// Generous refresh budget: Chimera wins on throughput.
+	c, err := ChooseMethod(arch.BERTBase, hardware.P100, 8, 8, 32, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Recommended != Chimera {
+		t.Fatalf("with a loose budget Chimera should win, got %s", c.Recommended)
+	}
+	if c.ThroughputGain <= 1 {
+		t.Fatalf("Chimera throughput gain %.3f should exceed 1", c.ThroughputGain)
+	}
+	if c.RefreshPenalty < 0 {
+		t.Fatalf("Chimera refresh penalty %d should be >= 0 (fewer bubbles)", c.RefreshPenalty)
+	}
+	// Budget of 1 step: Chimera's refresh (> 1 at these sizes) busts it.
+	tight, err := ChooseMethod(arch.BERTBase, hardware.P100, 8, 8, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Chimera.RefreshInterval() > 1 && tight.Recommended != GPipe1F1B {
+		t.Fatalf("with a 1-step budget GPipe/1F1B should win, got %s", tight.Recommended)
+	}
+}
+
+func TestChooseMethodValidation(t *testing.T) {
+	if _, err := ChooseMethod(arch.BERTBase, hardware.P100, 8, 8, 32, 0); err == nil {
+		t.Fatal("expected error for zero budget")
+	}
+}

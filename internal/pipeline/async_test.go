@@ -1,0 +1,95 @@
+package pipeline
+
+import (
+	"testing"
+)
+
+func TestPipeDreamRequiresEnoughMicroBatches(t *testing.T) {
+	if _, err := BuildPipeDream(BuildConfig{Stages: 4, MicroBatches: 2, Costs: unitCosts()}); err == nil {
+		t.Fatal("expected error for fewer micro-batches than stages")
+	}
+}
+
+func TestPipeDreamNearZeroBubbles(t *testing.T) {
+	// Appendix C.1: "pipeline bubbles are almost non-existent in
+	// asynchronous pipelines". In steady state (away from warmup and
+	// drain), every device alternates F and B back to back. With Tb=2Tf
+	// the bound stage is the slowest; measure utilization over the middle
+	// half of the run and require it to beat synchronous 1F1B by a wide
+	// margin.
+	costs := unitCosts()
+	const d, n = 4, 32
+	async, err := BuildPipeDream(BuildConfig{Stages: d, MicroBatches: n, Costs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncTL, err := Run(async)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synchronous 1F1B processing the same total work, flushing every d
+	// micro-batches.
+	sync, err := Build1F1B(BuildConfig{Stages: d, MicroBatches: d, Steps: n / d, Costs: costs, IncludeOptimizerWork: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncTL, err := Run(sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asyncTL.Makespan >= syncTL.Makespan {
+		t.Fatalf("async makespan %d must beat synchronous %d", asyncTL.Makespan, syncTL.Makespan)
+	}
+	mid := asyncTL.UtilizationOver(asyncTL.Makespan/4, 3*asyncTL.Makespan/4)
+	if mid < 0.95 {
+		t.Fatalf("steady-state async utilization %.3f, want >= 0.95", mid)
+	}
+	if syncTL.Utilization() > mid {
+		t.Fatalf("async steady utilization %.3f must beat sync overall %.3f", mid, syncTL.Utilization())
+	}
+}
+
+func TestPipeDreamRespectsDependencies(t *testing.T) {
+	s, err := BuildPipeDream(BuildConfig{Stages: 4, MicroBatches: 16, Costs: unitCosts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := make(map[int]int64)
+	end := make(map[int]int64)
+	for d := 0; d < tl.Devices; d++ {
+		for _, e := range tl.Events[d] {
+			start[e.Op.ID] = int64(e.Start)
+			end[e.Op.ID] = int64(e.End)
+		}
+	}
+	for _, op := range s.Ops {
+		for _, dep := range op.Deps {
+			if start[op.ID] < end[dep] {
+				t.Fatalf("op %d violates dep %d", op.ID, dep)
+			}
+		}
+	}
+}
+
+func TestWeightStaleness(t *testing.T) {
+	// Appendix C.1: lag m ranges from 0 (last stage) up to D-1 (first).
+	const d = 8
+	if got := WeightStaleness(d-1, d); got != 0 {
+		t.Fatalf("last stage staleness %d, want 0", got)
+	}
+	if got := WeightStaleness(0, d); got != d-1 {
+		t.Fatalf("first stage staleness %d, want %d", got, d-1)
+	}
+	for s := 1; s < d; s++ {
+		if WeightStaleness(s, d) >= WeightStaleness(s-1, d) {
+			t.Fatal("staleness must decrease with stage index")
+		}
+	}
+	if WeightStaleness(10, 8) != 0 {
+		t.Fatal("out-of-range stage must clamp to 0")
+	}
+}

@@ -1,0 +1,542 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hardware"
+)
+
+// BuildConfig configures a schedule builder.
+type BuildConfig struct {
+	// Stages is the pipeline depth D.
+	Stages int
+	// MicroBatches is N_micro, the micro-batches per device per step (for
+	// Chimera this is the total across both directions).
+	MicroBatches int
+	// Steps is the number of consecutive training steps to lay out.
+	Steps int
+	// Costs supplies the per-stage work durations (uniform stages, as the
+	// paper assumes in §3.3).
+	Costs StageCosts
+	// DataParallelWidth is W, the number of replicas per stage for GPipe
+	// and 1F1B (Chimera's two pipelines already replicate each stage).
+	DataParallelWidth int
+	// IncludeOptimizerWork appends sync-grad (when W > 1) and the
+	// optimizer update to each step, as in the paper's profiles.
+	IncludeOptimizerWork bool
+	// IncludePrecondition inserts the per-step K-FAC preconditioning work
+	// between gradient synchronization and the optimizer update — "the
+	// only computational overhead of PipeFisher over the standard pipeline
+	// schemes" (Figure 1). Requires IncludeOptimizerWork.
+	IncludePrecondition bool
+}
+
+func (c BuildConfig) normalize() (BuildConfig, error) {
+	if c.Stages <= 0 {
+		return c, fmt.Errorf("pipeline: Stages must be positive, got %d", c.Stages)
+	}
+	if c.MicroBatches <= 0 {
+		return c, fmt.Errorf("pipeline: MicroBatches must be positive, got %d", c.MicroBatches)
+	}
+	if c.Steps <= 0 {
+		c.Steps = 1
+	}
+	if c.DataParallelWidth <= 0 {
+		c.DataParallelWidth = 1
+	}
+	if c.Costs.Forward <= 0 || c.Costs.Backward <= 0 {
+		return c, fmt.Errorf("pipeline: Costs.Forward/Backward must be positive")
+	}
+	return c, nil
+}
+
+// BuildGPipe lays out the GPipe schedule (Huang et al., 2019): all forwards
+// for the step's micro-batches, then all backwards in reverse order, with a
+// pipeline flush between steps (Figure 1a).
+func BuildGPipe(cfg BuildConfig) (*Schedule, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return buildForwardBackward(cfg, "GPipe", gpipeOrder)
+}
+
+// Build1F1B lays out the one-forward-one-backward schedule (Narayanan et
+// al., 2019, with flush): a warmup of forwards, a steady 1F1B phase, and a
+// cooldown of backwards.
+func Build1F1B(cfg BuildConfig) (*Schedule, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return buildForwardBackward(cfg, "1F1B", oneFOneBOrder)
+}
+
+// phase describes one entry of a per-stage op order: forward or backward of
+// a micro-batch.
+type phase struct {
+	kind  WorkKind
+	micro int
+}
+
+// gpipeOrder returns the GPipe per-stage order: F0..F(N-1), B(N-1)..B0.
+func gpipeOrder(stage, stages, n int) []phase {
+	out := make([]phase, 0, 2*n)
+	for m := 0; m < n; m++ {
+		out = append(out, phase{Forward, m})
+	}
+	for m := n - 1; m >= 0; m-- {
+		out = append(out, phase{Backward, m})
+	}
+	return out
+}
+
+// oneFOneBOrder returns the 1F1B per-stage order: warmup forwards, steady
+// alternation, cooldown backwards.
+func oneFOneBOrder(stage, stages, n int) []phase {
+	warmup := stages - 1 - stage
+	if warmup > n {
+		warmup = n
+	}
+	out := make([]phase, 0, 2*n)
+	for m := 0; m < warmup; m++ {
+		out = append(out, phase{Forward, m})
+	}
+	for i := 0; i < n-warmup; i++ {
+		out = append(out, phase{Forward, warmup + i})
+		out = append(out, phase{Backward, i})
+	}
+	for m := n - warmup; m < n; m++ {
+		out = append(out, phase{Backward, m})
+	}
+	return out
+}
+
+// buildForwardBackward lays out a unidirectional schedule with one stage
+// per device (replicated W times for data parallelism) using the per-stage
+// order function. Ops are created in dependency order (all forwards by
+// ascending stage, then all backwards by descending stage) and the device
+// execution order is assembled afterwards from the phase lists.
+func buildForwardBackward(cfg BuildConfig, name string, order func(stage, stages, n int) []phase) (*Schedule, error) {
+	d, n, w := cfg.Stages, cfg.MicroBatches, cfg.DataParallelWidth
+	s := &Schedule{
+		Name:         name,
+		Devices:      d * w,
+		Stages:       d,
+		MicroBatches: n,
+		Steps:        cfg.Steps,
+		Order:        make([][]int, d*w),
+	}
+	fid := make(map[[4]int]int) // (step, replica, stage, micro)
+	bid := make(map[[4]int]int)
+	optID := make(map[[2]int]int)     // (step, device) -> optimizer op
+	tailIDs := make(map[[2]int][]int) // (step, device) -> ordered tail ops
+
+	for step := 0; step < cfg.Steps; step++ {
+		// Pass 1: forwards, ascending stages (deps already exist).
+		for r := 0; r < w; r++ {
+			for stage := 0; stage < d; stage++ {
+				for m := 0; m < n; m++ {
+					op := &Op{
+						Kind: Forward, Device: stage*w + r, Stage: stage,
+						MicroBatch: m, Step: step, Duration: cfg.Costs.Forward,
+					}
+					if stage > 0 {
+						op.Deps = append(op.Deps, fid[[4]int{step, r, stage - 1, m}])
+					}
+					if prev, ok := optID[[2]int{step - 1, stage*w + r}]; ok {
+						op.Deps = append(op.Deps, prev)
+					}
+					s.addOpDeferred(op)
+					fid[[4]int{step, r, stage, m}] = op.ID
+				}
+			}
+		}
+		// Pass 2: backwards, descending stages.
+		for r := 0; r < w; r++ {
+			for stage := d - 1; stage >= 0; stage-- {
+				for m := 0; m < n; m++ {
+					op := &Op{
+						Kind: Backward, Device: stage*w + r, Stage: stage,
+						MicroBatch: m, Step: step, Duration: cfg.Costs.Backward,
+					}
+					if stage < d-1 {
+						op.Deps = append(op.Deps, bid[[4]int{step, r, stage + 1, m}])
+					} else {
+						op.Deps = append(op.Deps, fid[[4]int{step, r, stage, m}])
+					}
+					s.addOpDeferred(op)
+					bid[[4]int{step, r, stage, m}] = op.ID
+				}
+			}
+		}
+		// Pass 3: step tail (sync-grad for W > 1, optimizer update).
+		if cfg.IncludeOptimizerWork {
+			for r := 0; r < w; r++ {
+				for stage := 0; stage < d; stage++ {
+					dev := stage*w + r
+					key := [2]int{step, dev}
+					var deps []int
+					if w > 1 {
+						for rr := 0; rr < w; rr++ {
+							for m := 0; m < n; m++ {
+								deps = append(deps, bid[[4]int{step, rr, stage, m}])
+							}
+						}
+						sync := &Op{
+							Kind: SyncGrad, Device: dev, Stage: stage, MicroBatch: -1,
+							Step: step, Duration: maxDur(cfg.Costs.SyncGrad, 1), Deps: deps,
+						}
+						s.addOpDeferred(sync)
+						tailIDs[key] = append(tailIDs[key], sync.ID)
+						deps = []int{sync.ID}
+					} else {
+						for m := 0; m < n; m++ {
+							deps = append(deps, bid[[4]int{step, r, stage, m}])
+						}
+					}
+					if cfg.IncludePrecondition {
+						prec := &Op{
+							Kind: Precondition, Device: dev, Stage: stage, MicroBatch: -1,
+							Step: step, Duration: maxDur(cfg.Costs.Precondition, 1), Deps: deps,
+						}
+						s.addOpDeferred(prec)
+						tailIDs[key] = append(tailIDs[key], prec.ID)
+						deps = []int{prec.ID}
+					}
+					opt := &Op{
+						Kind: OptStep, Device: dev, Stage: stage, MicroBatch: -1,
+						Step: step, Duration: maxDur(cfg.Costs.OptStep, 1), Deps: deps,
+					}
+					s.addOpDeferred(opt)
+					tailIDs[key] = append(tailIDs[key], opt.ID)
+					optID[key] = opt.ID
+				}
+			}
+		}
+	}
+	// Assemble device orders from the phase lists.
+	for step := 0; step < cfg.Steps; step++ {
+		for r := 0; r < w; r++ {
+			for stage := 0; stage < d; stage++ {
+				dev := stage*w + r
+				for _, ph := range order(stage, d, n) {
+					key := [4]int{step, r, stage, ph.micro}
+					if ph.kind == Forward {
+						s.Order[dev] = append(s.Order[dev], fid[key])
+					} else {
+						s.Order[dev] = append(s.Order[dev], bid[key])
+					}
+				}
+				if cfg.IncludeOptimizerWork {
+					s.Order[dev] = append(s.Order[dev], tailIDs[[2]int{step, dev}]...)
+				}
+			}
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// BuildChimera lays out the Chimera schedule (Li & Hoefler, 2021) with two
+// bidirectional pipelines: the down pipeline maps stage s to device s, the
+// up pipeline maps stage s to device D-1-s, and each direction carries N/2
+// micro-batches. Per-device op orders are derived by critical-path list
+// scheduling over the dependency graph, which reproduces Chimera's
+// interleaving for uniform stages.
+func BuildChimera(cfg BuildConfig) (*Schedule, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	d, n := cfg.Stages, cfg.MicroBatches
+	if d%2 != 0 {
+		return nil, fmt.Errorf("pipeline: Chimera requires an even number of stages, got %d", d)
+	}
+	if n%2 != 0 {
+		return nil, fmt.Errorf("pipeline: Chimera requires an even number of micro-batches, got %d", n)
+	}
+	half := n / 2
+	s := &Schedule{
+		Name:         "Chimera",
+		Devices:      d,
+		Stages:       d,
+		MicroBatches: n,
+		Steps:        cfg.Steps,
+		Order:        make([][]int, d),
+	}
+	deviceOf := func(pipe, stage int) int {
+		if pipe == 0 {
+			return stage
+		}
+		return d - 1 - stage
+	}
+	fid := make(map[[4]int]int) // (step, pipe, stage, micro index within pipe)
+	bid := make(map[[4]int]int)
+	// prevTail[dev] is the op every op of the next step on dev must follow
+	// (the optimizer update, or the step's last backward without one).
+	prevTail := make([]int, d)
+	for i := range prevTail {
+		prevTail[i] = -1
+	}
+
+	for step := 0; step < cfg.Steps; step++ {
+		for pipe := 0; pipe < 2; pipe++ {
+			for stage := 0; stage < d; stage++ {
+				for m := 0; m < half; m++ {
+					f := &Op{
+						Kind: Forward, Device: deviceOf(pipe, stage), Stage: stage,
+						MicroBatch: pipe*half + m, Step: step, Pipeline: pipe,
+						Duration: cfg.Costs.Forward,
+					}
+					if stage > 0 {
+						f.Deps = append(f.Deps, fid[[4]int{step, pipe, stage - 1, m}])
+					}
+					if prevTail[f.Device] >= 0 {
+						f.Deps = append(f.Deps, prevTail[f.Device])
+					}
+					s.addOpDeferred(f)
+					fid[[4]int{step, pipe, stage, m}] = f.ID
+				}
+			}
+			for stage := d - 1; stage >= 0; stage-- {
+				for m := 0; m < half; m++ {
+					b := &Op{
+						Kind: Backward, Device: deviceOf(pipe, stage), Stage: stage,
+						MicroBatch: pipe*half + m, Step: step, Pipeline: pipe,
+						Duration: cfg.Costs.Backward,
+					}
+					if stage < d-1 {
+						b.Deps = append(b.Deps, bid[[4]int{step, pipe, stage + 1, m}])
+					} else {
+						b.Deps = append(b.Deps, fid[[4]int{step, pipe, stage, m}])
+					}
+					if prevTail[b.Device] >= 0 {
+						b.Deps = append(b.Deps, prevTail[b.Device])
+					}
+					s.addOpDeferred(b)
+					bid[[4]int{step, pipe, stage, m}] = b.ID
+				}
+			}
+		}
+		for dev := 0; dev < d; dev++ {
+			tailID := chimeraDeviceTail(s, cfg, step, dev, bid, deviceOf)
+			prevTail[dev] = tailID
+		}
+	}
+	if err := s.finalizeOrders(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// chimeraDeviceTail appends the end-of-step work for one device and returns
+// the op ID the next step must wait for. Each stage of Chimera is held by a
+// device pair (one per direction), so with optimizer work enabled a
+// sync-grad all-reduce couples the pair before the update (§3.2).
+func chimeraDeviceTail(s *Schedule, cfg BuildConfig, step, dev int, bid map[[4]int]int, deviceOf func(pipe, stage int) int) int {
+	d, n := cfg.Stages, cfg.MicroBatches
+	half := n / 2
+	downStage := dev
+	upStage := d - 1 - dev
+	var deps []int
+	for pipe := 0; pipe < 2; pipe++ {
+		for _, stage := range []int{downStage, upStage} {
+			for m := 0; m < half; m++ {
+				if id, ok := bid[[4]int{step, pipe, stage, m}]; ok {
+					deps = append(deps, id)
+				}
+			}
+		}
+	}
+	deps = dedup(deps)
+	if !cfg.IncludeOptimizerWork {
+		// The next step still flushes: wait on this device's own stages'
+		// backwards. Return a marker using the last of them.
+		last := -1
+		for _, id := range deps {
+			if s.Ops[id].Device == dev && id > last {
+				last = id
+			}
+		}
+		return last
+	}
+	sync := &Op{
+		Kind: SyncGrad, Device: dev, Stage: downStage, MicroBatch: -1,
+		Step: step, Duration: maxDur(2*cfg.Costs.SyncGrad, 1), Deps: deps,
+	}
+	s.addOpDeferred(sync)
+	optDeps := []int{sync.ID}
+	if cfg.IncludePrecondition {
+		// The device preconditions both stages it hosts.
+		prec := &Op{
+			Kind: Precondition, Device: dev, Stage: downStage, MicroBatch: -1,
+			Step: step, Duration: maxDur(2*cfg.Costs.Precondition, 1), Deps: optDeps,
+		}
+		s.addOpDeferred(prec)
+		optDeps = []int{prec.ID}
+	}
+	opt := &Op{
+		Kind: OptStep, Device: dev, Stage: downStage, MicroBatch: -1,
+		Step: step, Duration: maxDur(2*cfg.Costs.OptStep, 1), Deps: optDeps,
+	}
+	s.addOpDeferred(opt)
+	return opt.ID
+}
+
+// finalizeOrders assigns per-device op orders for schedules built with
+// addOpDeferred, using critical-path list scheduling: when a device is
+// free, the ready op with the earliest feasible start runs first, breaking
+// ties by the longest remaining dependency path.
+func (s *Schedule) finalizeOrders() error {
+	nOps := len(s.Ops)
+	succ := make([][]int, nOps)
+	indeg := make([]int, nOps)
+	for _, op := range s.Ops {
+		op.Deps = dedup(op.Deps)
+		for _, dep := range op.Deps {
+			succ[dep] = append(succ[dep], op.ID)
+			indeg[op.ID]++
+		}
+	}
+	topo := topoOrder(s.Ops, succ, indeg)
+	if topo == nil {
+		return fmt.Errorf("pipeline: dependency cycle detected")
+	}
+	prio := make([]int64, nOps)
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		var best int64
+		for _, nx := range succ[id] {
+			if prio[nx] > best {
+				best = prio[nx]
+			}
+		}
+		prio[id] = best + int64(s.Ops[id].Duration)
+	}
+	remaining := make([]int, nOps)
+	copy(remaining, indeg)
+	ready := make([][]int, s.Devices)
+	for _, op := range s.Ops {
+		if remaining[op.ID] == 0 {
+			ready[op.Device] = append(ready[op.Device], op.ID)
+		}
+	}
+	endTime := make([]int64, nOps)
+	devFree := make([]int64, s.Devices)
+	scheduled := 0
+	for scheduled < nOps {
+		progressed := false
+		for dev := 0; dev < s.Devices; dev++ {
+			if len(ready[dev]) == 0 {
+				continue
+			}
+			sort.SliceStable(ready[dev], func(i, j int) bool {
+				a, b := ready[dev][i], ready[dev][j]
+				sa := max64(depsEnd(s.Ops[a], endTime), devFree[dev])
+				sb := max64(depsEnd(s.Ops[b], endTime), devFree[dev])
+				if sa != sb {
+					return sa < sb
+				}
+				if prio[a] != prio[b] {
+					return prio[a] > prio[b]
+				}
+				return a < b
+			})
+			id := ready[dev][0]
+			ready[dev] = ready[dev][1:]
+			op := s.Ops[id]
+			start := max64(devFree[dev], depsEnd(op, endTime))
+			endTime[id] = start + int64(op.Duration)
+			devFree[dev] = endTime[id]
+			s.Order[dev] = append(s.Order[dev], id)
+			scheduled++
+			progressed = true
+			for _, nx := range succ[id] {
+				remaining[nx]--
+				if remaining[nx] == 0 {
+					ready[s.Ops[nx].Device] = append(ready[s.Ops[nx].Device], nx)
+				}
+			}
+		}
+		if !progressed {
+			return fmt.Errorf("pipeline: list scheduling stalled (%d/%d ops)", scheduled, nOps)
+		}
+	}
+	return nil
+}
+
+// addOpDeferred registers an op whose per-device order is decided later by
+// finalizeOrders.
+func (s *Schedule) addOpDeferred(op *Op) {
+	op.ID = len(s.Ops)
+	s.Ops = append(s.Ops, op)
+}
+
+func depsEnd(op *Op, endTime []int64) int64 {
+	var mx int64
+	for _, dep := range op.Deps {
+		if endTime[dep] > mx {
+			mx = endTime[dep]
+		}
+	}
+	return mx
+}
+
+func topoOrder(ops []*Op, succ [][]int, indeg []int) []int {
+	deg := make([]int, len(ops))
+	copy(deg, indeg)
+	var queue, order []int
+	for i := range ops {
+		if deg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, nx := range succ[id] {
+			deg[nx]--
+			if deg[nx] == 0 {
+				queue = append(queue, nx)
+			}
+		}
+	}
+	if len(order) != len(ops) {
+		return nil
+	}
+	return order
+}
+
+func dedup(ids []int) []int {
+	seen := make(map[int]bool, len(ids))
+	var out []int
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxDur(a, b hardware.Microseconds) hardware.Microseconds {
+	if a > b {
+		return a
+	}
+	return b
+}

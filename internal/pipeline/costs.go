@@ -1,0 +1,150 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/hardware"
+)
+
+// StageCosts models the execution times of all work kinds for one pipeline
+// stage, derived from the architecture, the number of transformer blocks
+// per stage, the micro-batch size, and the device profile.
+type StageCosts struct {
+	// Forward and Backward are per micro-batch.
+	Forward  hardware.Microseconds
+	Backward hardware.Microseconds
+	// CurvaturePerMicroBatch is the time to compute all Kronecker factors
+	// of the stage for one micro-batch.
+	CurvaturePerMicroBatch hardware.Microseconds
+	// CurvatureUnits holds the per-factor curvature time for one
+	// micro-batch, in the same order as InversionUnits. Factors alternate
+	// A, B per K-FAC layer (A ready after forward, B after backward).
+	CurvatureUnits []hardware.Microseconds
+	// InversionUnits holds the time to invert each Kronecker factor of the
+	// stage (the atomic units of inversion work / inversion parallelism).
+	InversionUnits []hardware.Microseconds
+	// Precondition is the per-step preconditioning time for the stage.
+	Precondition hardware.Microseconds
+	// OptStep is the per-step optimizer update time for the stage.
+	OptStep hardware.Microseconds
+	// SyncGrad and SyncCurvature are the per-step collective times when
+	// data parallelism is enabled (0 otherwise).
+	SyncGrad      hardware.Microseconds
+	SyncCurvature hardware.Microseconds
+}
+
+// InversionTotal returns the summed inversion time of all factors.
+func (c StageCosts) InversionTotal() hardware.Microseconds {
+	var t hardware.Microseconds
+	for _, u := range c.InversionUnits {
+		t += u
+	}
+	return t
+}
+
+// CostConfig selects the workload whose stage costs are being modeled.
+type CostConfig struct {
+	// Arch is the transformer architecture.
+	Arch arch.Transformer
+	// BlocksPerStage is the number of transformer blocks per stage.
+	BlocksPerStage int
+	// MicroBatch is B_micro.
+	MicroBatch int
+	// GPU is the device profile.
+	GPU hardware.GPU
+	// DataParallelWidth is W (replicas per stage); 1 disables collectives.
+	DataParallelWidth int
+	// Interconnect models the collective fabric; zero value uses
+	// hardware.DefaultInterconnect.
+	Interconnect hardware.Interconnect
+	// Recompute enables activation recomputation: forward activations are
+	// recomputed during backward, making backward cost fwd+bwd.
+	Recompute bool
+}
+
+// CostsFor derives StageCosts from the configuration.
+func CostsFor(cfg CostConfig) (StageCosts, error) {
+	if cfg.BlocksPerStage <= 0 {
+		return StageCosts{}, fmt.Errorf("pipeline: BlocksPerStage must be positive, got %d", cfg.BlocksPerStage)
+	}
+	if cfg.MicroBatch <= 0 {
+		return StageCosts{}, fmt.Errorf("pipeline: MicroBatch must be positive, got %d", cfg.MicroBatch)
+	}
+	a, g := cfg.Arch, cfg.GPU
+	blocks := float64(cfg.BlocksPerStage)
+	ic := cfg.Interconnect
+	if ic.Bandwidth == 0 {
+		ic = hardware.DefaultInterconnect
+	}
+
+	fwdOp := hardware.Op{
+		FLOPs:    a.BlockForwardFLOPs(cfg.MicroBatch) * blocks,
+		Bytes:    (a.BlockActivationBytes(cfg.MicroBatch) + a.BlockParamBytes()) * blocks,
+		Kernels:  8 * cfg.BlocksPerStage,
+		GEMMLike: true,
+	}
+	bwdOp := hardware.Op{
+		FLOPs:    a.BlockBackwardFLOPs(cfg.MicroBatch) * blocks,
+		Bytes:    2 * (a.BlockActivationBytes(cfg.MicroBatch) + a.BlockParamBytes()) * blocks,
+		Kernels:  12 * cfg.BlocksPerStage,
+		GEMMLike: true,
+	}
+	costs := StageCosts{
+		Forward:  g.Time(fwdOp),
+		Backward: g.Time(bwdOp),
+	}
+	if cfg.Recompute {
+		// Activation recomputation re-runs the forward inside backward.
+		costs.Backward += costs.Forward
+	}
+
+	// One curvature unit per Kronecker factor per block per micro-batch
+	// (U U^T costs 2·d²·tokens), and one inversion unit per factor
+	// (Cholesky + cholesky_inverse, ~d³, not large-GEMM efficient).
+	tokens := float64(cfg.MicroBatch) * float64(a.SeqLen)
+	for b := 0; b < cfg.BlocksPerStage; b++ {
+		for _, d := range a.FactorDims() {
+			dd := float64(d)
+			curvUnit := hardware.Op{
+				FLOPs:    2 * dd * dd * tokens,
+				Bytes:    (dd*dd + dd*tokens) * 4,
+				Kernels:  1,
+				GEMMLike: true,
+			}
+			ct := g.Time(curvUnit)
+			costs.CurvatureUnits = append(costs.CurvatureUnits, ct)
+			costs.CurvaturePerMicroBatch += ct
+			invUnit := hardware.Op{
+				FLOPs:    dd * dd * dd,
+				Bytes:    3 * dd * dd * 4,
+				Kernels:  2,
+				GEMMLike: false,
+			}
+			costs.InversionUnits = append(costs.InversionUnits, g.Time(invUnit))
+		}
+	}
+
+	precOp := hardware.Op{
+		FLOPs:    a.BlockPreconditionFLOPs() * blocks,
+		Bytes:    2 * a.BlockCurvatureBytes() * blocks,
+		Kernels:  2 * len(a.KFACLayers()) * cfg.BlocksPerStage,
+		GEMMLike: true,
+	}
+	costs.Precondition = g.Time(precOp)
+
+	// Optimizer update: element-wise over parameters and state (~4 reads +
+	// 2 writes of the parameter-sized buffers for Adam/LAMB).
+	paramBytes := a.BlockParamBytes() * blocks
+	costs.OptStep = g.Time(hardware.Op{
+		FLOPs:   a.BlockParams() * blocks * 8,
+		Bytes:   6 * paramBytes,
+		Kernels: 4,
+	})
+
+	if cfg.DataParallelWidth > 1 {
+		costs.SyncGrad = ic.AllReduceTime(paramBytes, cfg.DataParallelWidth)
+		costs.SyncCurvature = ic.AllReduceTime(a.BlockCurvatureBytes()*blocks, cfg.DataParallelWidth)
+	}
+	return costs, nil
+}

@@ -1,0 +1,162 @@
+// Package pipeline is a discrete-event simulator for synchronous
+// pipeline-parallel training schedules: GPipe, 1F1B, and Chimera, with
+// optional data parallelism. It substitutes for the paper's GPU cluster:
+// the same dependency structure (stage order for forwards, reverse order
+// for backwards, micro-batch queues per device, bidirectional pipelines for
+// Chimera) is executed over modeled durations, producing per-device
+// timelines whose gaps are exactly the pipeline bubbles PipeFisher fills.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/hardware"
+)
+
+// WorkKind enumerates the kinds of work that occupy accelerator time,
+// matching the legend of Figures 1, 3 and 4.
+type WorkKind int
+
+// Work kinds in figure-legend order.
+const (
+	Forward WorkKind = iota
+	Backward
+	Curvature
+	Inversion
+	Precondition
+	SyncGrad
+	SyncCurvature
+	OptStep
+)
+
+// String returns the legend label of the kind.
+func (k WorkKind) String() string {
+	switch k {
+	case Forward:
+		return "forward"
+	case Backward:
+		return "backward"
+	case Curvature:
+		return "curvature"
+	case Inversion:
+		return "inverse"
+	case Precondition:
+		return "precondition"
+	case SyncGrad:
+		return "sync-grad"
+	case SyncCurvature:
+		return "sync-curvature"
+	case OptStep:
+		return "opt-step"
+	}
+	return fmt.Sprintf("WorkKind(%d)", int(k))
+}
+
+// Op is one unit of device work in a schedule.
+type Op struct {
+	// ID is the op's index in Schedule.Ops.
+	ID int
+	// Kind classifies the work.
+	Kind WorkKind
+	// Device is the executing device (0-based).
+	Device int
+	// Stage is the pipeline stage the op belongs to (0-based).
+	Stage int
+	// MicroBatch is the micro-batch index, or -1 when not applicable.
+	MicroBatch int
+	// Step is the training-step index the op belongs to (0-based).
+	Step int
+	// Pipeline is 0 for the down pipeline, 1 for Chimera's up pipeline.
+	Pipeline int
+	// Duration is the modeled execution time.
+	Duration hardware.Microseconds
+	// Deps lists op IDs that must complete before this op starts.
+	Deps []int
+}
+
+// Label renders a compact identifier like "F[s2,m1]".
+func (o *Op) Label() string {
+	letter := "?"
+	switch o.Kind {
+	case Forward:
+		letter = "F"
+	case Backward:
+		letter = "B"
+	case Curvature:
+		letter = "C"
+	case Inversion:
+		letter = "I"
+	case Precondition:
+		letter = "P"
+	case SyncGrad:
+		letter = "G"
+	case SyncCurvature:
+		letter = "S"
+	case OptStep:
+		letter = "O"
+	}
+	return fmt.Sprintf("%s[s%d,m%d]", letter, o.Stage, o.MicroBatch)
+}
+
+// Schedule is a set of ops with a fixed per-device execution order, as a
+// static pipeline schedule prescribes.
+type Schedule struct {
+	// Name identifies the schedule ("GPipe", "1F1B", "Chimera").
+	Name string
+	// Devices is the number of devices.
+	Devices int
+	// Stages is the number of pipeline stages.
+	Stages int
+	// MicroBatches is N_micro, the micro-batches per device per step.
+	MicroBatches int
+	// Steps is the number of consecutive training steps in the schedule.
+	Steps int
+	// Ops holds every op, indexed by ID.
+	Ops []*Op
+	// Order[d] is the execution order (op IDs) for device d.
+	Order [][]int
+}
+
+// addOp appends an op, assigns its ID, and registers it in the device
+// order.
+func (s *Schedule) addOp(op *Op) *Op {
+	op.ID = len(s.Ops)
+	s.Ops = append(s.Ops, op)
+	s.Order[op.Device] = append(s.Order[op.Device], op.ID)
+	return op
+}
+
+// Validate checks structural invariants: device indices in range, deps
+// acyclic with respect to some topological order, and every op present in
+// exactly one device order.
+func (s *Schedule) Validate() error {
+	seen := make(map[int]bool, len(s.Ops))
+	for d, order := range s.Order {
+		for _, id := range order {
+			if id < 0 || id >= len(s.Ops) {
+				return fmt.Errorf("pipeline: device %d references unknown op %d", d, id)
+			}
+			if seen[id] {
+				return fmt.Errorf("pipeline: op %d appears in more than one position", id)
+			}
+			seen[id] = true
+			if s.Ops[id].Device != d {
+				return fmt.Errorf("pipeline: op %d has device %d but is ordered on device %d", id, s.Ops[id].Device, d)
+			}
+		}
+	}
+	if len(seen) != len(s.Ops) {
+		return fmt.Errorf("pipeline: %d ops but %d ordered", len(s.Ops), len(seen))
+	}
+	for _, op := range s.Ops {
+		for _, dep := range op.Deps {
+			if dep < 0 || dep >= len(s.Ops) {
+				return fmt.Errorf("pipeline: op %d has unknown dep %d", op.ID, dep)
+			}
+		}
+		if op.Duration <= 0 {
+			return fmt.Errorf("pipeline: op %d has non-positive duration %d", op.ID, op.Duration)
+		}
+	}
+	return nil
+}

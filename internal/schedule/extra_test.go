@@ -1,0 +1,140 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/pipeline"
+)
+
+func TestAssignShampooSlowerRefreshThanKFAC(t *testing.T) {
+	// Eigendecompositions cost ~an order of magnitude more than Cholesky
+	// inversions, so Shampoo's refresh interval must be at least K-FAC's.
+	costs := paperCosts(t, 3, 32, arch.BERTBase, 1)
+	kf, err := Assign(Config{Method: "gpipe", Stages: 4, MicroBatches: 4, Costs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := AssignShampoo(Config{Method: "gpipe", Stages: 4, MicroBatches: 4, Costs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.RefreshSteps < kf.RefreshSteps {
+		t.Fatalf("Shampoo refresh %d must be >= K-FAC %d", sh.RefreshSteps, kf.RefreshSteps)
+	}
+	// The eigen work still lands inside bubbles: no overlaps.
+	tl := sh.Timeline
+	for d := 0; d < tl.Devices; d++ {
+		for i := 1; i < len(tl.Events[d]); i++ {
+			if tl.Events[d][i].Start < tl.Events[d][i-1].End {
+				t.Fatalf("device %d: Shampoo events overlap", d)
+			}
+		}
+	}
+	// And the packer split the long eigen items: at least one factor's
+	// inversion appears as multiple events on some device.
+	var invEvents int
+	for d := 0; d < tl.Devices; d++ {
+		for _, e := range tl.Events[d] {
+			if e.Op.Kind == pipeline.Inversion {
+				invEvents++
+			}
+		}
+	}
+	if invEvents == 0 {
+		t.Fatal("no eigendecomposition events packed")
+	}
+}
+
+func TestAssignShampooCustomMultiplier(t *testing.T) {
+	costs := paperCosts(t, 3, 32, arch.BERTBase, 1)
+	mild, err := AssignShampoo(Config{
+		Method: "gpipe", Stages: 4, MicroBatches: 4, Costs: costs,
+		InversionCostMultiplier: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	harsh, err := AssignShampoo(Config{
+		Method: "gpipe", Stages: 4, MicroBatches: 4, Costs: costs,
+		InversionCostMultiplier: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if harsh.KFACWorkTime <= mild.KFACWorkTime {
+		t.Fatal("higher eigen cost must increase total packed work")
+	}
+	if harsh.RefreshSteps < mild.RefreshSteps {
+		t.Fatalf("harsher eigen cost cannot speed up refresh: %d vs %d",
+			harsh.RefreshSteps, mild.RefreshSteps)
+	}
+}
+
+func TestAssignSAMHidesWorkInBubbles(t *testing.T) {
+	// §5: SAM doubles the work of SGD and thus can potentially double
+	// accelerator utilization. With GPipe's large bubbles (43% idle), a
+	// sizeable share of the extra pass must hide.
+	costs := paperCosts(t, 3, 32, arch.BERTBase, 1)
+	res, err := AssignSAM(Config{Method: "gpipe", Stages: 4, MicroBatches: 4, Costs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utilization <= res.VanillaUtilization {
+		t.Fatalf("SAM packing must raise utilization: %.3f -> %.3f",
+			res.VanillaUtilization, res.Utilization)
+	}
+	if res.HiddenFraction <= 0.2 {
+		t.Fatalf("hidden fraction %.3f too small for GPipe bubbles", res.HiddenFraction)
+	}
+	if res.HiddenFraction > 1 {
+		t.Fatalf("hidden fraction %.3f exceeds 1", res.HiddenFraction)
+	}
+	// Extra events never overlap base work.
+	tl := res.Timeline
+	for d := 0; d < tl.Devices; d++ {
+		for i := 1; i < len(tl.Events[d]); i++ {
+			if tl.Events[d][i].Start < tl.Events[d][i-1].End {
+				t.Fatalf("device %d: SAM events overlap", d)
+			}
+		}
+	}
+}
+
+func TestAssignSAMDependencies(t *testing.T) {
+	// The extra forward of stage s for micro-batch m may not start before
+	// the first-pass backward of (s, m).
+	costs := paperCosts(t, 3, 32, arch.BERTBase, 1)
+	res, err := AssignSAM(Config{Method: "1f1b", Stages: 4, MicroBatches: 4, Costs: costs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := res.Timeline
+	for d := 0; d < tl.Devices; d++ {
+		// Partition events: base backward ends per (stage, micro), and
+		// extra forward starts (Step == -1).
+		bEnd := make(map[[2]int]int64)
+		for _, e := range tl.Events[d] {
+			if e.Op.Kind == pipeline.Backward && e.Op.Step == 0 {
+				bEnd[[2]int{e.Op.Stage, e.Op.MicroBatch}] = int64(e.End)
+			}
+		}
+		for _, e := range tl.Events[d] {
+			if e.Op.Step == -1 && e.Op.Kind == pipeline.Forward {
+				if end, ok := bEnd[[2]int{e.Op.Stage, e.Op.MicroBatch}]; ok {
+					if int64(e.Start) < end {
+						t.Fatalf("extra forward (s%d,m%d) starts %d before first-pass backward end %d",
+							e.Op.Stage, e.Op.MicroBatch, e.Start, end)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAssignSAMChimeraUnsupported(t *testing.T) {
+	costs := paperCosts(t, 3, 32, arch.BERTBase, 1)
+	if _, err := AssignSAM(Config{Method: "chimera", Stages: 4, MicroBatches: 4, Costs: costs}); err == nil {
+		t.Fatal("expected error for chimera SAM")
+	}
+}

@@ -1,0 +1,623 @@
+// Package schedule implements PipeFisher's automatic work assignment
+// (§3.1 of the paper): given a profiled timeline of a standard pipeline
+// schedule, it packs the K-FAC curvature and inversion work into the
+// pipeline bubbles according to the paper's dependency rules, measures how
+// many pipeline steps one curvature/inverse refresh takes, and reports the
+// resulting accelerator utilization.
+//
+// The three assignment rules (§3.1):
+//
+//  1. Curvature work for A_l (resp. B_l) of a micro-batch is assigned to a
+//     bubble after the forward (resp. backward) of that micro-batch on the
+//     layer's stage.
+//  2. Inversion work for a factor is assigned after the curvature work of
+//     that factor for all micro-batches.
+//  3. Precondition work runs after the backward of all layers in a stage
+//     and before the next pipeline step (inserted into the schedule itself
+//     via pipeline.BuildConfig.IncludePrecondition — it is the only
+//     per-step overhead).
+//
+// Work whose duration exceeds a bubble spills into subsequent bubbles,
+// exactly as the paper describes ("otherwise, subsequent bubbles are
+// utilized").
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hardware"
+	"repro/internal/pipeline"
+)
+
+// FactorKind distinguishes the two Kronecker factors of a layer.
+type FactorKind int
+
+// Factor kinds.
+const (
+	FactorA FactorKind = iota // A_l = ⟨a a^T⟩, ready after forward
+	FactorB                   // B_l = ⟨e e^T⟩, ready after backward
+)
+
+// Config controls the PipeFisher assignment.
+type Config struct {
+	// Method selects the base pipeline schedule: "gpipe", "1f1b",
+	// "chimera".
+	Method string
+	// Stages, MicroBatches mirror pipeline.BuildConfig.
+	Stages       int
+	MicroBatches int
+	// Costs provides all work durations.
+	Costs pipeline.StageCosts
+	// DataParallelWidth is W for gpipe/1f1b replica groups.
+	DataParallelWidth int
+	// InversionParallel splits each stage's inversion units across the
+	// devices holding that stage (the replica group for gpipe/1f1b, the
+	// bidirectional pair for chimera) and adds sync-curvature collectives.
+	InversionParallel bool
+	// InversionCostMultiplier scales the per-factor inversion durations
+	// (default 1). Shampoo-style extra work (§5) uses this to model
+	// eigendecompositions, which cost an order of magnitude more than a
+	// Cholesky inversion of the same matrix; the packer splits such long
+	// items across multiple bubbles automatically.
+	InversionCostMultiplier float64
+	// MaxSteps bounds the number of pipeline steps one refresh round may
+	// span (a safety net; realistic configurations need 1-10).
+	MaxSteps int
+	// NoSplit disables spilling a work item across multiple bubbles
+	// (every item must fit one bubble whole). The paper's rule —
+	// "otherwise, subsequent bubbles are utilized" — corresponds to
+	// NoSplit=false; the ablation bench quantifies what splitting buys.
+	NoSplit bool
+}
+
+func (c Config) normalize() (Config, error) {
+	switch c.Method {
+	case "gpipe", "1f1b", "chimera":
+	default:
+		return c, fmt.Errorf("schedule: unknown method %q (want gpipe, 1f1b or chimera)", c.Method)
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 32
+	}
+	if c.DataParallelWidth <= 0 {
+		c.DataParallelWidth = 1
+	}
+	if c.InversionCostMultiplier <= 0 {
+		c.InversionCostMultiplier = 1
+	}
+	if c.InversionCostMultiplier != 1 {
+		scaled := make([]hardware.Microseconds, len(c.Costs.InversionUnits))
+		for i, u := range c.Costs.InversionUnits {
+			scaled[i] = hardware.Microseconds(float64(u) * c.InversionCostMultiplier)
+		}
+		c.Costs.InversionUnits = scaled
+	}
+	return c, nil
+}
+
+// Result reports the outcome of a PipeFisher assignment.
+type Result struct {
+	// Timeline is the augmented timeline: the base schedule (including
+	// per-step precondition work) plus the K-FAC events packed into its
+	// bubbles.
+	Timeline *pipeline.Timeline
+	// VanillaTimeline is the base schedule without any K-FAC work, for
+	// comparison (the "w/ Adam" rows of Figures 3 and 4).
+	VanillaTimeline *pipeline.Timeline
+	// RefreshSteps is the number of pipeline steps needed to refresh the
+	// curvature and inverse matrices once (per stage, the max over
+	// stages). The paper reports 1-4 for its configurations.
+	RefreshSteps int
+	// RefreshStepsPerStage breaks RefreshSteps down by stage.
+	RefreshStepsPerStage []int
+	// StepTime is the steady-state step time with PipeFisher (precondition
+	// included); VanillaStepTime is the base schedule's.
+	StepTime        hardware.Microseconds
+	VanillaStepTime hardware.Microseconds
+	// Utilization counts all colored work over the refresh window;
+	// VanillaUtilization is the base schedule's over its own window.
+	Utilization        float64
+	VanillaUtilization float64
+	// KFACWorkTime is the total curvature+inversion(+sync) time packed.
+	KFACWorkTime hardware.Microseconds
+	// Unassigned counts work items that did not fit within MaxSteps
+	// (0 for all realistic configurations).
+	Unassigned int
+}
+
+// workItem is one schedulable unit of K-FAC work.
+type workItem struct {
+	kind     pipeline.WorkKind
+	stage    int
+	device   int
+	factor   int // index into Costs.InversionUnits / CurvatureUnits
+	micro    int // micro-batch for curvature, -1 otherwise
+	duration hardware.Microseconds
+	readyAt  hardware.Microseconds
+	// placedEnd records the end of the item's last placed piece.
+	placedEnd hardware.Microseconds
+}
+
+// Assign builds the base schedule, inserts the per-step precondition work,
+// simulates enough steps for one refresh round, and packs the curvature and
+// inversion work into the bubbles according to the paper's rules.
+func Assign(cfg Config) (*Result, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	// Estimate the number of steps a refresh round needs from the
+	// (curvature+inversion)/bubble ratio, then simulate a couple extra.
+	oneStep, err := buildBase(cfg, 1, false)
+	if err != nil {
+		return nil, err
+	}
+	oneTL, err := pipeline.Run(oneStep)
+	if err != nil {
+		return nil, err
+	}
+	ratio := estimateRatio(cfg, oneTL)
+	steps := int(ratio) + 2
+	if steps > cfg.MaxSteps {
+		steps = cfg.MaxSteps
+	}
+
+	vanillaSched, err := buildBase(cfg, steps, false)
+	if err != nil {
+		return nil, err
+	}
+	vanillaTL, err := pipeline.Run(vanillaSched)
+	if err != nil {
+		return nil, err
+	}
+	baseSched, err := buildBase(cfg, steps, true)
+	if err != nil {
+		return nil, err
+	}
+	baseTL, err := pipeline.Run(baseSched)
+	if err != nil {
+		return nil, err
+	}
+
+	items := buildWorkQueue(cfg, baseSched, baseTL)
+	packed, unassigned := pack(items, baseTL, cfg)
+
+	res := &Result{
+		Timeline:        packed,
+		VanillaTimeline: vanillaTL,
+		Unassigned:      unassigned,
+	}
+	res.VanillaStepTime = steadyStepTime(vanillaTL)
+	res.StepTime = steadyStepTime(baseTL)
+	res.VanillaUtilization = vanillaTL.Utilization()
+	res.refreshFromItems(items, baseTL, cfg)
+	for _, it := range items {
+		res.KFACWorkTime += it.duration
+	}
+	res.Utilization = packed.UtilizationOver(0, windowEnd(res, baseTL))
+	return res, nil
+}
+
+// windowEnd picks the utilization window: the end of the refresh round
+// (whole steps), so repeated rounds tile the timeline.
+func windowEnd(res *Result, tl *pipeline.Timeline) hardware.Microseconds {
+	k := res.RefreshSteps
+	if k < 1 {
+		k = 1
+	}
+	if k > len(tl.StepEnd) {
+		k = len(tl.StepEnd)
+	}
+	return tl.StepEnd[k-1]
+}
+
+func buildBase(cfg Config, steps int, precondition bool) (*pipeline.Schedule, error) {
+	bc := pipeline.BuildConfig{
+		Stages:               cfg.Stages,
+		MicroBatches:         cfg.MicroBatches,
+		Steps:                steps,
+		Costs:                cfg.Costs,
+		DataParallelWidth:    cfg.DataParallelWidth,
+		IncludeOptimizerWork: true,
+		IncludePrecondition:  precondition,
+	}
+	switch cfg.Method {
+	case "gpipe":
+		return pipeline.BuildGPipe(bc)
+	case "1f1b":
+		return pipeline.Build1F1B(bc)
+	case "chimera":
+		return pipeline.BuildChimera(bc)
+	}
+	return nil, fmt.Errorf("schedule: unknown method %q", cfg.Method)
+}
+
+// estimateRatio computes (curvature+inversion)/bubble per step: the paper's
+// key quantity predicting the refresh interval (§3.3).
+func estimateRatio(cfg Config, oneStep *pipeline.Timeline) float64 {
+	var kfacWork float64
+	nDev := devicesFor(cfg)
+	perStageCurv := float64(cfg.Costs.CurvaturePerMicroBatch) * float64(cfg.MicroBatches)
+	perStageInv := float64(cfg.Costs.InversionTotal())
+	// Chimera devices hold two stages each; gpipe/1f1b replicas each
+	// compute curvature for their own micro-batches.
+	switch cfg.Method {
+	case "chimera":
+		kfacWork = float64(cfg.Stages) * (perStageCurv + perStageInv)
+	default:
+		kfacWork = float64(cfg.Stages*cfg.DataParallelWidth)*perStageCurv + float64(cfg.Stages)*perStageInv
+		if !cfg.InversionParallel && cfg.DataParallelWidth > 1 {
+			kfacWork += float64(cfg.Stages*(cfg.DataParallelWidth-1)) * perStageInv
+		}
+	}
+	bubble := float64(oneStep.TotalBubble())
+	if bubble <= 0 {
+		return float64(cfg.MaxSteps)
+	}
+	_ = nDev
+	return kfacWork / bubble
+}
+
+func devicesFor(cfg Config) int {
+	if cfg.Method == "chimera" {
+		return cfg.Stages
+	}
+	return cfg.Stages * cfg.DataParallelWidth
+}
+
+// stageOwners returns the devices that hold a stage's parameters and their
+// micro-batch ranges. For gpipe/1f1b, each of the W replicas owns all N
+// micro-batches of its own replica stream; for chimera, the down device
+// owns micro-batches [0, N/2) and the up device [N/2, N).
+type owner struct {
+	device  int
+	microLo int
+	microHi int // exclusive
+}
+
+func stageOwners(cfg Config, stage int) []owner {
+	if cfg.Method == "chimera" {
+		half := cfg.MicroBatches / 2
+		return []owner{
+			{device: stage, microLo: 0, microHi: half},
+			{device: cfg.Stages - 1 - stage, microLo: half, microHi: cfg.MicroBatches},
+		}
+	}
+	w := cfg.DataParallelWidth
+	owners := make([]owner, w)
+	for r := 0; r < w; r++ {
+		owners[r] = owner{device: stage*w + r, microLo: 0, microHi: cfg.MicroBatches}
+	}
+	return owners
+}
+
+// buildWorkQueue creates the K-FAC work items of one refresh round with
+// their ready times taken from the profiled timeline (rules 1 and 2).
+func buildWorkQueue(cfg Config, sched *pipeline.Schedule, tl *pipeline.Timeline) []*workItem {
+	var items []*workItem
+	nFactors := len(cfg.Costs.InversionUnits)
+	for stage := 0; stage < cfg.Stages; stage++ {
+		owners := stageOwners(cfg, stage)
+		// Curvature: one item per (owner device, micro-batch, factor).
+		// Factor readiness: A factors (even index) after the forward of
+		// the micro-batch at this stage; B factors (odd) after backward.
+		curvEnd := make(map[[2]int]hardware.Microseconds) // (device, factor) -> latest curvature ready bound
+		for _, ow := range owners {
+			for m := ow.microLo; m < ow.microHi; m++ {
+				fEv, okF := findStepEvent(tl, pipeline.Forward, stage, m, ow.device)
+				bEv, okB := findStepEvent(tl, pipeline.Backward, stage, m, ow.device)
+				if !okF || !okB {
+					continue
+				}
+				for f := 0; f < nFactors; f++ {
+					ready := fEv.End
+					if factorKindOf(f) == FactorB {
+						ready = bEv.End
+					}
+					items = append(items, &workItem{
+						kind: pipeline.Curvature, stage: stage, device: ow.device,
+						factor: f, micro: m,
+						duration: cfg.Costs.CurvatureUnits[f],
+						readyAt:  ready,
+					})
+					key := [2]int{ow.device, f}
+					if ready > curvEnd[key] {
+						curvEnd[key] = ready
+					}
+				}
+			}
+		}
+		// Inversion: one item per factor, split across owners when
+		// inversion parallelism is on; otherwise on every owner that
+		// computed curvature (gpipe/1f1b without splitting duplicates the
+		// work per replica; chimera without splitting puts all units on
+		// the down device).
+		addInv := func(dev, f int) {
+			items = append(items, &workItem{
+				kind: pipeline.Inversion, stage: stage, device: dev,
+				factor: f, micro: -1,
+				duration: cfg.Costs.InversionUnits[f],
+				// Actual readiness (after all curvature for this factor is
+				// *placed*) is enforced during packing; this is the lower
+				// bound from rule 2's data dependency.
+				readyAt: 0,
+			})
+		}
+		if cfg.InversionParallel && len(owners) > 1 {
+			for f := 0; f < nFactors; f++ {
+				addInv(owners[f%len(owners)].device, f)
+			}
+		} else if cfg.Method == "chimera" {
+			for f := 0; f < nFactors; f++ {
+				addInv(owners[0].device, f)
+			}
+		} else {
+			for _, ow := range owners {
+				for f := 0; f < nFactors; f++ {
+					addInv(ow.device, f)
+				}
+			}
+		}
+		// Sync-curvature collectives when factors are split across owners.
+		if cfg.InversionParallel && len(owners) > 1 && cfg.Costs.SyncCurvature > 0 {
+			for _, ow := range owners {
+				items = append(items, &workItem{
+					kind: pipeline.SyncCurvature, stage: stage, device: ow.device,
+					factor: -1, micro: -1,
+					duration: cfg.Costs.SyncCurvature,
+					readyAt:  0, // after the stage's curvature; set in pack
+				})
+			}
+		}
+	}
+	return items
+}
+
+// factorKindOf maps a factor index to A (even) or B (odd), matching
+// arch.FactorDims order (A then B per layer).
+func factorKindOf(f int) FactorKind {
+	if f%2 == 0 {
+		return FactorA
+	}
+	return FactorB
+}
+
+// findStepEvent locates the step-0 event of the given kind/stage/micro on a
+// device.
+func findStepEvent(tl *pipeline.Timeline, kind pipeline.WorkKind, stage, micro, device int) (pipeline.Event, bool) {
+	for _, e := range tl.Events[device] {
+		if e.Op.Kind == kind && e.Op.Stage == stage && e.Op.MicroBatch == micro && e.Op.Step == 0 {
+			return e, true
+		}
+	}
+	return pipeline.Event{}, false
+}
+
+// freeList tracks the remaining bubble intervals of one device.
+type freeList struct {
+	gaps []pipeline.Gap
+}
+
+// place books dur units of work at or after ready, possibly split across
+// gaps. It returns the placed pieces and the end of the last piece; ok is
+// false when the free list is exhausted first.
+func (fl *freeList) place(ready hardware.Microseconds, dur hardware.Microseconds) (pieces []pipeline.Gap, end hardware.Microseconds, ok bool) {
+	return fl.placeImpl(ready, dur, false)
+}
+
+// placeWhole books dur units into a single bubble that fits it entirely
+// (the NoSplit ablation).
+func (fl *freeList) placeWhole(ready hardware.Microseconds, dur hardware.Microseconds) (pieces []pipeline.Gap, end hardware.Microseconds, ok bool) {
+	return fl.placeImpl(ready, dur, true)
+}
+
+func (fl *freeList) placeImpl(ready hardware.Microseconds, dur hardware.Microseconds, whole bool) (pieces []pipeline.Gap, end hardware.Microseconds, ok bool) {
+	remaining := dur
+	for i := 0; i < len(fl.gaps) && remaining > 0; i++ {
+		g := fl.gaps[i]
+		start := g.Start
+		if ready > start {
+			start = ready
+		}
+		if start >= g.End {
+			continue
+		}
+		avail := g.End - start
+		if whole && avail < remaining {
+			continue
+		}
+		take := remaining
+		if take > avail {
+			take = avail
+		}
+		pieces = append(pieces, pipeline.Gap{Device: g.Device, Start: start, End: start + take})
+		remaining -= take
+		end = start + take
+		// Shrink the gap: [g.Start, start) stays free; [start+take, g.End)
+		// stays free.
+		var repl []pipeline.Gap
+		if start > g.Start {
+			repl = append(repl, pipeline.Gap{Device: g.Device, Start: g.Start, End: start})
+		}
+		if start+take < g.End {
+			repl = append(repl, pipeline.Gap{Device: g.Device, Start: start + take, End: g.End})
+		}
+		fl.gaps = append(fl.gaps[:i], append(repl, fl.gaps[i+1:]...)...)
+		i += len(repl) - 1
+	}
+	return pieces, end, remaining == 0
+}
+
+// pack assigns every work item to bubbles (rule order: curvature sorted by
+// readiness, then sync-curvature, then inversions once their factor's
+// curvature is fully placed). It returns the augmented timeline and the
+// number of items that did not fit.
+func pack(items []*workItem, base *pipeline.Timeline, cfg Config) (*pipeline.Timeline, int) {
+	out := &pipeline.Timeline{
+		Name:     base.Name + "+PipeFisher",
+		Devices:  base.Devices,
+		Steps:    base.Steps,
+		Events:   make([][]pipeline.Event, base.Devices),
+		Makespan: base.Makespan,
+		StepEnd:  append([]hardware.Microseconds(nil), base.StepEnd...),
+	}
+	for d := 0; d < base.Devices; d++ {
+		out.Events[d] = append([]pipeline.Event(nil), base.Events[d]...)
+	}
+	free := make([]*freeList, base.Devices)
+	for d := 0; d < base.Devices; d++ {
+		free[d] = &freeList{gaps: base.Gaps(d, 0, base.Makespan)}
+	}
+
+	var curv, syncs, invs []*workItem
+	for _, it := range items {
+		switch it.kind {
+		case pipeline.Curvature:
+			curv = append(curv, it)
+		case pipeline.SyncCurvature:
+			syncs = append(syncs, it)
+		default:
+			invs = append(invs, it)
+		}
+	}
+	sort.SliceStable(curv, func(i, j int) bool { return curv[i].readyAt < curv[j].readyAt })
+
+	unassigned := 0
+	// curvDone[(device, stage, factor)] tracks the latest end of placed
+	// curvature pieces, which gates inversion (rule 2).
+	curvDone := make(map[[3]int]hardware.Microseconds)
+	stageCurvDone := make(map[[2]int]hardware.Microseconds) // (device, stage)
+	placeItem := func(it *workItem) bool {
+		var pieces []pipeline.Gap
+		var end hardware.Microseconds
+		var ok bool
+		if cfg.NoSplit {
+			pieces, end, ok = free[it.device].placeWhole(it.readyAt, it.duration)
+		} else {
+			pieces, end, ok = free[it.device].place(it.readyAt, it.duration)
+		}
+		if !ok {
+			unassigned++
+			return false
+		}
+		for _, p := range pieces {
+			op := &pipeline.Op{
+				Kind: it.kind, Device: it.device, Stage: it.stage,
+				MicroBatch: it.micro, Step: -1, Duration: p.End - p.Start,
+			}
+			out.Events[it.device] = append(out.Events[it.device], pipeline.Event{Op: op, Start: p.Start, End: p.End})
+		}
+		it.placedEnd = end
+		return true
+	}
+	for _, it := range curv {
+		if !placeItem(it) {
+			continue
+		}
+		key := [3]int{it.device, it.stage, it.factor}
+		if it.placedEnd > curvDone[key] {
+			curvDone[key] = it.placedEnd
+		}
+		skey := [2]int{it.device, it.stage}
+		if it.placedEnd > stageCurvDone[skey] {
+			stageCurvDone[skey] = it.placedEnd
+		}
+	}
+	// Sync-curvature: after all curvature of the stage on the owning
+	// devices.
+	for _, it := range syncs {
+		var ready hardware.Microseconds
+		for _, ow := range stageOwners(cfg, it.stage) {
+			if t := stageCurvDone[[2]int{ow.device, it.stage}]; t > ready {
+				ready = t
+			}
+		}
+		it.readyAt = ready
+		if placeItem(it) {
+			skey := [2]int{it.device, it.stage}
+			if it.placedEnd > stageCurvDone[skey] {
+				stageCurvDone[skey] = it.placedEnd
+			}
+		}
+	}
+	// Inversions: ready when the factor's curvature is done on all owners
+	// (plus sync when present).
+	sort.SliceStable(invs, func(i, j int) bool {
+		ri := invReady(invs[i], cfg, curvDone, stageCurvDone)
+		rj := invReady(invs[j], cfg, curvDone, stageCurvDone)
+		return ri < rj
+	})
+	for _, it := range invs {
+		it.readyAt = invReady(it, cfg, curvDone, stageCurvDone)
+		placeItem(it)
+	}
+	for d := range out.Events {
+		sort.Slice(out.Events[d], func(i, j int) bool { return out.Events[d][i].Start < out.Events[d][j].Start })
+	}
+	return out, unassigned
+}
+
+func invReady(it *workItem, cfg Config, curvDone map[[3]int]hardware.Microseconds, stageCurvDone map[[2]int]hardware.Microseconds) hardware.Microseconds {
+	var ready hardware.Microseconds
+	owners := stageOwners(cfg, it.stage)
+	split := cfg.InversionParallel && len(owners) > 1
+	for _, ow := range owners {
+		var t hardware.Microseconds
+		if split {
+			// With sync-curvature, the factor is available everywhere once
+			// the stage's curvature (and sync) completed on each owner.
+			t = stageCurvDone[[2]int{ow.device, it.stage}]
+		} else if ow.device == it.device {
+			t = curvDone[[3]int{ow.device, it.stage, it.factor}]
+		}
+		if t > ready {
+			ready = t
+		}
+	}
+	return ready
+}
+
+// refreshFromItems derives the per-stage refresh interval: the number of
+// pipeline steps spanned until the stage's last K-FAC item completes.
+func (r *Result) refreshFromItems(items []*workItem, tl *pipeline.Timeline, cfg Config) {
+	r.RefreshStepsPerStage = make([]int, cfg.Stages)
+	for _, it := range items {
+		if it.placedEnd == 0 {
+			continue
+		}
+		step := stepOf(it.placedEnd, tl.StepEnd)
+		if step+1 > r.RefreshStepsPerStage[it.stage] {
+			r.RefreshStepsPerStage[it.stage] = step + 1
+		}
+	}
+	for _, s := range r.RefreshStepsPerStage {
+		if s > r.RefreshSteps {
+			r.RefreshSteps = s
+		}
+	}
+	if r.RefreshSteps == 0 {
+		r.RefreshSteps = 1
+	}
+}
+
+func stepOf(t hardware.Microseconds, stepEnd []hardware.Microseconds) int {
+	for k, end := range stepEnd {
+		if t <= end {
+			return k
+		}
+	}
+	return len(stepEnd) - 1
+}
+
+// steadyStepTime returns the duration of a steady-state step (the second
+// step when available, else the first).
+func steadyStepTime(tl *pipeline.Timeline) hardware.Microseconds {
+	if len(tl.StepEnd) >= 2 {
+		return tl.StepEnd[1] - tl.StepEnd[0]
+	}
+	if len(tl.StepEnd) == 1 {
+		return tl.StepEnd[0]
+	}
+	return tl.Makespan
+}

@@ -1,0 +1,102 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, n := range []int{32, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := NewRNG(1)
+			x := RandN(r, n, n, 1)
+			y := RandN(r, n, n, 1)
+			out := Zeros(n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(out, x, y)
+			}
+			b.SetBytes(int64(8 * n * n))
+		})
+	}
+}
+
+func BenchmarkMatMulT(b *testing.B) {
+	r := NewRNG(2)
+	x := RandN(r, 128, 256, 1)
+	y := RandN(r, 128, 256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulT(x, y)
+	}
+}
+
+func BenchmarkTMatMul(b *testing.B) {
+	// The curvature kernel shape: U^T U with tall U (tokens x features).
+	r := NewRNG(3)
+	u := RandN(r, 512, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TMatMul(u, u)
+	}
+}
+
+func BenchmarkCholesky(b *testing.B) {
+	for _, n := range []int{32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := NewRNG(4)
+			m := RandSPD(r, n, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Cholesky(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCholeskyInverse(b *testing.B) {
+	r := NewRNG(5)
+	m := RandSPD(r, 64, 1)
+	l, err := Cholesky(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CholeskyInverse(l)
+	}
+}
+
+func BenchmarkSPDInverse(b *testing.B) {
+	r := NewRNG(6)
+	m := RandSPD(r, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SPDInverse(m, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKronMatVec(b *testing.B) {
+	// The preconditioning kernel B⁻¹ G A⁻¹ for a 64->64 layer.
+	r := NewRNG(7)
+	a := RandSPD(r, 64, 1)
+	bb := RandSPD(r, 64, 1)
+	g := RandN(r, 64, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KronMatVec(a, bb, g)
+	}
+}
+
+func BenchmarkRNGNormFloat64(b *testing.B) {
+	r := NewRNG(8)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.NormFloat64()
+	}
+	_ = sink
+}

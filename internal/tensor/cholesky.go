@@ -1,0 +1,161 @@
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned when a Cholesky factorization encounters a
+// non-positive pivot, i.e. the input is not symmetric positive definite
+// (within floating-point tolerance).
+var ErrNotSPD = errors.New("tensor: matrix is not symmetric positive definite")
+
+// Cholesky computes the lower-triangular factor L such that m = L L^T.
+// m must be square and symmetric positive definite; otherwise ErrNotSPD is
+// returned. Only the lower triangle of m is read, mirroring the convention
+// of LAPACK's dpotrf and torch.linalg.cholesky, which the paper invokes for
+// every Kronecker factor (§2.3.1).
+func Cholesky(m *Matrix) (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("tensor: Cholesky requires a square matrix, got %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := Zeros(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			var s float64
+			lrow := l.Data[i*n : i*n+j]
+			ljrow := l.Data[j*n : j*n+j]
+			for k, v := range lrow {
+				s += v * ljrow[k]
+			}
+			if i == j {
+				d := m.Data[i*n+i] - s
+				if d <= 0 || math.IsNaN(d) {
+					return nil, ErrNotSPD
+				}
+				l.Data[i*n+j] = math.Sqrt(d)
+			} else {
+				l.Data[i*n+j] = (m.Data[i*n+j] - s) / l.Data[j*n+j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves m x = b given the lower Cholesky factor L of m
+// (so m = L L^T), via forward then backward substitution.
+func CholeskySolve(l *Matrix, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("tensor: CholeskySolve length mismatch: factor %dx%d, b has %d", l.Rows, l.Cols, len(b)))
+	}
+	// Forward: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := l.Data[i*n : i*n+i]
+		for k, v := range row {
+			s -= v * y[k]
+		}
+		y[i] = s / l.Data[i*n+i]
+	}
+	// Backward: L^T x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.Data[k*n+i] * x[k]
+		}
+		x[i] = s / l.Data[i*n+i]
+	}
+	return x
+}
+
+// CholeskyInverse returns m^{-1} given the lower Cholesky factor L of m.
+// This mirrors torch.linalg.cholesky_inverse: the inverse is assembled from
+// L^{-1} as m^{-1} = L^{-T} L^{-1} and is exactly symmetric by construction.
+func CholeskyInverse(l *Matrix) *Matrix {
+	n := l.Rows
+	// Invert the lower-triangular L in place into linv.
+	linv := Zeros(n, n)
+	for i := 0; i < n; i++ {
+		linv.Data[i*n+i] = 1 / l.Data[i*n+i]
+		for j := 0; j < i; j++ {
+			var s float64
+			for k := j; k < i; k++ {
+				s += l.Data[i*n+k] * linv.Data[k*n+j]
+			}
+			linv.Data[i*n+j] = -s / l.Data[i*n+i]
+		}
+	}
+	// m^{-1} = (L^{-1})^T L^{-1}. Fill the upper triangle and mirror.
+	inv := Zeros(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var s float64
+			// linv is lower triangular: row k has nonzeros up to column k.
+			for k := j; k < n; k++ {
+				s += linv.Data[k*n+i] * linv.Data[k*n+j]
+			}
+			inv.Data[i*n+j] = s
+			inv.Data[j*n+i] = s
+		}
+	}
+	return inv
+}
+
+// SPDInverse inverts a symmetric positive definite matrix via Cholesky. If
+// the factorization fails, damping*I is added (with exponentially growing
+// damping) until it succeeds or the attempt budget is exhausted. This is the
+// rescue path used when empirical Kronecker factors are rank deficient,
+// which happens whenever the micro-batch size is smaller than the factor
+// dimension.
+func SPDInverse(m *Matrix, damping float64) (*Matrix, error) {
+	if damping < 0 {
+		return nil, fmt.Errorf("tensor: SPDInverse damping must be non-negative, got %g", damping)
+	}
+	work := m
+	d := damping
+	const attempts = 12
+	for try := 0; try < attempts; try++ {
+		if d > 0 {
+			work = m.AddDiagonal(d)
+		}
+		l, err := Cholesky(work)
+		if err == nil {
+			return CholeskyInverse(l), nil
+		}
+		if d == 0 {
+			// Seed the escalation relative to the matrix scale.
+			d = 1e-8 * math.Max(1, m.MaxAbs())
+		} else {
+			d *= 10
+		}
+	}
+	return nil, fmt.Errorf("tensor: SPDInverse failed after %d damping attempts: %w", attempts, ErrNotSPD)
+}
+
+// SolveSPD solves m x = b for SPD m with the given damping rescue.
+func SolveSPD(m *Matrix, b []float64, damping float64) ([]float64, error) {
+	work := m
+	if damping > 0 {
+		work = m.AddDiagonal(damping)
+	}
+	l, err := Cholesky(work)
+	if err != nil {
+		return nil, err
+	}
+	return CholeskySolve(l, b), nil
+}
+
+// LogDetFromCholesky returns log(det m) = 2 * sum(log L_ii) given the lower
+// factor of m.
+func LogDetFromCholesky(l *Matrix) float64 {
+	var s float64
+	for i := 0; i < l.Rows; i++ {
+		s += math.Log(l.Data[i*l.Cols+i])
+	}
+	return 2 * s
+}

@@ -1,0 +1,201 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	// m = [[4, 2], [2, 3]] has L = [[2, 0], [1, sqrt(2)]].
+	m := New(2, 2, []float64{4, 2, 2, 3})
+	l, err := Cholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.At(0, 0)-2) > 1e-12 || math.Abs(l.At(1, 0)-1) > 1e-12 ||
+		math.Abs(l.At(1, 1)-math.Sqrt(2)) > 1e-12 || l.At(0, 1) != 0 {
+		t.Fatalf("Cholesky factor wrong: %v", l)
+	}
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	r := NewRNG(11)
+	for n := 1; n <= 10; n++ {
+		m := RandSPD(r, n, 0.5)
+		l, err := Cholesky(m)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		recon := MatMulT(l, l)
+		if !recon.AllClose(m, 1e-8) {
+			t.Fatalf("n=%d: L L^T != m (max err %g)", n, recon.Sub(m).MaxAbs())
+		}
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	m := New(2, 2, []float64{1, 2, 2, 1}) // indefinite (eigenvalues 3, -1)
+	if _, err := Cholesky(m); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("expected ErrNotSPD, got %v", err)
+	}
+}
+
+func TestCholeskyRejectsRectangular(t *testing.T) {
+	if _, err := Cholesky(Zeros(2, 3)); err == nil {
+		t.Fatal("expected error for rectangular input")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	r := NewRNG(13)
+	m := RandSPD(r, 6, 1)
+	xTrue := make([]float64, 6)
+	for i := range xTrue {
+		xTrue[i] = r.NormFloat64()
+	}
+	b := MatVec(m, xTrue)
+	l, err := Cholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := CholeskySolve(l, b)
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("solve mismatch at %d: got %g want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestCholeskyInverse(t *testing.T) {
+	r := NewRNG(17)
+	m := RandSPD(r, 8, 1)
+	l, err := Cholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := CholeskyInverse(l)
+	if !inv.IsSymmetric(1e-12) {
+		t.Fatal("CholeskyInverse result must be symmetric")
+	}
+	prod := MatMul(m, inv)
+	if !prod.AllClose(Eye(8), 1e-8) {
+		t.Fatalf("m * m^-1 != I (max err %g)", prod.Sub(Eye(8)).MaxAbs())
+	}
+}
+
+func TestSPDInverseRescuesSingular(t *testing.T) {
+	// Rank-1 matrix: needs damping to invert.
+	x := []float64{1, 2, 3}
+	m := Outer(x, x)
+	inv, err := SPDInverse(m, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.HasNaN() {
+		t.Fatal("SPDInverse produced NaN")
+	}
+	// The damped inverse must satisfy (m + dI) inv ≈ I for some d >= 1e-3,
+	// which in particular means inv is SPD itself.
+	if _, err := Cholesky(inv.Symmetrize()); err != nil {
+		t.Fatalf("damped inverse is not SPD: %v", err)
+	}
+}
+
+func TestSPDInverseZeroDampingEscalates(t *testing.T) {
+	m := Zeros(3, 3) // singular; zero damping must escalate internally
+	inv, err := SPDInverse(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.HasNaN() {
+		t.Fatal("NaN in rescued inverse")
+	}
+}
+
+func TestSPDInverseNegativeDamping(t *testing.T) {
+	if _, err := SPDInverse(Eye(2), -1); err == nil {
+		t.Fatal("expected error for negative damping")
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	r := NewRNG(19)
+	m := RandSPD(r, 5, 1)
+	b := []float64{1, 2, 3, 4, 5}
+	x, err := SolveSPD(m, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MatVec(m, x)
+	for i := range b {
+		if math.Abs(got[i]-b[i]) > 1e-8 {
+			t.Fatalf("SolveSPD residual too large at %d", i)
+		}
+	}
+}
+
+func TestSolveSPDPropagatesError(t *testing.T) {
+	m := New(2, 2, []float64{0, 0, 0, 0})
+	if _, err := SolveSPD(m, []float64{1, 2}, 0); err == nil {
+		t.Fatal("expected error for singular matrix with no damping")
+	}
+}
+
+func TestLogDetFromCholesky(t *testing.T) {
+	// det([[4,0],[0,9]]) = 36, log = log(36).
+	m := New(2, 2, []float64{4, 0, 0, 9})
+	l, err := Cholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LogDetFromCholesky(l); math.Abs(got-math.Log(36)) > 1e-12 {
+		t.Fatalf("LogDet: got %g, want %g", got, math.Log(36))
+	}
+}
+
+// Property: for random SPD m, inverse round-trips within tolerance.
+func TestSPDInverseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(8)
+		m := RandSPD(r, n, 1)
+		inv, err := SPDInverse(m, 0)
+		if err != nil {
+			return false
+		}
+		return MatMul(m, inv).AllClose(Eye(n), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cholesky solve agrees with explicit inverse multiplication.
+func TestCholeskySolveMatchesInverseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(6)
+		m := RandSPD(r, n, 1)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		l, err := Cholesky(m)
+		if err != nil {
+			return false
+		}
+		x1 := CholeskySolve(l, b)
+		x2 := MatVec(CholeskyInverse(l), b)
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

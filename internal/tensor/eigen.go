@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// SymEigen computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method: m = V diag(values) V^T with orthonormal columns in
+// V. It exists to support Shampoo-style preconditioners (§5 of the paper),
+// which need matrix p-th roots of Kronecker-factored statistics — an
+// eigendecomposition per factor, the work PipeFisher would split across
+// bubbles.
+//
+// The input must be symmetric within reasonable tolerance; only the lower
+// triangle is trusted. Typical factor sizes (tens to a few thousand) are
+// well within Jacobi's comfort zone.
+func SymEigen(m *Matrix) (values []float64, vectors *Matrix, err error) {
+	if m.Rows != m.Cols {
+		return nil, nil, fmt.Errorf("tensor: SymEigen requires a square matrix, got %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	a := m.Symmetrize() // work on an exactly symmetric copy
+	v := Eye(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += 2 * a.Data[i*n+j] * a.Data[i*n+j]
+			}
+		}
+		if math.Sqrt(off) <= 1e-12*(1+a.FrobeniusNorm()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.Data[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := a.Data[p*n+p]
+				aqq := a.Data[q*n+q]
+				// Rotation angle.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation to rows/columns p and q.
+				for k := 0; k < n; k++ {
+					akp := a.Data[k*n+p]
+					akq := a.Data[k*n+q]
+					a.Data[k*n+p] = c*akp - s*akq
+					a.Data[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk := a.Data[p*n+k]
+					aqk := a.Data[q*n+k]
+					a.Data[p*n+k] = c*apk - s*aqk
+					a.Data[q*n+k] = s*apk + c*aqk
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.Data[k*n+p]
+					vkq := v.Data[k*n+q]
+					v.Data[k*n+p] = c*vkp - s*vkq
+					v.Data[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = a.Data[i*n+i]
+	}
+	return values, v, nil
+}
+
+// MatrixPower returns m^p for symmetric positive semi-definite m via
+// eigendecomposition, clamping eigenvalues below epsilon to epsilon (the
+// standard Shampoo stabilization). p may be fractional or negative (e.g.
+// -0.25 for Shampoo's inverse fourth root).
+func MatrixPower(m *Matrix, p, epsilon float64) (*Matrix, error) {
+	values, vectors, err := SymEigen(m)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Rows
+	// V diag(λ^p) V^T.
+	scaled := Zeros(n, n)
+	for j := 0; j < n; j++ {
+		lam := values[j]
+		if lam < epsilon {
+			lam = epsilon
+		}
+		f := math.Pow(lam, p)
+		for i := 0; i < n; i++ {
+			scaled.Data[i*n+j] = vectors.Data[i*n+j] * f
+		}
+	}
+	return MatMulT(scaled, vectors), nil
+}

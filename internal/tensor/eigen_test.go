@@ -1,0 +1,156 @@
+package tensor
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	m := New(2, 2, []float64{2, 1, 1, 2})
+	values, _, err := SymEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(values)
+	if math.Abs(values[0]-1) > 1e-10 || math.Abs(values[1]-3) > 1e-10 {
+		t.Fatalf("eigenvalues %v, want [1 3]", values)
+	}
+}
+
+func TestSymEigenRejectsRectangular(t *testing.T) {
+	if _, _, err := SymEigen(Zeros(2, 3)); err == nil {
+		t.Fatal("expected error for rectangular input")
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	r := NewRNG(1)
+	for n := 1; n <= 12; n += 3 {
+		m := RandSPD(r, n, 0.5)
+		values, vectors, err := SymEigen(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reconstruct V diag(λ) V^T.
+		lam := Zeros(n, n)
+		for i, v := range values {
+			lam.Data[i*n+i] = v
+		}
+		recon := MatMulT(MatMul(vectors, lam), vectors)
+		if !recon.AllClose(m, 1e-8) {
+			t.Fatalf("n=%d: reconstruction error %g", n, recon.Sub(m).MaxAbs())
+		}
+	}
+}
+
+func TestSymEigenOrthogonality(t *testing.T) {
+	r := NewRNG(2)
+	m := RandSPD(r, 8, 1)
+	_, v, err := SymEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !TMatMul(v, v).AllClose(Eye(8), 1e-9) {
+		t.Fatal("eigenvectors not orthonormal")
+	}
+}
+
+func TestSymEigenTraceAndDetInvariants(t *testing.T) {
+	r := NewRNG(3)
+	m := RandSPD(r, 6, 1)
+	values, _, err := SymEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	if math.Abs(sum-m.Trace()) > 1e-8 {
+		t.Fatalf("eigenvalue sum %g != trace %g", sum, m.Trace())
+	}
+	for _, v := range values {
+		if v <= 0 {
+			t.Fatalf("SPD matrix produced non-positive eigenvalue %g", v)
+		}
+	}
+}
+
+func TestMatrixPowerIdentity(t *testing.T) {
+	r := NewRNG(4)
+	m := RandSPD(r, 5, 1)
+	p1, err := MatrixPower(m, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.AllClose(m, 1e-8) {
+		t.Fatal("m^1 != m")
+	}
+}
+
+func TestMatrixPowerInverse(t *testing.T) {
+	r := NewRNG(5)
+	m := RandSPD(r, 5, 1)
+	inv, err := MatrixPower(m, -1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !MatMul(m, inv).AllClose(Eye(5), 1e-7) {
+		t.Fatal("m * m^-1 != I via eigendecomposition")
+	}
+}
+
+func TestMatrixPowerFourthRoot(t *testing.T) {
+	// The Shampoo exponent: (m^{-1/4})^4 * m == I.
+	r := NewRNG(6)
+	m := RandSPD(r, 4, 1)
+	root, err := MatrixPower(m, -0.25, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fourth := MatMul(MatMul(root, root), MatMul(root, root))
+	if !MatMul(fourth, m).AllClose(Eye(4), 1e-6) {
+		t.Fatal("(m^{-1/4})^4 m != I")
+	}
+}
+
+func TestMatrixPowerEpsilonClamp(t *testing.T) {
+	// Singular matrix: eigenvalue 0 must clamp to epsilon, not blow up.
+	m := New(2, 2, []float64{1, 0, 0, 0})
+	inv, err := MatrixPower(m, -0.5, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.HasNaN() {
+		t.Fatal("NaN from clamped power")
+	}
+	// The zero eigenvalue becomes epsilon^{-1/2} = 100.
+	if math.Abs(inv.At(1, 1)-100) > 1e-6 {
+		t.Fatalf("clamped eigenvalue power = %g, want 100", inv.At(1, 1))
+	}
+}
+
+// Property: eigendecomposition round-trips for random SPD matrices.
+func TestSymEigenProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(8)
+		m := RandSPD(r, n, 1)
+		values, vectors, err := SymEigen(m)
+		if err != nil {
+			return false
+		}
+		lam := Zeros(n, n)
+		for i, v := range values {
+			lam.Data[i*n+i] = v
+		}
+		recon := MatMulT(MatMul(vectors, lam), vectors)
+		return recon.AllClose(m, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

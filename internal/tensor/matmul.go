@@ -1,0 +1,154 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul returns a*b. It panics if the inner dimensions disagree.
+//
+// The loop nest is (i, k, j) so the innermost loop walks both the output row
+// and the b row contiguously, which is the standard cache-friendly ordering
+// for row-major data.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch: %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := Zeros(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a*b, overwriting dst. dst must already have
+// shape a.Rows x b.Cols and must not alias a or b.
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dimension mismatch: %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	n, k, p := a.Rows, a.Cols, b.Cols
+	dst.Zero()
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*p : (i+1)*p]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*p : (kk+1)*p]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT returns a * b^T without materializing the transpose.
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT dimension mismatch: %dx%d * (%dx%d)^T", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := Zeros(a.Rows, b.Rows)
+	k := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float64
+			for t, av := range arow {
+				s += av * brow[t]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// TMatMul returns a^T * b without materializing the transpose.
+func TMatMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: TMatMul dimension mismatch: (%dx%d)^T * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := Zeros(a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
+		brow := b.Data[r*b.Cols : (r+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatVec returns the matrix-vector product a*x as a new slice.
+func MatVec(a *Matrix, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch: %dx%d * vec(%d)", a.Rows, a.Cols, len(x)))
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// VecMat returns x^T * a as a new slice (length a.Cols).
+func VecMat(x []float64, a *Matrix) []float64 {
+	if a.Rows != len(x) {
+		panic(fmt.Sprintf("tensor: VecMat dimension mismatch: vec(%d)^T * %dx%d", len(x), a.Rows, a.Cols))
+	}
+	out := make([]float64, a.Cols)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			out[j] += xv * v
+		}
+	}
+	return out
+}
+
+// Outer returns the outer product x y^T as a len(x) x len(y) matrix.
+func Outer(x, y []float64) *Matrix {
+	out := Zeros(len(x), len(y))
+	for i, xv := range x {
+		row := out.Data[i*len(y) : (i+1)*len(y)]
+		for j, yv := range y {
+			row[j] = xv * yv
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch: %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}

@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/pipeline"
+)
+
+// kindColor maps work kinds to the approximate colors of the paper's
+// profile figures.
+func kindColor(k pipeline.WorkKind) string {
+	switch k {
+	case pipeline.Forward:
+		return "#4c8bf5" // blue
+	case pipeline.Backward:
+		return "#8ab4f8" // light blue
+	case pipeline.Curvature:
+		return "#f5a623" // orange
+	case pipeline.Inversion:
+		return "#d0021b" // red
+	case pipeline.Precondition:
+		return "#7ed321" // green
+	case pipeline.SyncGrad:
+		return "#9b9b9b" // grey
+	case pipeline.SyncCurvature:
+		return "#b8860b" // dark gold
+	case pipeline.OptStep:
+		return "#4a4a4a" // dark grey
+	}
+	return "#000000"
+}
+
+// RenderSVG writes the timeline as a standalone SVG Gantt chart: one row
+// per device, one colored rectangle per event — a vector version of the
+// paper's Figures 3 and 4 suitable for embedding in reports.
+func RenderSVG(w io.Writer, tl *pipeline.Timeline, width int) error {
+	if width <= 0 {
+		width = 1000
+	}
+	const (
+		rowHeight = 26
+		rowGap    = 6
+		leftPad   = 70
+		topPad    = 34
+	)
+	if tl.Makespan == 0 {
+		_, err := fmt.Fprint(w, `<svg xmlns="http://www.w3.org/2000/svg" width="200" height="40"><text x="4" y="20">(empty timeline)</text></svg>`)
+		return err
+	}
+	height := topPad + tl.Devices*(rowHeight+rowGap) + 30
+	scale := float64(width) / float64(tl.Makespan)
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`,
+		width+leftPad+10, height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<text x="%d" y="18">%s [GPU util. %.1f%%]</text>`, leftPad, tl.Name, 100*tl.Utilization())
+	for d := 0; d < tl.Devices; d++ {
+		y := topPad + d*(rowHeight+rowGap)
+		fmt.Fprintf(w, `<text x="4" y="%d">GPU %d</text>`, y+rowHeight-8, d+1)
+		// Row background marks idle time.
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f0f0f0"/>`,
+			leftPad, y, width, rowHeight)
+		for _, e := range tl.Events[d] {
+			x := leftPad + int(float64(e.Start)*scale)
+			wPx := int(float64(e.End-e.Start) * scale)
+			if wPx < 1 {
+				wPx = 1
+			}
+			fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s [%d,%d)us</title></rect>`,
+				x, y, wPx, rowHeight, kindColor(e.Op.Kind), e.Op.Kind, e.Start, e.End)
+		}
+	}
+	// Legend.
+	lx := leftPad
+	ly := topPad + tl.Devices*(rowHeight+rowGap) + 6
+	for _, k := range []pipeline.WorkKind{
+		pipeline.Forward, pipeline.Backward, pipeline.Curvature, pipeline.Inversion,
+		pipeline.Precondition, pipeline.SyncGrad, pipeline.SyncCurvature, pipeline.OptStep,
+	} {
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`, lx, ly, kindColor(k))
+		fmt.Fprintf(w, `<text x="%d" y="%d">%s</text>`, lx+16, ly+11, k)
+		lx += 16 + 9*len(k.String()) + 14
+	}
+	_, err := fmt.Fprint(w, `</svg>`)
+	return err
+}

@@ -1,0 +1,141 @@
+// Package trace renders simulated pipeline timelines in the style of the
+// paper's Nsight profiles (Figures 1, 3 and 4): one row per device, colored
+// (lettered) boxes per work kind, plus utilization summaries and CSV export
+// for plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/hardware"
+	"repro/internal/pipeline"
+)
+
+// kindRune maps work kinds to single-character cells for ASCII rendering.
+func kindRune(k pipeline.WorkKind) byte {
+	switch k {
+	case pipeline.Forward:
+		return 'F'
+	case pipeline.Backward:
+		return 'B'
+	case pipeline.Curvature:
+		return 'C'
+	case pipeline.Inversion:
+		return 'I'
+	case pipeline.Precondition:
+		return 'P'
+	case pipeline.SyncGrad:
+		return 'g'
+	case pipeline.SyncCurvature:
+		return 'c'
+	case pipeline.OptStep:
+		return 'o'
+	}
+	return '?'
+}
+
+// RenderASCII draws the timeline as one text row per device, width columns
+// wide. Idle time renders as '.', work as the kind's letter. The output
+// mirrors the layout of the paper's profile figures closely enough to
+// eyeball bubble filling.
+func RenderASCII(w io.Writer, tl *pipeline.Timeline, width int) error {
+	if width <= 0 {
+		width = 100
+	}
+	if tl.Makespan == 0 {
+		_, err := fmt.Fprintln(w, "(empty timeline)")
+		return err
+	}
+	scale := float64(width) / float64(tl.Makespan)
+	if _, err := fmt.Fprintf(w, "%s  [GPU util. %.1f%%]\n", tl.Name, 100*tl.Utilization()); err != nil {
+		return err
+	}
+	for d := 0; d < tl.Devices; d++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range tl.Events[d] {
+			lo := int(float64(e.Start) * scale)
+			hi := int(float64(e.End) * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			ch := kindRune(e.Op.Kind)
+			for i := lo; i < hi; i++ {
+				row[i] = ch
+			}
+		}
+		if _, err := fmt.Fprintf(w, "GPU %-2d |%s|\n", d+1, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "legend: F=forward B=backward C=curvature I=inverse P=precondition g=sync-grad c=sync-curv o=opt .=idle")
+	return err
+}
+
+// WriteCSV exports the timeline events as CSV rows
+// (device,kind,stage,micro,step,start_us,end_us) for external plotting.
+func WriteCSV(w io.Writer, tl *pipeline.Timeline) error {
+	if _, err := fmt.Fprintln(w, "device,kind,stage,micro_batch,step,start_us,end_us"); err != nil {
+		return err
+	}
+	for d := 0; d < tl.Devices; d++ {
+		for _, e := range tl.Events[d] {
+			if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d\n",
+				d, e.Op.Kind, e.Op.Stage, e.Op.MicroBatch, e.Op.Step, e.Start, e.End); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Summary aggregates per-kind busy time across a timeline.
+type Summary struct {
+	// Name echoes the timeline name.
+	Name string
+	// Utilization is busy/(devices*makespan).
+	Utilization float64
+	// Makespan is the timeline end.
+	Makespan hardware.Microseconds
+	// PerKind maps each work kind to its total device-time.
+	PerKind map[pipeline.WorkKind]hardware.Microseconds
+}
+
+// Summarize computes a Summary for a timeline.
+func Summarize(tl *pipeline.Timeline) Summary {
+	s := Summary{
+		Name:        tl.Name,
+		Utilization: tl.Utilization(),
+		Makespan:    tl.Makespan,
+		PerKind:     make(map[pipeline.WorkKind]hardware.Microseconds),
+	}
+	for d := 0; d < tl.Devices; d++ {
+		for _, e := range tl.Events[d] {
+			s.PerKind[e.Op.Kind] += e.Duration()
+		}
+	}
+	return s
+}
+
+// String renders the summary as a compact table.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: makespan %.1f ms, GPU util. %.1f%%\n", s.Name, float64(s.Makespan)/1000, 100*s.Utilization)
+	kinds := make([]pipeline.WorkKind, 0, len(s.PerKind))
+	for k := range s.PerKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %-14s %10.1f ms\n", k.String(), float64(s.PerKind[k])/1000)
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/pipeline"
+)
+
+func sampleTimeline(t *testing.T) *pipeline.Timeline {
+	t.Helper()
+	costs := pipeline.StageCosts{Forward: 10, Backward: 20, OptStep: 2}
+	s, err := pipeline.BuildGPipe(pipeline.BuildConfig{
+		Stages: 4, MicroBatches: 4, Steps: 1, Costs: costs, IncludeOptimizerWork: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := pipeline.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestRenderASCII(t *testing.T) {
+	tl := sampleTimeline(t)
+	var sb strings.Builder
+	if err := RenderASCII(&sb, tl, 80); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "GPU util.") {
+		t.Fatal("missing utilization header")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + 4 devices + legend.
+	if len(lines) != 6 {
+		t.Fatalf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "F") || !strings.Contains(out, "B") {
+		t.Fatal("rows must contain forward/backward cells")
+	}
+	if !strings.Contains(out, ".") {
+		t.Fatal("GPipe timeline must show idle bubbles")
+	}
+	// Device 4 (last stage) starts late: its row must begin with idle.
+	last := lines[4]
+	cells := last[strings.Index(last, "|")+1:]
+	if cells[0] != '.' {
+		t.Fatalf("last stage must start idle, row: %s", last)
+	}
+}
+
+func TestRenderASCIIEmptyAndDefaults(t *testing.T) {
+	var sb strings.Builder
+	empty := &pipeline.Timeline{Name: "empty", Devices: 0}
+	if err := RenderASCII(&sb, empty, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty timeline") {
+		t.Fatal("empty timeline not reported")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tl := sampleTimeline(t)
+	var sb strings.Builder
+	if err := WriteCSV(&sb, tl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// Header + 8 F/B per device * 4 + 4 opt ops.
+	wantRows := 1 + 4*8 + 4
+	if len(lines) != wantRows {
+		t.Fatalf("expected %d CSV rows, got %d", wantRows, len(lines))
+	}
+	if lines[0] != "device,kind,stage,micro_batch,step,start_us,end_us" {
+		t.Fatalf("bad header: %s", lines[0])
+	}
+	if !strings.Contains(sb.String(), "forward") || !strings.Contains(sb.String(), "backward") {
+		t.Fatal("CSV must name work kinds")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tl := sampleTimeline(t)
+	s := Summarize(tl)
+	if s.Utilization <= 0 || s.Utilization > 1 {
+		t.Fatalf("utilization %.3f out of range", s.Utilization)
+	}
+	// 4 devices x 4 micro-batches x 10us forward.
+	if got := s.PerKind[pipeline.Forward]; got != hardware.Microseconds(160) {
+		t.Fatalf("forward time %d, want 160", got)
+	}
+	if got := s.PerKind[pipeline.Backward]; got != hardware.Microseconds(320) {
+		t.Fatalf("backward time %d, want 320", got)
+	}
+	str := s.String()
+	if !strings.Contains(str, "forward") || !strings.Contains(str, "GPU util.") {
+		t.Fatalf("summary string incomplete: %s", str)
+	}
+}
