@@ -7,6 +7,12 @@
 //	pipefisher -method gpipe -arch BERT-Base -stages 4 -blocks 3 -nmicro 4 -bmicro 32
 //	pipefisher -method chimera -arch BERT-Large -stages 8 -blocks 3 -nmicro 8 -bmicro 32 -invparallel
 //	pipefisher -method gpipe -stages 4 -nmicro 4 -bmicro 32 -dp 2 -invparallel -csv out.csv
+//
+// With -execute it additionally *runs* the schedule for real: a small BERT
+// (one block per stage) trains through the schedule-driven engine with
+// K-FAC work executing in the bubbles, and the executed timeline is
+// rendered (and written as SVG next to -svg) for comparison against the
+// simulated one — the sim/exec round trip the shared schedule form enables.
 package main
 
 import (
@@ -16,7 +22,13 @@ import (
 	"os"
 
 	"repro/internal/arch"
+	"repro/internal/bert"
+	"repro/internal/data"
+	"repro/internal/engine"
 	"repro/internal/hardware"
+	"repro/internal/kfac"
+	"repro/internal/nn"
+	"repro/internal/optim"
 	"repro/internal/pipeline"
 	"repro/internal/schedule"
 	"repro/internal/trace"
@@ -40,6 +52,8 @@ func main() {
 		csvPath     = flag.String("csv", "", "write the augmented timeline as CSV to this file")
 		svgPath     = flag.String("svg", "", "write the augmented timeline as SVG to this file")
 		vanilla     = flag.Bool("vanilla", false, "also render the vanilla (no K-FAC) timeline")
+		execute     = flag.Bool("execute", false, "really train a small model under this schedule and render the executed timeline")
+		execSteps   = flag.Int("execsteps", 5, "training steps to execute with -execute (use an odd count so the rendered last step is a K-FAC refresh step)")
 	)
 	flag.Parse()
 
@@ -108,5 +122,62 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("timeline SVG written to %s\n", *svgPath)
+	}
+
+	if *execute {
+		executeSchedule(*method, *stages, *nmicro, *execSteps, *width, *svgPath)
+	}
+}
+
+// executeSchedule trains a small BERT (one block per stage) for real under
+// the selected schedule with K-FAC packed into the bubbles, then renders
+// the executed timeline of the last step.
+func executeSchedule(method string, stages, nmicro, steps, width int, svgPath string) {
+	cfg := bert.TinyConfig()
+	cfg.Blocks = stages
+	model, err := bert.New(cfg, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus, err := data.NewCorpus(cfg.VocabSize, 1.0, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := engine.NewWithConfig(model, engine.Config{Method: method, Stages: stages, MicroBatches: nmicro})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.EnableKFAC(kfac.Options{Damping: 1e-2, StatDecay: 0.95, UsePiDamping: true}, 2); err != nil {
+		log.Fatal(err)
+	}
+	params := model.Params()
+	opt := optim.NewLAMB(params, 0.01)
+	fmt.Printf("\n--- real execution: %s, %d stages, %d micro-batches ---\n", method, stages, nmicro)
+	for step := 0; step < steps; step++ {
+		batch := corpus.MakeBatch(4*nmicro, data.DefaultBatchConfig(cfg.SeqLen))
+		nn.ZeroGrads(params)
+		res, err := eng.TrainStep(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Step(3e-3)
+		fmt.Printf("step %d  loss %.4f  refreshed=%v\n", step, res.Loss.Total, res.Refreshed)
+	}
+	fmt.Println()
+	real := eng.LastTimeline()
+	if err := trace.RenderASCII(os.Stdout, real, width); err != nil {
+		log.Fatal(err)
+	}
+	if svgPath != "" {
+		execPath := svgPath + ".executed.svg"
+		f, err := os.Create(execPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.RenderSVG(f, real, 1200); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("executed-timeline SVG written to %s\n", execPath)
 	}
 }

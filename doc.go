@@ -2,8 +2,47 @@
 // Efficient Training of Large Language Models Using Pipelining and Fisher
 // Information Matrices" (Osawa, Li, Hoefler — MLSys 2023).
 //
-// The library lives under internal/ (see DESIGN.md for the module map);
-// the benchmark harness in bench_test.go regenerates every table and
-// figure of the paper's evaluation, and cmd/ plus examples/ provide
-// runnable entry points.
+// # Architecture
+//
+// The library is layered so that the timing simulator and the real
+// training executor share one schedule representation (one op-list form,
+// two interpreters):
+//
+//	tensor    dense float64 matrices: matmul, Cholesky, eigen, RNG
+//	nn        layers and autograd: Dense (with K-FAC stat capture),
+//	          LayerNorm, attention, TransformerBlock, losses
+//	models    internal/bert (encoder, MLM+NSP) and internal/gpt
+//	          (decoder, next-token); both implement pipemodel.Model
+//	pipemodel the stageable-model contract: embedding / blocks / head,
+//	          with globally-scaled micro-batch losses
+//	kfac      Kronecker-factored curvature: EMA factors, factored
+//	          damping, per-factor inversion, preconditioning
+//	hardware  device & interconnect cost models (P100, V100, RTX3090)
+//	arch      transformer shape algebra (FLOPs, bytes, factor dims)
+//	pipeline  the schedule form: Op lists with per-device orders and
+//	          dependency edges; builders for GPipe, 1F1B, Chimera; a
+//	          discrete-event simulator producing timelines and bubbles
+//	schedule  PipeFisher's work assignment (§3.1): packs curvature and
+//	          inversion into the bubbles; Executable emits the packed
+//	          op list with real dependency edges
+//	engine    the schedule-driven executor: per-device goroutines walk
+//	          the op lists and train a pipemodel.Model for real —
+//	          GPipe/1F1B/Chimera, with K-FAC running in its packed
+//	          bubble slots and measured (executed) timelines out
+//	trace     ASCII/SVG/CSV rendering of timelines, simulated or
+//	          executed, in the style of the paper's profile figures
+//	optim     Adam, LAMB, Shampoo-style extra work; LR schedules
+//	data      synthetic Zipf corpus with BERT masking
+//	perfmodel fitted step-time models and configuration search
+//
+// Simulation answers "how long would this schedule take on that
+// hardware" (Figures 1, 3, 4); execution answers "does this schedule
+// compute the right thing" — the engine's tests assert that every
+// schedule produces gradients identical to a single-device step. Both
+// consume the same pipeline.Schedule, so a schedule validated by one is
+// valid for the other.
+//
+// The benchmark harness in bench_test.go regenerates the paper's tables
+// and figures, and cmd/ plus examples/ provide runnable entry points
+// (cmd/pipefisher -execute runs the sim/exec comparison end to end).
 package repro

@@ -1,17 +1,25 @@
-// Pipelinetrain example: real pipeline-parallel training. Unlike the
-// simulator-based examples (which model *time*), this one executes the
-// *math* of PipeFisher end to end: a tiny BERT is partitioned into two
-// pipeline stages that run as concurrent workers, micro-batch activations
-// flow through channels, backward uses activation recomputation, each
-// stage keeps K-FAC factors only for its own layers, and inversion work
-// runs stage-parallel — the layout of §3 (advantages (i) and (ii)).
+// Pipelinetrain example: real pipeline-parallel training through the
+// schedule-driven executor. Unlike the simulator-based examples (which
+// model *time*), this one executes the *math* of PipeFisher end to end: a
+// tiny BERT is partitioned into pipeline stages, each device goroutine
+// walks its op list from the shared executable schedule, micro-batch
+// activations flow along the schedule's dependency edges, backward uses
+// activation recomputation, and the K-FAC curvature/inversion work runs in
+// the very bubble slots the PipeFisher packer assigned (§3.1), with
+// per-stage factors (§3(i)) and factor-granular inversion (§3(ii)).
 //
-// Run: go run ./examples/pipelinetrain
+// After training it renders the *executed* timeline of the last step next
+// to a *simulated* timeline calibrated with the measured op durations —
+// the sim/exec comparison the shared schedule form makes possible.
+//
+// Run: go run ./examples/pipelinetrain [-method gpipe|1f1b|chimera]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/bert"
 	"repro/internal/data"
@@ -19,9 +27,15 @@ import (
 	"repro/internal/kfac"
 	"repro/internal/nn"
 	"repro/internal/optim"
+	"repro/internal/pipeline"
+	"repro/internal/schedule"
+	"repro/internal/trace"
 )
 
 func main() {
+	method := flag.String("method", "1f1b", "pipeline schedule: gpipe, 1f1b, chimera")
+	flag.Parse()
+
 	model, err := bert.New(bert.TinyConfig(), 7)
 	if err != nil {
 		log.Fatal(err)
@@ -31,17 +45,21 @@ func main() {
 		log.Fatal(err)
 	}
 	// 2 stages (1 transformer block each), 4 micro-batches per step.
-	eng, err := engine.New(model, 2, 4)
+	eng, err := engine.NewWithConfig(model, engine.Config{Method: *method, Stages: 2, MicroBatches: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng.EnableKFAC(kfac.Options{Damping: 1e-2, StatDecay: 0.95, UsePiDamping: true})
+	// PipeFisher cadence: curvature+inverse ops execute in the bubbles
+	// every 2 steps, preconditioning every step with the cached inverses.
+	if err := eng.EnableKFAC(kfac.Options{Damping: 1e-2, StatDecay: 0.95, UsePiDamping: true}, 2); err != nil {
+		log.Fatal(err)
+	}
 
 	params := model.Params()
 	opt := optim.NewLAMB(params, 0.01)
 	sched := optim.PolyDecaySchedule{BaseLR: 5e-3, WarmupSteps: 8, TotalSteps: 100, Power: 0.5}
 
-	const steps = 100
+	const steps = 101
 	for step := 0; step < steps; step++ {
 		batch := corpus.MakeBatch(16, data.DefaultBatchConfig(model.Config.SeqLen))
 		nn.ZeroGrads(params)
@@ -49,19 +67,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		// PipeFisher cadence: refresh curvature+inverses every 2 steps
-		// (stage-parallel), precondition every step.
-		if step%2 == 0 {
-			if err := eng.KFACRefresh(float64(res.Loss.MaskedCount + batch.BatchSize)); err != nil {
-				log.Fatal(err)
-			}
-		}
-		eng.KFACPrecondition()
 		opt.Step(sched.LR(step))
 		if step%10 == 0 {
-			fmt.Printf("step %3d  loss %.4f (MLM %.4f, NSP %.4f)  stage busy: %.0f ms / %.0f ms\n",
-				step, res.Loss.Total, res.Loss.MLM, res.Loss.NSP,
-				res.StageBusy[0]*1000, res.StageBusy[1]*1000)
+			fmt.Printf("step %3d  loss %.4f (MLM %.4f, NSP %.4f)  refreshed=%v  device busy: %.0f / %.0f ms\n",
+				step, res.Loss.Total, res.Loss.Components["mlm"], res.Loss.Components["nsp"],
+				res.Refreshed, res.DeviceBusy[0]*1000, res.DeviceBusy[1]*1000)
 		}
 	}
 	heldOut := corpus.MakeBatch(64, data.DefaultBatchConfig(model.Config.SeqLen))
@@ -69,6 +79,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nheld-out: loss %.4f, MLM accuracy %.1f%%, perplexity %.1f, NSP accuracy %.1f%%\n",
+	fmt.Printf("\nheld-out: loss %.4f, MLM accuracy %.1f%%, perplexity %.1f, NSP accuracy %.1f%%\n\n",
 		eval.Loss.Total, 100*eval.MLMAccuracy, eval.MLMPerplexity, 100*eval.NSPAccuracy)
+
+	// Real-vs-simulated: the executed timeline of the last step, then the
+	// same schedule simulated with the measured op durations.
+	real := eng.LastTimeline()
+	if err := trace.RenderASCII(os.Stdout, real, 110); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	costs := engine.MeasuredCosts(real, 2*len(eng.StageLayers(0)))
+	simSched, err := schedule.Executable(schedule.Config{
+		Method: *method, Stages: 2, MicroBatches: 4, Costs: costs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := pipeline.Run(simSched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.Name = simSched.Name + " (simulated, measured costs)"
+	if err := trace.RenderASCII(os.Stdout, sim, 110); err != nil {
+		log.Fatal(err)
+	}
 }

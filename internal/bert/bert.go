@@ -59,7 +59,8 @@ type Model struct {
 	MLMHead *nn.Dense // d -> vocab; excluded from K-FAC (§4)
 	NSPHead *nn.Dense // d -> 2 on [CLS]
 
-	posIDs []int // scratch: position ids for the current batch shape
+	posIDs     []int // scratch: position ids for the current batch shape
+	pipePosIDs []int // scratch for EmbedForward's micro-batch shape
 }
 
 // New builds a model with the given configuration and seed.

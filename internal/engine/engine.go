@@ -1,199 +1,310 @@
-// Package engine executes real pipeline-parallel training of the bert
-// model: the transformer blocks are partitioned into stages, each stage
-// runs as its own goroutine ("device"), micro-batch activations and error
-// signals flow through channels (the P2P sends/recvs of Figure 2(iii)),
-// and the backward pass uses activation recomputation (the paper's "R"
-// configuration) so stages can keep many micro-batches in flight with
-// per-layer caches only for the micro-batch currently being differentiated.
+// Package engine executes real pipeline-parallel training of any stageable
+// model (pipemodel.Model — implemented by both internal/bert and
+// internal/gpt) under a schedule-driven executor: the same executable
+// op-list form that internal/pipeline's builders and internal/schedule's
+// PipeFisher assignment produce for the timing simulator is *executed for
+// real* here. Each device runs as its own goroutine walking its per-device
+// op order; op dependency edges are realized as completion signals,
+// micro-batch activations and error signals flow between stages exactly
+// along the Forward/Backward edges (the P2P sends/recvs of Figure 2(iii)),
+// backward uses activation recomputation (the paper's "R" configuration),
+// and — with K-FAC enabled — the curvature and inversion work runs in the
+// very slots the PipeFisher packer placed it: inside the pipeline bubbles
+// (§3.1), with per-stage factor storage (§3(i)) and factor-granular
+// inversion parallelism (§3(ii)).
 //
-// Where package pipeline simulates the *timing* of pipeline schedules,
-// this package executes their *math*: a GPipe step over N micro-batches
-// produces bit-identical losses and gradients to a single-device step over
-// the full mini-batch (asserted in the tests), and per-stage K-FAC
-// preconditioners realize PipeFisher's layout — each device holds only the
-// factors of its own stage, and inversion work is parallel across stages
-// with no collective communication (§3, advantages (i) and (ii)).
+// Because the simulator and this executor share one schedule
+// representation, any schedule the simulator can lay out — GPipe, 1F1B,
+// Chimera, or their PipeFisher-augmented forms — trains for real, and a
+// step's executed timeline (LastTimeline) can be rendered side by side with
+// the simulated one.
 package engine
 
 import (
 	"fmt"
 	"sync"
 
-	"repro/internal/bert"
 	"repro/internal/data"
+	"repro/internal/hardware"
 	"repro/internal/kfac"
 	"repro/internal/nn"
-	"repro/internal/tensor"
+	"repro/internal/pipeline"
+	"repro/internal/pipemodel"
+	"repro/internal/schedule"
 )
 
-// Engine drives pipeline-parallel training steps of a bert.Model.
-type Engine struct {
-	model  *bert.Model
-	stages []*stage
+// Config selects the pipeline schedule the engine executes.
+type Config struct {
+	// Method is the schedule family: "gpipe" (default), "1f1b", "chimera".
+	Method string
+	// Stages is the pipeline depth; the model's blocks are partitioned into
+	// this many contiguous stages (embedding on stage 0, head on the last).
+	Stages int
 	// MicroBatches is the number of micro-batches per training step.
 	MicroBatches int
-
-	kfacPre []*kfac.Preconditioner // per stage, nil until EnableKFAC
 }
 
-// New partitions the model's blocks into nStages contiguous stages. The
-// embedding lives on stage 0 and the MLM/NSP heads on the last stage, as
-// in standard pipeline partitionings of BERT. The number of blocks must be
-// divisible by nStages, and the per-step mini-batches must be divisible by
-// microBatches.
-func New(model *bert.Model, nStages, microBatches int) (*Engine, error) {
-	if nStages <= 0 {
-		return nil, fmt.Errorf("engine: nStages must be positive, got %d", nStages)
+func (c Config) normalize() (Config, error) {
+	if c.Method == "" {
+		c.Method = "gpipe"
 	}
-	if microBatches <= 0 {
-		return nil, fmt.Errorf("engine: microBatches must be positive, got %d", microBatches)
+	switch c.Method {
+	case "gpipe", "1f1b", "chimera":
+	default:
+		return c, fmt.Errorf("engine: unknown method %q (want gpipe, 1f1b or chimera)", c.Method)
 	}
-	if len(model.Blocks)%nStages != 0 {
-		return nil, fmt.Errorf("engine: %d blocks not divisible by %d stages", len(model.Blocks), nStages)
+	if c.Stages <= 0 {
+		return c, fmt.Errorf("engine: Stages must be positive, got %d", c.Stages)
 	}
-	e := &Engine{model: model, MicroBatches: microBatches}
-	per := len(model.Blocks) / nStages
-	for s := 0; s < nStages; s++ {
+	if c.MicroBatches <= 0 {
+		return c, fmt.Errorf("engine: MicroBatches must be positive, got %d", c.MicroBatches)
+	}
+	if c.Method == "chimera" {
+		if c.Stages%2 != 0 {
+			return c, fmt.Errorf("engine: chimera requires an even number of stages, got %d", c.Stages)
+		}
+		if c.MicroBatches%2 != 0 {
+			return c, fmt.Errorf("engine: chimera requires an even number of micro-batches, got %d", c.MicroBatches)
+		}
+	}
+	return c, nil
+}
+
+// Engine drives pipeline-parallel training steps of a stageable model.
+type Engine struct {
+	model  pipemodel.Model
+	cfg    Config
+	stages []*stage
+	// stageMu serializes all access to one stage's modules. For gpipe/1f1b
+	// each stage belongs to exactly one device goroutine; for Chimera two
+	// devices (one per pipeline direction) share each stage's parameters,
+	// and the lock is what stands in for the per-replica weights +
+	// gradient all-reduce of the real system.
+	stageMu []sync.Mutex
+
+	sched *pipeline.Schedule
+
+	kfacPre      []*kfac.Preconditioner // per stage, nil until EnableKFAC
+	kfacOpts     kfac.Options
+	refreshEvery int
+	stepIndex    int
+
+	lastTimeline *pipeline.Timeline
+
+	// failOp, when set (tests only), is consulted before every op; a
+	// non-nil return aborts the step as if the op itself had failed.
+	failOp func(op *pipeline.Op) error
+}
+
+// New partitions the model's blocks into nStages contiguous stages and
+// prepares a GPipe schedule — the legacy constructor, equivalent to
+// NewWithConfig with Method "gpipe".
+func New(model pipemodel.Model, nStages, microBatches int) (*Engine, error) {
+	return NewWithConfig(model, Config{Stages: nStages, MicroBatches: microBatches})
+}
+
+// NewWithConfig builds an engine executing the configured schedule. The
+// number of blocks must be divisible by the stage count, and each
+// TrainStep's batch size must be divisible by the micro-batch count.
+func NewWithConfig(model pipemodel.Model, cfg Config) (*Engine, error) {
+	if model == nil {
+		return nil, fmt.Errorf("engine: nil model")
+	}
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	blocks := model.PipelineBlocks()
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("engine: model has no pipeline blocks")
+	}
+	if len(blocks)%cfg.Stages != 0 {
+		return nil, fmt.Errorf("engine: %d blocks not divisible by %d stages", len(blocks), cfg.Stages)
+	}
+	e := &Engine{model: model, cfg: cfg, stageMu: make([]sync.Mutex, cfg.Stages)}
+	per := len(blocks) / cfg.Stages
+	for s := 0; s < cfg.Stages; s++ {
 		st := &stage{
 			index:  s,
 			first:  s == 0,
-			last:   s == nStages-1,
-			model:  model,
-			blocks: model.Blocks[s*per : (s+1)*per],
+			last:   s == cfg.Stages-1,
+			blocks: blocks[s*per : (s+1)*per],
+		}
+		for _, b := range st.blocks {
+			st.layers = append(st.layers, b.DenseLayers()...)
 		}
 		e.stages = append(e.stages, st)
 	}
+	if err := e.rebuildSchedule(); err != nil {
+		return nil, err
+	}
 	return e, nil
+}
+
+// rebuildSchedule derives the executable one-step schedule for the current
+// configuration: the plain pipeline when K-FAC is off, the
+// PipeFisher-packed form when it is on. The schedule is validated by
+// running it through the timing simulator, which proves the per-device
+// orders and dependency edges cannot deadlock the executor.
+func (e *Engine) rebuildSchedule() error {
+	costs := e.execCosts()
+	var sched *pipeline.Schedule
+	var err error
+	if e.kfacPre != nil {
+		sched, err = schedule.Executable(schedule.Config{
+			Method:       e.cfg.Method,
+			Stages:       e.cfg.Stages,
+			MicroBatches: e.cfg.MicroBatches,
+			Costs:        costs,
+		})
+	} else {
+		bc := pipeline.BuildConfig{
+			Stages:       e.cfg.Stages,
+			MicroBatches: e.cfg.MicroBatches,
+			Steps:        1,
+			Costs:        costs,
+		}
+		switch e.cfg.Method {
+		case "gpipe":
+			sched, err = pipeline.BuildGPipe(bc)
+		case "1f1b":
+			sched, err = pipeline.Build1F1B(bc)
+		case "chimera":
+			sched, err = pipeline.BuildChimera(bc)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if _, err := pipeline.Run(sched); err != nil {
+		return fmt.Errorf("engine: schedule not executable: %w", err)
+	}
+	e.sched = sched
+	return nil
+}
+
+// execCosts supplies the relative work durations the builders and the
+// PipeFisher packer need to lay out op orders. Real execution follows the
+// resulting *order*, not the modeled times, so only the proportions matter;
+// these mirror the profiled shape of the paper's workloads (backward ≈ 2×
+// forward, curvature and inversion each well under a bubble).
+func (e *Engine) execCosts() pipeline.StageCosts {
+	nFactors := 2 * len(e.stages[0].layers)
+	c := pipeline.StageCosts{
+		Forward:      100,
+		Backward:     200,
+		Precondition: 25,
+		OptStep:      10,
+	}
+	for i := 0; i < nFactors; i++ {
+		c.CurvatureUnits = append(c.CurvatureUnits, 6)
+		c.CurvaturePerMicroBatch += 6
+		c.InversionUnits = append(c.InversionUnits, 10)
+	}
+	return c
 }
 
 // Stages returns the number of pipeline stages.
 func (e *Engine) Stages() int { return len(e.stages) }
 
+// Method returns the schedule family the engine executes.
+func (e *Engine) Method() string { return e.cfg.Method }
+
+// Schedule exposes the executable schedule (op lists + per-device orders)
+// the engine walks each step.
+func (e *Engine) Schedule() *pipeline.Schedule { return e.sched }
+
 // StageLayers returns the K-FAC-eligible dense layers of one stage.
-func (e *Engine) StageLayers(s int) []*nn.Dense {
-	var out []*nn.Dense
-	for _, b := range e.stages[s].blocks {
-		out = append(out, b.DenseLayers()...)
+func (e *Engine) StageLayers(s int) []*nn.Dense { return e.stages[s].layers }
+
+// LastTimeline returns the executed timeline of the most recent TrainStep
+// (wall-clock microseconds, one event per executed op, recomputation shown
+// separately), or nil before the first step. Render it with the trace
+// package next to a simulated timeline of the same schedule to compare
+// real execution against the model.
+func (e *Engine) LastTimeline() *pipeline.Timeline { return e.lastTimeline }
+
+// EnableKFAC attaches one K-FAC preconditioner per stage, covering exactly
+// that stage's fully-connected layers — PipeFisher's memory layout: "each
+// accelerator only needs to store the ... curvature matrices for the
+// layers in the assigned pipeline stage" (§3(i)) — and switches the
+// executable schedule to the PipeFisher-packed form: curvature and
+// inversion ops placed in the pipeline bubbles, a precondition op per stage
+// at the end of each step. Curvature/inversion ops execute every
+// refreshEvery steps (1 = every step); preconditioning runs every step with
+// the (possibly stale) cached inverses, exactly the staleness discipline of
+// §3.1.
+func (e *Engine) EnableKFAC(opts kfac.Options, refreshEvery int) error {
+	if refreshEvery <= 0 {
+		refreshEvery = 1
 	}
-	return out
+	e.kfacPre = make([]*kfac.Preconditioner, len(e.stages))
+	for s, st := range e.stages {
+		e.kfacPre[s] = kfac.NewPreconditioner(st.layers, opts)
+	}
+	e.kfacOpts = opts
+	e.refreshEvery = refreshEvery
+	e.stepIndex = 0 // restart the refresh cadence: the next step refreshes
+	if err := e.rebuildSchedule(); err != nil {
+		e.kfacPre = nil
+		return err
+	}
+	return nil
+}
+
+// KFACStates exposes the per-stage preconditioner (nil-safe; used by tests
+// and trainers to inspect refresh counters and staleness).
+func (e *Engine) KFACStates(s int) *kfac.Preconditioner {
+	if e.kfacPre == nil {
+		return nil
+	}
+	return e.kfacPre[s]
 }
 
 // StepResult reports one pipelined training step.
 type StepResult struct {
 	// Loss aggregates the micro-batch losses exactly as a full-batch step
-	// would (masked-count-weighted MLM, batch-weighted NSP).
-	Loss bert.LossBreakdown
-	// StageBusy records each stage's compute time share of the step, a
+	// would (each micro-batch contribution is pre-scaled by its share of
+	// the global loss denominators).
+	Loss pipemodel.Loss
+	// DeviceBusy records each device's measured compute seconds — a
 	// coarse realization of the profiles in Figure 3 (wall-clock based,
 	// so values are only meaningful comparatively).
-	StageBusy []float64
+	DeviceBusy []float64
+	// Refreshed reports whether this step executed its curvature and
+	// inversion ops (false on non-refresh steps, which precondition with
+	// stale inverses).
+	Refreshed bool
 }
 
-// TrainStep runs one GPipe-style step: micro-batched pipelined forwards,
-// then pipelined backwards in reverse micro-batch order with activation
-// recomputation. Gradients accumulate into the model parameters; the
-// caller zeroes them and applies the optimizer.
+// TrainStep runs one step of the engine's schedule over the batch:
+// micro-batched forwards and backwards in the schedule's per-device op
+// order, with K-FAC work (when enabled) executed in its packed bubble
+// slots. Gradients accumulate into the model parameters; the caller zeroes
+// them and applies the optimizer.
 func (e *Engine) TrainStep(batch *data.Batch) (*StepResult, error) {
-	n := e.MicroBatches
+	n := e.cfg.MicroBatches
 	if batch.BatchSize%n != 0 {
 		return nil, fmt.Errorf("engine: batch size %d not divisible by %d micro-batches", batch.BatchSize, n)
 	}
-	if batch.SeqLen != e.model.Config.SeqLen {
-		return nil, fmt.Errorf("engine: batch seq len %d != model %d", batch.SeqLen, e.model.Config.SeqLen)
+	if batch.SeqLen != e.model.SeqLen() {
+		return nil, fmt.Errorf("engine: batch seq len %d != model %d", batch.SeqLen, e.model.SeqLen())
 	}
 	micro := splitBatch(batch, n)
 
 	// Global loss denominators must be known before any backward starts
 	// (they are known after data loading: masking is part of the batch).
-	var totalMasked, totalSeqs int
+	totals := pipemodel.Totals{Seqs: batch.BatchSize}
 	for _, mb := range micro {
-		totalMasked += mb.MaskedCount()
-		totalSeqs += mb.BatchSize
+		totals.Tokens += e.model.BatchTokenCount(mb)
 	}
+	refresh := e.kfacPre != nil && e.stepIndex%e.refreshEvery == 0
 
-	for _, st := range e.stages {
-		st.beginStep(n, micro[0].BatchSize, batch.SeqLen, totalMasked, totalSeqs)
+	res, err := e.runStep(micro, totals, refresh)
+	if err != nil {
+		return nil, err
 	}
-
-	// Forward phase: one goroutine per stage, activations flow through
-	// channels; stage s receives micro-batch activations from stage s-1.
-	nStages := len(e.stages)
-	fwd := make([]chan *tensor.Matrix, nStages+1)
-	for i := range fwd {
-		fwd[i] = make(chan *tensor.Matrix, n)
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, nStages)
-	for s, st := range e.stages {
-		wg.Add(1)
-		go func(s int, st *stage) {
-			defer wg.Done()
-			for m := 0; m < n; m++ {
-				var x *tensor.Matrix
-				if !st.first {
-					x = <-fwd[s]
-				}
-				y, err := st.forward(m, micro[m], x)
-				if err != nil {
-					errs[s] = err
-					// Keep the pipe flowing so peers do not deadlock.
-					y = x
-				}
-				if !st.last {
-					fwd[s+1] <- y
-				}
-			}
-		}(s, st)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Backward phase: reverse micro-batch order (GPipe), error signals
-	// flow from the last stage toward the first. bwd[s] carries the
-	// gradient arriving INTO stage s from stage s+1.
-	bwd := make([]chan *tensor.Matrix, nStages)
-	for i := range bwd {
-		bwd[i] = make(chan *tensor.Matrix, n)
-	}
-	for s, st := range e.stages {
-		wg.Add(1)
-		go func(s int, st *stage) {
-			defer wg.Done()
-			for i := 0; i < n; i++ {
-				m := n - 1 - i
-				var gradIn *tensor.Matrix
-				if !st.last {
-					gradIn = <-bwd[s]
-				}
-				gradOut, err := st.backward(m, micro[m], gradIn)
-				if err != nil {
-					errs[s] = err
-					gradOut = gradIn
-				}
-				if !st.first {
-					bwd[s-1] <- gradOut
-				}
-			}
-		}(s, st)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	res := &StepResult{StageBusy: make([]float64, nStages)}
-	for s, st := range e.stages {
-		res.StageBusy[s] = st.busySeconds
-		if st.last {
-			res.Loss = st.lossTotal
-		}
-	}
+	e.stepIndex++
 	return res, nil
 }
 
@@ -214,67 +325,39 @@ func splitBatch(b *data.Batch, n int) []*data.Batch {
 	return out
 }
 
-// EnableKFAC attaches one K-FAC preconditioner per stage, covering exactly
-// that stage's fully-connected layers — PipeFisher's memory layout: "each
-// accelerator only needs to store the ... curvature matrices for the
-// layers in the assigned pipeline stage" (§3(i)).
-func (e *Engine) EnableKFAC(opts kfac.Options) {
-	e.kfacPre = make([]*kfac.Preconditioner, len(e.stages))
-	for s := range e.stages {
-		e.kfacPre[s] = kfac.NewPreconditioner(e.StageLayers(s), opts)
-	}
-}
-
-// KFACRefresh recomputes curvature and inverses on every stage in
-// parallel, one goroutine per stage — the inversion parallelism of §3(ii):
-// "the inverse work are split among multiple accelerators without
-// collective communication".
-func (e *Engine) KFACRefresh(lossScale float64) error {
-	if e.kfacPre == nil {
-		return fmt.Errorf("engine: KFAC not enabled")
-	}
-	errs := make([]error, len(e.stages))
-	var wg sync.WaitGroup
-	for s := range e.stages {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			if err := e.kfacPre[s].UpdateCurvature(lossScale); err != nil {
-				errs[s] = err
-				return
-			}
-			errs[s] = e.kfacPre[s].UpdateInverses()
-		}(s)
-	}
-	wg.Wait()
-	for s, err := range errs {
-		if err != nil {
-			return fmt.Errorf("engine: stage %d K-FAC refresh: %w", s, err)
+// MeasuredCosts derives StageCosts from an executed timeline (mean measured
+// duration per work kind, recomputation folded into backward the way the
+// cost model folds it). Feeding these into the builders yields a simulated
+// timeline calibrated to the real execution, for side-by-side rendering.
+func MeasuredCosts(tl *pipeline.Timeline, nFactors int) pipeline.StageCosts {
+	sum := make(map[pipeline.WorkKind]int64)
+	cnt := make(map[pipeline.WorkKind]int64)
+	for d := 0; d < tl.Devices; d++ {
+		for _, ev := range tl.Events[d] {
+			sum[ev.Op.Kind] += int64(ev.Duration())
+			cnt[ev.Op.Kind]++
 		}
 	}
-	return nil
-}
-
-// KFACPrecondition preconditions every stage's gradients with its cached
-// (possibly stale) inverses, in parallel. It returns the number of layers
-// preconditioned.
-func (e *Engine) KFACPrecondition() int {
-	if e.kfacPre == nil {
-		return 0
+	avg := func(k pipeline.WorkKind) hardware.Microseconds {
+		if cnt[k] == 0 {
+			return 1
+		}
+		v := sum[k] / cnt[k]
+		if v < 1 {
+			v = 1
+		}
+		return hardware.Microseconds(v)
 	}
-	counts := make([]int, len(e.stages))
-	var wg sync.WaitGroup
-	for s := range e.stages {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			counts[s] = e.kfacPre[s].Precondition()
-		}(s)
+	c := pipeline.StageCosts{
+		Forward:      avg(pipeline.Forward),
+		Backward:     avg(pipeline.Backward) + avg(pipeline.Recompute),
+		Precondition: avg(pipeline.Precondition),
+		OptStep:      1,
 	}
-	wg.Wait()
-	var total int
-	for _, c := range counts {
-		total += c
+	for i := 0; i < nFactors; i++ {
+		c.CurvatureUnits = append(c.CurvatureUnits, avg(pipeline.Curvature))
+		c.CurvaturePerMicroBatch += avg(pipeline.Curvature)
+		c.InversionUnits = append(c.InversionUnits, avg(pipeline.Inversion))
 	}
-	return total
+	return c
 }

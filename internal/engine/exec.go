@@ -1,0 +1,437 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/hardware"
+	"repro/internal/pipeline"
+	"repro/internal/pipemodel"
+	"repro/internal/tensor"
+)
+
+// runState is the transient dataflow of one executed training step. The
+// per-op completion channels realize the schedule's dependency edges;
+// activations and error signals are published into the staged arrays by
+// their producing op and read by consumers only after the producer's
+// channel closed, so the arrays need no locking of their own.
+type runState struct {
+	e       *Engine
+	micro   []*data.Batch
+	totals  pipemodel.Totals
+	refresh bool
+
+	done []chan struct{} // per op, closed on completion (or skip)
+
+	stageIn  [][]*tensor.Matrix // [stage][micro] stage inputs saved for recomputation
+	stageOut [][]*tensor.Matrix // [stage][micro] activations leaving a stage
+	gradOut  [][]*tensor.Matrix // [stage][micro] error signals leaving a stage
+
+	lossParts []pipemodel.Loss // per micro-batch, written by the last stage
+
+	// K-FAC dataflow (refresh steps only): per-micro-batch statistics
+	// snapshots taken at the op boundaries rules 1 makes them available,
+	// and the partial factor products the scheduled Curvature ops compute
+	// in the bubbles.
+	actsSnap  [][][]*tensor.Matrix // [stage][micro][layer]
+	gradsSnap [][][]*tensor.Matrix // [stage][micro][layer]
+	curvA     [][][]*tensor.Matrix // [stage][layer][micro]
+	curvB     [][][]*tensor.Matrix // [stage][layer][micro]
+	rowsA     [][][]int
+	rowsB     [][][]int
+	finalized [][]bool // [stage][layer]: factors folded into the EMA this step
+
+	errs   []error // per device
+	failed atomic.Bool
+
+	events [][]pipeline.Event // per device, measured wall-clock
+	start  time.Time
+}
+
+// runStep executes the engine's schedule once: one goroutine per device
+// walks that device's op order, waiting on each op's dependency channels,
+// executing the op, then signalling completion. On the first error the
+// step is aborted — remaining ops are drained (signalled without
+// executing) so no peer can block on a dependency that will never arrive,
+// and the error is surfaced after all devices joined.
+func (e *Engine) runStep(micro []*data.Batch, totals pipemodel.Totals, refresh bool) (*StepResult, error) {
+	nStages := len(e.stages)
+	n := len(micro)
+	st := &runState{
+		e: e, micro: micro, totals: totals, refresh: refresh,
+		done:      make([]chan struct{}, len(e.sched.Ops)),
+		stageIn:   mat2(nStages, n),
+		stageOut:  mat2(nStages, n),
+		gradOut:   mat2(nStages, n),
+		lossParts: make([]pipemodel.Loss, n),
+		errs:      make([]error, e.sched.Devices),
+		events:    make([][]pipeline.Event, e.sched.Devices),
+		start:     time.Now(),
+	}
+	for i := range st.done {
+		st.done[i] = make(chan struct{})
+	}
+	if refresh {
+		st.actsSnap = mat3(nStages, n, len(e.stages[0].layers))
+		st.gradsSnap = mat3(nStages, n, len(e.stages[0].layers))
+		st.curvA = mat3(nStages, len(e.stages[0].layers), n)
+		st.curvB = mat3(nStages, len(e.stages[0].layers), n)
+		st.rowsA = int3(nStages, len(e.stages[0].layers), n)
+		st.rowsB = int3(nStages, len(e.stages[0].layers), n)
+		st.finalized = make([][]bool, nStages)
+		for s := range st.finalized {
+			st.finalized[s] = make([]bool, len(e.stages[s].layers))
+		}
+	}
+
+	var wg sync.WaitGroup
+	for d := 0; d < e.sched.Devices; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for _, id := range e.sched.Order[d] {
+				op := e.sched.Ops[id]
+				for _, dep := range op.Deps {
+					<-st.done[dep]
+				}
+				if !st.failed.Load() {
+					if err := st.exec(d, op); err != nil {
+						st.errs[d] = fmt.Errorf("engine: device %d op %s: %w", d, op.Label(), err)
+						st.failed.Store(true)
+					}
+				}
+				close(st.done[id])
+			}
+		}(d)
+	}
+	wg.Wait()
+	for _, err := range st.errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &StepResult{DeviceBusy: make([]float64, e.sched.Devices), Refreshed: refresh}
+	for _, part := range st.lossParts {
+		res.Loss.Add(part)
+	}
+	for d := range st.events {
+		var busy hardware.Microseconds
+		for _, ev := range st.events[d] {
+			busy += ev.Duration()
+		}
+		res.DeviceBusy[d] = float64(busy) / 1e6
+	}
+	e.lastTimeline = st.timeline()
+	return res, nil
+}
+
+// exec dispatches one op. Modeled collectives and the optimizer update
+// (SyncGrad, SyncCurvature, OptStep) are no-ops in this single-process
+// realization: gradients live in shared memory and the caller applies the
+// optimizer between steps.
+func (st *runState) exec(d int, op *pipeline.Op) error {
+	if hook := st.e.failOp; hook != nil {
+		if err := hook(op); err != nil {
+			return err
+		}
+	}
+	switch op.Kind {
+	case pipeline.Forward:
+		return st.forward(d, op)
+	case pipeline.Backward:
+		return st.backward(d, op)
+	case pipeline.Curvature:
+		if st.refresh {
+			return st.curvature(d, op)
+		}
+		return nil
+	case pipeline.Inversion:
+		if st.refresh {
+			return st.inversion(d, op)
+		}
+		return nil
+	case pipeline.Precondition:
+		return st.precondition(d, op)
+	case pipeline.SyncGrad, pipeline.SyncCurvature, pipeline.OptStep:
+		return nil
+	}
+	return fmt.Errorf("unexpected op kind %v", op.Kind)
+}
+
+// forward embeds (stage 0) or receives the upstream activation, runs the
+// stage's blocks, evaluates the loss on the last stage, and publishes the
+// output for the next stage. On refresh steps it snapshots each dense
+// layer's input activations — the A-factor statistics that rule 1 makes
+// schedulable from this point on.
+func (st *runState) forward(d int, op *pipeline.Op) error {
+	s, m := op.Stage, op.MicroBatch
+	stg := st.e.stages[s]
+	mb := st.micro[m]
+	st.e.stageMu[s].Lock()
+	defer st.e.stageMu[s].Unlock()
+	t0 := time.Since(st.start)
+
+	var x *tensor.Matrix
+	if stg.first {
+		x = st.e.model.EmbedForward(mb)
+	} else {
+		x = st.stageOut[s-1][m]
+		if x == nil {
+			return fmt.Errorf("no activation from stage %d for micro-batch %d", s-1, m)
+		}
+		st.stageIn[s][m] = x
+	}
+	y := stg.runBlocks(x, mb.BatchSize, mb.SeqLen)
+	if stg.last {
+		loss, err := st.e.model.HeadLoss(mb, y, st.totals)
+		if err != nil {
+			return err
+		}
+		st.lossParts[m] = loss
+	}
+	st.stageOut[s][m] = y
+	if st.refresh {
+		for li, l := range stg.layers {
+			st.actsSnap[s][m][li] = l.CapturedInput()
+		}
+	}
+	st.record(d, op, t0)
+	return nil
+}
+
+// backward recomputes the stage's forward from the saved input (the
+// paper's "R" configuration — recorded as its own Recompute event), then
+// backpropagates: the last stage seeds the chain with the head's
+// globally-scaled loss gradient, other stages consume the error signal of
+// the stage after them, and stage 0 finishes into the embedding tables. On
+// refresh steps it snapshots each dense layer's output gradients — the
+// B-factor statistics of rule 1.
+func (st *runState) backward(d int, op *pipeline.Op) error {
+	s, m := op.Stage, op.MicroBatch
+	stg := st.e.stages[s]
+	mb := st.micro[m]
+	st.e.stageMu[s].Lock()
+	defer st.e.stageMu[s].Unlock()
+	t0 := time.Since(st.start)
+
+	var x *tensor.Matrix
+	if stg.first {
+		x = st.e.model.EmbedForward(mb)
+	} else {
+		x = st.stageIn[s][m]
+		if x == nil {
+			return fmt.Errorf("no saved input for micro-batch %d", m)
+		}
+	}
+	y := stg.runBlocks(x, mb.BatchSize, mb.SeqLen)
+	tRec := time.Since(st.start)
+	st.recordKind(d, pipeline.Recompute, op, t0, tRec)
+
+	var grad *tensor.Matrix
+	if stg.last {
+		var err error
+		grad, err = st.e.model.HeadGradient(mb, y, st.totals)
+		if err != nil {
+			return err
+		}
+	} else {
+		grad = st.gradOut[s+1][m]
+		if grad == nil {
+			return fmt.Errorf("no error signal from stage %d for micro-batch %d", s+1, m)
+		}
+	}
+	grad = stg.backBlocks(grad)
+	if st.refresh {
+		for li, l := range stg.layers {
+			st.gradsSnap[s][m][li] = l.CapturedOutputGrad()
+		}
+	}
+	if stg.first {
+		st.e.model.EmbedBackward(grad)
+	} else {
+		st.gradOut[s][m] = grad
+	}
+	st.recordKind(d, pipeline.Backward, op, tRec, time.Since(st.start))
+	return nil
+}
+
+// curvature computes one micro-batch's partial Kronecker-factor product
+// (U^T U) from the snapshotted statistics — the bubble-filling work of
+// rule 1, at the factor granularity the packer scheduled.
+func (st *runState) curvature(d int, op *pipeline.Op) error {
+	s, m := op.Stage, op.MicroBatch
+	stg := st.e.stages[s]
+	li, factorB, err := stg.layerOf(op.Factor)
+	if err != nil {
+		return err
+	}
+	st.e.stageMu[s].Lock()
+	defer st.e.stageMu[s].Unlock()
+	t0 := time.Since(st.start)
+	var stat *tensor.Matrix
+	if factorB {
+		stat = st.gradsSnap[s][m][li]
+	} else {
+		stat = st.actsSnap[s][m][li]
+	}
+	if stat == nil {
+		return fmt.Errorf("no captured statistics for layer %d factor %d micro-batch %d", li, op.Factor, m)
+	}
+	part := tensor.TMatMul(stat, stat)
+	if factorB {
+		st.curvB[s][li][m] = part
+		st.rowsB[s][li][m] = stat.Rows
+	} else {
+		st.curvA[s][li][m] = part
+		st.rowsA[s][li][m] = stat.Rows
+	}
+	st.record(d, op, t0)
+	return nil
+}
+
+// inversion finalizes the layer's factors on first touch (folding the
+// accumulated per-micro-batch products into the preconditioner's EMA, in
+// deterministic micro-batch order) and then refreshes the cached inverse
+// of the op's factor — rule 2's unit of inversion work.
+func (st *runState) inversion(d int, op *pipeline.Op) error {
+	s := op.Stage
+	stg := st.e.stages[s]
+	li, factorB, err := stg.layerOf(op.Factor)
+	if err != nil {
+		return err
+	}
+	st.e.stageMu[s].Lock()
+	defer st.e.stageMu[s].Unlock()
+	t0 := time.Since(st.start)
+	if !st.finalized[s][li] {
+		newA, err := sumFactor(st.curvA[s][li], st.rowsA[s][li], 1)
+		if err != nil {
+			return fmt.Errorf("factor A of layer %d: %w", li, err)
+		}
+		scale := st.e.model.KFACLossScale(st.totals)
+		newB, err := sumFactor(st.curvB[s][li], st.rowsB[s][li], scale*scale)
+		if err != nil {
+			return fmt.Errorf("factor B of layer %d: %w", li, err)
+		}
+		if err := st.e.kfacPre[s].SetFactors(li, newA, newB); err != nil {
+			return err
+		}
+		st.finalized[s][li] = true
+	}
+	if err := st.e.kfacPre[s].InvertFactor(li, factorB); err != nil {
+		return err
+	}
+	st.record(d, op, t0)
+	return nil
+}
+
+// sumFactor folds per-micro-batch partial products into one factor:
+// scale/N · Σ_m U_m^T U_m, summed in micro-batch order for determinism.
+func sumFactor(parts []*tensor.Matrix, rows []int, scale float64) (*tensor.Matrix, error) {
+	var sum *tensor.Matrix
+	var n int
+	for m, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("missing curvature contribution of micro-batch %d", m)
+		}
+		if sum == nil {
+			sum = tensor.Zeros(p.Rows, p.Cols)
+		}
+		sum.AddInPlace(p)
+		n += rows[m]
+	}
+	if sum == nil || n == 0 {
+		return nil, fmt.Errorf("no curvature contributions")
+	}
+	sum.ScaleInPlace(scale / float64(n))
+	return sum, nil
+}
+
+// precondition rewrites the stage's gradients with the cached (possibly
+// stale) K-FAC inverses — the per-step Precondition op, "the only
+// computational overhead of PipeFisher" (Figure 1).
+func (st *runState) precondition(d int, op *pipeline.Op) error {
+	if st.e.kfacPre == nil {
+		return nil
+	}
+	s := op.Stage
+	st.e.stageMu[s].Lock()
+	defer st.e.stageMu[s].Unlock()
+	t0 := time.Since(st.start)
+	st.e.kfacPre[s].Precondition()
+	st.record(d, op, t0)
+	return nil
+}
+
+// record appends a measured event for op, ending now.
+func (st *runState) record(d int, op *pipeline.Op, t0 time.Duration) {
+	st.recordKind(d, op.Kind, op, t0, time.Since(st.start))
+}
+
+// recordKind appends a measured event, possibly under a different kind
+// than the schedule op (Recompute segments of Backward ops).
+func (st *runState) recordKind(d int, kind pipeline.WorkKind, op *pipeline.Op, t0, t1 time.Duration) {
+	ev := op
+	if kind != op.Kind {
+		ev = &pipeline.Op{
+			Kind: kind, Device: op.Device, Stage: op.Stage,
+			MicroBatch: op.MicroBatch, Factor: op.Factor, Step: op.Step,
+		}
+	}
+	start := hardware.Microseconds(t0.Microseconds())
+	end := hardware.Microseconds(t1.Microseconds())
+	if end < start {
+		end = start
+	}
+	st.events[d] = append(st.events[d], pipeline.Event{Op: ev, Start: start, End: end})
+}
+
+// timeline assembles the executed step's measured timeline.
+func (st *runState) timeline() *pipeline.Timeline {
+	tl := &pipeline.Timeline{
+		Name:    st.e.sched.Name + " (executed)",
+		Devices: st.e.sched.Devices,
+		Steps:   1,
+		Events:  st.events,
+	}
+	for d := range tl.Events {
+		for _, ev := range tl.Events[d] {
+			if ev.End > tl.Makespan {
+				tl.Makespan = ev.End
+			}
+		}
+	}
+	tl.StepEnd = []hardware.Microseconds{tl.Makespan}
+	return tl
+}
+
+func mat2(a, b int) [][]*tensor.Matrix {
+	out := make([][]*tensor.Matrix, a)
+	for i := range out {
+		out[i] = make([]*tensor.Matrix, b)
+	}
+	return out
+}
+
+func mat3(a, b, c int) [][][]*tensor.Matrix {
+	out := make([][][]*tensor.Matrix, a)
+	for i := range out {
+		out[i] = mat2(b, c)
+	}
+	return out
+}
+
+func int3(a, b, c int) [][][]int {
+	out := make([][][]int, a)
+	for i := range out {
+		out[i] = make([][]int, b)
+		for j := range out[i] {
+			out[i][j] = make([]int, c)
+		}
+	}
+	return out
+}

@@ -2,197 +2,49 @@ package engine
 
 import (
 	"fmt"
-	"time"
 
-	"repro/internal/bert"
-	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
-// stage owns a contiguous slice of the model: stage 0 additionally holds
-// the embeddings, the last stage the MLM/NSP heads and the loss.
+// stage owns a contiguous slice of the model's blocks. Stage 0 additionally
+// drives the model's embedding path, the last stage its head and loss. All
+// model state a stage touches is guarded by the engine's per-stage lock,
+// which is what lets two devices host one stage (Chimera's bidirectional
+// pairs) against a single shared set of parameters.
 type stage struct {
 	index       int
 	first, last bool
-	model       *bert.Model
 	blocks      []*nn.TransformerBlock
-
-	// Per-step state.
-	nMicro      int
-	microBS     int
-	seqLen      int
-	totalMasked int
-	totalSeqs   int
-	xin         []*tensor.Matrix // stage input per micro-batch (nil on stage 0)
-	posIDs      []int
-	lossTotal   bert.LossBreakdown
-	busySeconds float64
+	layers      []*nn.Dense // K-FAC-eligible dense layers, in factor order
 }
 
-func (st *stage) beginStep(nMicro, microBS, seqLen, totalMasked, totalSeqs int) {
-	st.nMicro = nMicro
-	st.microBS = microBS
-	st.seqLen = seqLen
-	st.totalMasked = totalMasked
-	st.totalSeqs = totalSeqs
-	st.xin = make([]*tensor.Matrix, nMicro)
-	st.lossTotal = bert.LossBreakdown{}
-	st.busySeconds = 0
-	if st.first && len(st.posIDs) != microBS*seqLen {
-		st.posIDs = make([]int, microBS*seqLen)
-		for i := range st.posIDs {
-			st.posIDs[i] = i % seqLen
-		}
-	}
+// runBlocks forwards x through the stage's blocks, setting the batch shape
+// first (ops of different micro-batches interleave on a stage under 1F1B
+// and Chimera, so the shape is re-established per op).
+func (st *stage) runBlocks(x *tensor.Matrix, batch, seqLen int) *tensor.Matrix {
 	for _, b := range st.blocks {
-		b.SetShape(microBS, seqLen)
-	}
-}
-
-// embed runs the stage-0 embedding path for a micro-batch.
-func (st *stage) embed(mb *data.Batch) *tensor.Matrix {
-	tok := st.model.TokEmb.Lookup(mb.Tokens)
-	pos := st.model.PosEmb.Lookup(st.posIDs)
-	return st.model.EmbNorm.Forward(tok.Add(pos))
-}
-
-// runBlocks forwards x through the stage's blocks.
-func (st *stage) runBlocks(x *tensor.Matrix) *tensor.Matrix {
-	for _, b := range st.blocks {
+		b.SetShape(batch, seqLen)
 		x = b.Forward(x)
 	}
 	return x
 }
 
-// forward processes micro-batch m. For non-first stages, x is the
-// activation received from the previous stage (saved for recomputation).
-// The last stage also evaluates the loss values (gradients are produced
-// later, in backward, from recomputed activations).
-func (st *stage) forward(m int, mb *data.Batch, x *tensor.Matrix) (*tensor.Matrix, error) {
-	start := time.Now()
-	defer func() { st.busySeconds += time.Since(start).Seconds() }()
-
-	if st.first {
-		x = st.embed(mb)
-	} else {
-		if x == nil {
-			return nil, fmt.Errorf("engine: stage %d received nil activation for micro-batch %d", st.index, m)
-		}
-		st.xin[m] = x
-	}
-	y := st.runBlocks(x)
-	if st.last {
-		if err := st.accumulateLoss(mb, y); err != nil {
-			return nil, err
-		}
-	}
-	return y, nil
-}
-
-// accumulateLoss evaluates the micro-batch losses with the same weighting
-// a full-batch step uses: MLM weighted by the micro-batch's share of
-// masked positions, NSP by its share of sequences.
-func (st *stage) accumulateLoss(mb *data.Batch, y *tensor.Matrix) error {
-	mlmLogits := st.model.MLMHead.Forward(y)
-	mlmLoss, _, masked := nn.CrossEntropy(mlmLogits, mb.Targets)
-	cls := clsRows(y, mb.BatchSize, st.seqLen, st.model.Config.DModel)
-	nspLogits := st.model.NSPHead.Forward(cls)
-	nspLoss, _, _ := nn.CrossEntropy(nspLogits, nspTargets(mb))
-	if st.totalMasked > 0 {
-		st.lossTotal.MLM += mlmLoss * float64(masked) / float64(st.totalMasked)
-	}
-	st.lossTotal.NSP += nspLoss * float64(mb.BatchSize) / float64(st.totalSeqs)
-	st.lossTotal.MaskedCount = st.totalMasked
-	st.lossTotal.Total = st.lossTotal.MLM + st.lossTotal.NSP
-	return nil
-}
-
-// backward differentiates micro-batch m. Activation recomputation: the
-// stage re-runs its forward from the saved input so every layer's caches
-// correspond to this micro-batch, then backpropagates. gradIn is the error
-// signal from the next stage (nil on the last stage).
-func (st *stage) backward(m int, mb *data.Batch, gradIn *tensor.Matrix) (*tensor.Matrix, error) {
-	start := time.Now()
-	defer func() { st.busySeconds += time.Since(start).Seconds() }()
-
-	// Recompute.
-	var x *tensor.Matrix
-	if st.first {
-		x = st.embed(mb)
-	} else {
-		x = st.xin[m]
-		if x == nil {
-			return nil, fmt.Errorf("engine: stage %d has no saved input for micro-batch %d", st.index, m)
-		}
-	}
-	y := st.runBlocks(x)
-
-	grad := gradIn
-	if st.last {
-		var err error
-		grad, err = st.lossGradient(mb, y)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if grad == nil {
-		return nil, fmt.Errorf("engine: stage %d received nil gradient for micro-batch %d", st.index, m)
-	}
+// backBlocks backpropagates grad through the stage's blocks in reverse.
+// The caller must have recomputed the stage's forward for the same
+// micro-batch immediately before, so every layer's caches match.
+func (st *stage) backBlocks(grad *tensor.Matrix) *tensor.Matrix {
 	for i := len(st.blocks) - 1; i >= 0; i-- {
 		grad = st.blocks[i].Backward(grad)
 	}
-	if st.first {
-		dEmb := st.model.EmbNorm.Backward(grad)
-		st.model.TokEmb.BackwardIDs(dEmb)
-		st.model.PosEmb.BackwardIDs(dEmb)
-		return nil, nil
-	}
-	return grad, nil
+	return grad
 }
 
-// lossGradient computes the globally-scaled loss gradient w.r.t. the last
-// stage's block output: micro-batch CE gradients are means over local
-// counts, so rescaling by local/global count reproduces the full-batch
-// mean exactly.
-func (st *stage) lossGradient(mb *data.Batch, y *tensor.Matrix) (*tensor.Matrix, error) {
-	mlmLogits := st.model.MLMHead.Forward(y)
-	_, mlmGrad, masked := nn.CrossEntropy(mlmLogits, mb.Targets)
-	if st.totalMasked > 0 && masked > 0 {
-		mlmGrad.ScaleInPlace(float64(masked) / float64(st.totalMasked))
+// layerOf resolves a Kronecker-factor index (A factors even, B odd — the
+// order of pipeline.StageCosts.InversionUnits) to the stage's dense layer.
+func (st *stage) layerOf(factor int) (layer int, factorB bool, err error) {
+	if factor < 0 || factor >= 2*len(st.layers) {
+		return 0, false, fmt.Errorf("engine: stage %d has no factor %d (have %d)", st.index, factor, 2*len(st.layers))
 	}
-	dx := st.model.MLMHead.Backward(mlmGrad)
-
-	cls := clsRows(y, mb.BatchSize, st.seqLen, st.model.Config.DModel)
-	nspLogits := st.model.NSPHead.Forward(cls)
-	_, nspGrad, _ := nn.CrossEntropy(nspLogits, nspTargets(mb))
-	nspGrad.ScaleInPlace(float64(mb.BatchSize) / float64(st.totalSeqs))
-	dCls := st.model.NSPHead.Backward(nspGrad)
-	for i := 0; i < mb.BatchSize; i++ {
-		row := dx.Row(i * st.seqLen)
-		add := dCls.Row(i)
-		for j := range row {
-			row[j] += add[j]
-		}
-	}
-	return dx, nil
-}
-
-// clsRows gathers the [CLS] (first) row of each sequence.
-func clsRows(y *tensor.Matrix, batch, seqLen, d int) *tensor.Matrix {
-	cls := tensor.Zeros(batch, d)
-	for i := 0; i < batch; i++ {
-		copy(cls.Row(i), y.Row(i*seqLen))
-	}
-	return cls
-}
-
-func nspTargets(mb *data.Batch) []int {
-	out := make([]int, mb.BatchSize)
-	for i, isNext := range mb.IsNext {
-		if isNext {
-			out[i] = 1
-		}
-	}
-	return out
+	return factor / 2, factor%2 == 1, nil
 }

@@ -57,7 +57,8 @@ type Model struct {
 	FinalNorm *nn.LayerNorm
 	LMHead    *nn.Dense // excluded from K-FAC, like BERT's MLM head
 
-	posIDs []int
+	posIDs     []int
+	pipePosIDs []int // scratch for EmbedForward's micro-batch shape
 }
 
 // New builds a decoder model; every block's attention is causal.

@@ -135,7 +135,16 @@ func (p *Preconditioner) updateLayerCurvature(s *LayerState, lossScale float64) 
 	newA.ScaleInPlace(1 / n)
 	newB := tensor.TMatMul(grads, grads)
 	newB.ScaleInPlace(lossScale * lossScale / n)
+	p.foldFactors(s, newA, newB)
+	return nil
+}
 
+// foldFactors applies one curvature refresh to the layer's EMA state: the
+// factors are replaced outright on the first refresh (or with zero decay)
+// and decay-blended otherwise. Both curvature entry points —
+// UpdateCurvature's capture-buffer path and the executor's SetFactors —
+// fold through here so their semantics cannot diverge.
+func (p *Preconditioner) foldFactors(s *LayerState, newA, newB *tensor.Matrix) {
 	decay := p.opts.StatDecay
 	if s.A == nil || decay == 0 {
 		s.A, s.B = newA, newB
@@ -146,6 +155,62 @@ func (p *Preconditioner) updateLayerCurvature(s *LayerState, lossScale float64) 
 		s.B.AddScaledInPlace(1-decay, newB)
 	}
 	s.CurvatureUpdates++
+}
+
+// SetFactors applies one curvature refresh to the layer at index from
+// externally accumulated full-batch factors: newA = (1/N) Σ a a^T and
+// newB = (M²/N) Σ ē ē^T, exactly the quantities UpdateCurvature derives from
+// the capture buffers. The pipeline execution engine uses this entry point
+// because it accumulates the per-micro-batch partial products inside the
+// scheduled Curvature ops (bubble work) and only folds them into the EMA
+// here, once every micro-batch's contribution is in.
+func (p *Preconditioner) SetFactors(index int, newA, newB *tensor.Matrix) error {
+	if index < 0 || index >= len(p.states) {
+		return fmt.Errorf("kfac: layer index %d out of range [0,%d)", index, len(p.states))
+	}
+	if newA == nil || newB == nil {
+		return fmt.Errorf("kfac: SetFactors requires both factors, got A=%v B=%v", newA != nil, newB != nil)
+	}
+	s := p.states[index]
+	if newA.Rows != s.Layer.DIn() || newB.Rows != s.Layer.DOut() {
+		return fmt.Errorf("kfac: layer %q factor shapes %dx%d/%dx%d do not match din=%d dout=%d",
+			s.Layer.Name, newA.Rows, newA.Cols, newB.Rows, newB.Cols, s.Layer.DIn(), s.Layer.DOut())
+	}
+	p.foldFactors(s, newA, newB)
+	return nil
+}
+
+// InvertFactor refreshes a single cached inverse (B when factorB is set,
+// A otherwise) of the layer at index — the atomic unit of the paper's
+// inversion work, one scheduled Inversion op per Kronecker factor. Both
+// factors must hold curvature (the engine orders inversion after the
+// layer's full curvature refresh, since the factored damping couples the
+// pair through their traces). InverseUpdates counts once per refreshed
+// pair, on the B factor.
+func (p *Preconditioner) InvertFactor(index int, factorB bool) error {
+	if index < 0 || index >= len(p.states) {
+		return fmt.Errorf("kfac: layer index %d out of range [0,%d)", index, len(p.states))
+	}
+	s := p.states[index]
+	if s.A == nil || s.B == nil {
+		return fmt.Errorf("kfac: no curvature for layer %q yet", s.Layer.Name)
+	}
+	dampA, dampB := p.factoredDamping(s)
+	if factorB {
+		binv, err := tensor.SPDInverse(s.B.AddDiagonal(dampB), 0)
+		if err != nil {
+			return fmt.Errorf("inverting B of %q: %w", s.Layer.Name, err)
+		}
+		s.BInv = binv
+		s.InverseUpdates++
+	} else {
+		ainv, err := tensor.SPDInverse(s.A.AddDiagonal(dampA), 0)
+		if err != nil {
+			return fmt.Errorf("inverting A of %q: %w", s.Layer.Name, err)
+		}
+		s.AInv = ainv
+	}
+	s.InverseAge = 0
 	return nil
 }
 

@@ -103,6 +103,18 @@ func (d *Dense) KFACStats() (acts, grads *tensor.Matrix, ok bool) {
 	return d.lastInput, d.lastOutputGrad, true
 }
 
+// CapturedInput returns the input activations cached by the most recent
+// Forward (nil before any forward). Unlike KFACStats it does not require a
+// backward to have run: the pipeline executor snapshots it right after a
+// micro-batch's forward, which is exactly when the paper's rule 1 makes the
+// A-factor curvature work of that micro-batch schedulable.
+func (d *Dense) CapturedInput() *tensor.Matrix { return d.lastInput }
+
+// CapturedOutputGrad returns the raw output gradients cached by the most
+// recent Backward when CaptureKFAC is set (nil otherwise) — the B-factor
+// statistics that become schedulable after the micro-batch's backward.
+func (d *Dense) CapturedOutputGrad() *tensor.Matrix { return d.lastOutputGrad }
+
 // ClearCapture drops the cached K-FAC statistics (e.g. between curvature
 // refreshes, to release memory — the Msave_err term in the paper's memory
 // model exists precisely because these buffers are retained).

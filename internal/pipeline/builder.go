@@ -140,7 +140,7 @@ func buildForwardBackward(cfg BuildConfig, name string, order func(stage, stages
 				for m := 0; m < n; m++ {
 					op := &Op{
 						Kind: Forward, Device: stage*w + r, Stage: stage,
-						MicroBatch: m, Step: step, Duration: cfg.Costs.Forward,
+						MicroBatch: m, Factor: -1, Step: step, Duration: cfg.Costs.Forward,
 					}
 					if stage > 0 {
 						op.Deps = append(op.Deps, fid[[4]int{step, r, stage - 1, m}])
@@ -159,7 +159,7 @@ func buildForwardBackward(cfg BuildConfig, name string, order func(stage, stages
 				for m := 0; m < n; m++ {
 					op := &Op{
 						Kind: Backward, Device: stage*w + r, Stage: stage,
-						MicroBatch: m, Step: step, Duration: cfg.Costs.Backward,
+						MicroBatch: m, Factor: -1, Step: step, Duration: cfg.Costs.Backward,
 					}
 					if stage < d-1 {
 						op.Deps = append(op.Deps, bid[[4]int{step, r, stage + 1, m}])
@@ -186,7 +186,7 @@ func buildForwardBackward(cfg BuildConfig, name string, order func(stage, stages
 						}
 						sync := &Op{
 							Kind: SyncGrad, Device: dev, Stage: stage, MicroBatch: -1,
-							Step: step, Duration: maxDur(cfg.Costs.SyncGrad, 1), Deps: deps,
+							Factor: -1, Step: step, Duration: maxDur(cfg.Costs.SyncGrad, 1), Deps: deps,
 						}
 						s.addOpDeferred(sync)
 						tailIDs[key] = append(tailIDs[key], sync.ID)
@@ -199,7 +199,7 @@ func buildForwardBackward(cfg BuildConfig, name string, order func(stage, stages
 					if cfg.IncludePrecondition {
 						prec := &Op{
 							Kind: Precondition, Device: dev, Stage: stage, MicroBatch: -1,
-							Step: step, Duration: maxDur(cfg.Costs.Precondition, 1), Deps: deps,
+							Factor: -1, Step: step, Duration: maxDur(cfg.Costs.Precondition, 1), Deps: deps,
 						}
 						s.addOpDeferred(prec)
 						tailIDs[key] = append(tailIDs[key], prec.ID)
@@ -207,7 +207,7 @@ func buildForwardBackward(cfg BuildConfig, name string, order func(stage, stages
 					}
 					opt := &Op{
 						Kind: OptStep, Device: dev, Stage: stage, MicroBatch: -1,
-						Step: step, Duration: maxDur(cfg.Costs.OptStep, 1), Deps: deps,
+						Factor: -1, Step: step, Duration: maxDur(cfg.Costs.OptStep, 1), Deps: deps,
 					}
 					s.addOpDeferred(opt)
 					tailIDs[key] = append(tailIDs[key], opt.ID)
@@ -289,7 +289,7 @@ func BuildChimera(cfg BuildConfig) (*Schedule, error) {
 				for m := 0; m < half; m++ {
 					f := &Op{
 						Kind: Forward, Device: deviceOf(pipe, stage), Stage: stage,
-						MicroBatch: pipe*half + m, Step: step, Pipeline: pipe,
+						MicroBatch: pipe*half + m, Factor: -1, Step: step, Pipeline: pipe,
 						Duration: cfg.Costs.Forward,
 					}
 					if stage > 0 {
@@ -306,7 +306,7 @@ func BuildChimera(cfg BuildConfig) (*Schedule, error) {
 				for m := 0; m < half; m++ {
 					b := &Op{
 						Kind: Backward, Device: deviceOf(pipe, stage), Stage: stage,
-						MicroBatch: pipe*half + m, Step: step, Pipeline: pipe,
+						MicroBatch: pipe*half + m, Factor: -1, Step: step, Pipeline: pipe,
 						Duration: cfg.Costs.Backward,
 					}
 					if stage < d-1 {
@@ -369,7 +369,7 @@ func chimeraDeviceTail(s *Schedule, cfg BuildConfig, step, dev int, bid map[[4]i
 	}
 	sync := &Op{
 		Kind: SyncGrad, Device: dev, Stage: downStage, MicroBatch: -1,
-		Step: step, Duration: maxDur(2*cfg.Costs.SyncGrad, 1), Deps: deps,
+		Factor: -1, Step: step, Duration: maxDur(2*cfg.Costs.SyncGrad, 1), Deps: deps,
 	}
 	s.addOpDeferred(sync)
 	optDeps := []int{sync.ID}
@@ -377,14 +377,14 @@ func chimeraDeviceTail(s *Schedule, cfg BuildConfig, step, dev int, bid map[[4]i
 		// The device preconditions both stages it hosts.
 		prec := &Op{
 			Kind: Precondition, Device: dev, Stage: downStage, MicroBatch: -1,
-			Step: step, Duration: maxDur(2*cfg.Costs.Precondition, 1), Deps: optDeps,
+			Factor: -1, Step: step, Duration: maxDur(2*cfg.Costs.Precondition, 1), Deps: optDeps,
 		}
 		s.addOpDeferred(prec)
 		optDeps = []int{prec.ID}
 	}
 	opt := &Op{
 		Kind: OptStep, Device: dev, Stage: downStage, MicroBatch: -1,
-		Step: step, Duration: maxDur(2*cfg.Costs.OptStep, 1), Deps: optDeps,
+		Factor: -1, Step: step, Duration: maxDur(2*cfg.Costs.OptStep, 1), Deps: optDeps,
 	}
 	s.addOpDeferred(opt)
 	return opt.ID

@@ -27,6 +27,11 @@ const (
 	SyncGrad
 	SyncCurvature
 	OptStep
+	// Recompute is the activation-recomputation portion of a backward pass
+	// (the paper's "R" configuration). The timing builders fold it into
+	// Backward durations; the real execution engine records it as its own
+	// events so executed timelines show where recomputation time goes.
+	Recompute
 )
 
 // String returns the legend label of the kind.
@@ -48,6 +53,8 @@ func (k WorkKind) String() string {
 		return "sync-curvature"
 	case OptStep:
 		return "opt-step"
+	case Recompute:
+		return "recompute"
 	}
 	return fmt.Sprintf("WorkKind(%d)", int(k))
 }
@@ -64,6 +71,11 @@ type Op struct {
 	Stage int
 	// MicroBatch is the micro-batch index, or -1 when not applicable.
 	MicroBatch int
+	// Factor is the K-FAC Kronecker-factor index within the op's stage
+	// (A factors even, B factors odd, matching StageCosts.InversionUnits
+	// order), or -1 when the op is not factor-granular. Only the Curvature
+	// and Inversion ops emitted by the schedule package carry a factor.
+	Factor int
 	// Step is the training-step index the op belongs to (0-based).
 	Step int
 	// Pipeline is 0 for the down pipeline, 1 for Chimera's up pipeline.
@@ -94,6 +106,8 @@ func (o *Op) Label() string {
 		letter = "S"
 	case OptStep:
 		letter = "O"
+	case Recompute:
+		letter = "R"
 	}
 	return fmt.Sprintf("%s[s%d,m%d]", letter, o.Stage, o.MicroBatch)
 }

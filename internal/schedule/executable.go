@@ -1,0 +1,312 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hardware"
+	"repro/internal/pipeline"
+)
+
+// Executable builds a one-step *executable* schedule: the base pipeline
+// schedule (including the per-step precondition and optimizer tail) with
+// the K-FAC curvature and inversion work inserted into each device's op
+// order at the bubble positions the PipeFisher packing chose, and with real
+// dependency edges wired so the op list can be *executed* — by the timing
+// simulator and by internal/engine's real training executor alike. This is
+// the single schedule form the simulator and the execution engine share.
+//
+// Dependency edges follow the paper's rules, tightened where real math
+// needs it:
+//
+//   - Curvature of (stage, micro, factor) depends on the forward (A
+//     factors) or backward (B factors) of that micro-batch on the owning
+//     device (rule 1).
+//   - Inversion of a factor depends on every curvature op of its *layer
+//     pair* (A and B of the same layer, across all owning devices): the
+//     factored Tikhonov damping couples the pair through their traces, so
+//     real inversion needs both factors final (a strict superset of rule 2).
+//   - Sync-curvature (when present) depends on all curvature of its stage;
+//     inversions additionally depend on their stage's sync ops.
+//   - The per-step Precondition op additionally depends on its stage's
+//     inversion ops, so a refresh step deterministically preconditions with
+//     the freshly inverted factors.
+//
+// Work that does not fit the step's bubbles is appended at the end of the
+// device's pre-tail order (execution can always complete; only the timing
+// degrades), and inversion work whose curvature spilled is deferred the
+// same way so cross-device waits can never cycle.
+func Executable(cfg Config) (*pipeline.Schedule, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	base, err := buildBase(cfg, 1, true)
+	if err != nil {
+		return nil, err
+	}
+	tl, err := pipeline.Run(base)
+	if err != nil {
+		return nil, err
+	}
+	items := buildWorkQueue(cfg, base, tl)
+	packForExec(items, tl, cfg)
+
+	s := &pipeline.Schedule{
+		Name:         base.Name + "+PipeFisher",
+		Devices:      base.Devices,
+		Stages:       base.Stages,
+		MicroBatches: base.MicroBatches,
+		Steps:        1,
+		Ops:          append([]*pipeline.Op(nil), base.Ops...),
+		Order:        make([][]int, base.Devices),
+	}
+
+	// Lookup of base forward/backward ops by (kind, stage, micro, device).
+	baseID := make(map[[4]int]int, len(base.Ops))
+	for _, op := range base.Ops {
+		if op.Kind == pipeline.Forward || op.Kind == pipeline.Backward {
+			baseID[[4]int{int(op.Kind), op.Stage, op.MicroBatch, op.Device}] = op.ID
+		}
+	}
+
+	// Create the K-FAC ops. Curvature first so inversion/sync deps can
+	// reference them.
+	itemOp := make(map[*workItem]*pipeline.Op, len(items))
+	curvIDs := make(map[[2]int][]int) // (stage, factor) -> curvature op ids
+	stageCurvIDs := make(map[int][]int)
+	syncIDs := make(map[int][]int)
+	invIDs := make(map[int][]int)
+	newOp := func(it *workItem) *pipeline.Op {
+		op := &pipeline.Op{
+			ID: len(s.Ops), Kind: it.kind, Device: it.device, Stage: it.stage,
+			MicroBatch: it.micro, Factor: it.factor, Step: 0,
+			Duration: maxDur(it.duration, 1),
+		}
+		s.Ops = append(s.Ops, op)
+		itemOp[it] = op
+		return op
+	}
+	for _, it := range items {
+		if it.kind != pipeline.Curvature {
+			continue
+		}
+		op := newOp(it)
+		depKind := pipeline.Forward
+		if factorKindOf(it.factor) == FactorB {
+			depKind = pipeline.Backward
+		}
+		if id, ok := baseID[[4]int{int(depKind), it.stage, it.micro, it.device}]; ok {
+			op.Deps = append(op.Deps, id)
+		} else {
+			return nil, fmt.Errorf("schedule: no %v op for stage %d micro %d device %d",
+				depKind, it.stage, it.micro, it.device)
+		}
+		curvIDs[[2]int{it.stage, it.factor}] = append(curvIDs[[2]int{it.stage, it.factor}], op.ID)
+		stageCurvIDs[it.stage] = append(stageCurvIDs[it.stage], op.ID)
+	}
+	for _, it := range items {
+		if it.kind != pipeline.SyncCurvature {
+			continue
+		}
+		op := newOp(it)
+		op.Deps = append(op.Deps, stageCurvIDs[it.stage]...)
+		syncIDs[it.stage] = append(syncIDs[it.stage], op.ID)
+	}
+	for _, it := range items {
+		if it.kind != pipeline.Inversion {
+			continue
+		}
+		op := newOp(it)
+		op.Deps = append(op.Deps, curvIDs[[2]int{it.stage, it.factor}]...)
+		op.Deps = append(op.Deps, curvIDs[[2]int{it.stage, pairFactor(it.factor)}]...)
+		op.Deps = append(op.Deps, syncIDs[it.stage]...)
+		op.Deps = dedup(op.Deps)
+		invIDs[it.stage] = append(invIDs[it.stage], op.ID)
+	}
+	// Precondition deterministically uses this step's fresh inverses.
+	for _, op := range s.Ops {
+		if op.Kind == pipeline.Precondition {
+			op.Deps = append(op.Deps, invIDs[op.Stage]...)
+		}
+	}
+
+	assembleExecOrders(s, tl, items, itemOp)
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("schedule: executable form invalid: %w", err)
+	}
+	return s, nil
+}
+
+// pairFactor returns the other Kronecker factor of the same layer
+// (A at 2l, B at 2l+1).
+func pairFactor(f int) int { return f ^ 1 }
+
+func maxDur(a, b hardware.Microseconds) hardware.Microseconds {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func dedup(ids []int) []int {
+	seen := make(map[int]bool, len(ids))
+	var out []int
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// packForExec places the work items into the base timeline's bubbles the
+// same way Assign's packer does, but with execution-consistent readiness:
+// an inversion is ready only once *both* factors of its layer have complete
+// curvature on every owning device (and the stage's sync-curvature, when
+// present, has run) — matching the dependency edges Executable wires, so
+// the packed per-device positions can never contradict the deps.
+func packForExec(items []*workItem, base *pipeline.Timeline, cfg Config) {
+	free := make([]*freeList, base.Devices)
+	for d := 0; d < base.Devices; d++ {
+		free[d] = &freeList{gaps: base.Gaps(d, 0, base.Makespan)}
+	}
+	var curv, syncs, invs []*workItem
+	for _, it := range items {
+		switch it.kind {
+		case pipeline.Curvature:
+			curv = append(curv, it)
+		case pipeline.SyncCurvature:
+			syncs = append(syncs, it)
+		default:
+			invs = append(invs, it)
+		}
+	}
+	sort.SliceStable(curv, func(i, j int) bool { return curv[i].readyAt < curv[j].readyAt })
+
+	curvDone := make(map[[3]int]hardware.Microseconds)      // (device, stage, factor)
+	stageCurvDone := make(map[[2]int]hardware.Microseconds) // (device, stage)
+	place := func(it *workItem) {
+		pieces, end, ok := free[it.device].place(it.readyAt, it.duration)
+		if !ok {
+			it.placed = false
+			return
+		}
+		it.placed = true
+		it.placedStart = pieces[0].Start
+		it.placedEnd = end
+	}
+	allPlaced := func(stage int) bool {
+		for _, it := range curv {
+			if it.stage == stage && !it.placed {
+				return false
+			}
+		}
+		for _, it := range syncs {
+			if it.stage == stage && !it.placed {
+				return false
+			}
+		}
+		return true
+	}
+	for _, it := range curv {
+		place(it)
+		if !it.placed {
+			continue
+		}
+		key := [3]int{it.device, it.stage, it.factor}
+		if it.placedEnd > curvDone[key] {
+			curvDone[key] = it.placedEnd
+		}
+		skey := [2]int{it.device, it.stage}
+		if it.placedEnd > stageCurvDone[skey] {
+			stageCurvDone[skey] = it.placedEnd
+		}
+	}
+	syncStageDone := make(map[int]hardware.Microseconds)
+	for _, it := range syncs {
+		if !allPlaced(it.stage) {
+			it.placed = false
+			continue
+		}
+		for _, ow := range stageOwners(cfg, it.stage) {
+			if t := stageCurvDone[[2]int{ow.device, it.stage}]; t > it.readyAt {
+				it.readyAt = t
+			}
+		}
+		place(it)
+		if it.placed && it.placedEnd > syncStageDone[it.stage] {
+			syncStageDone[it.stage] = it.placedEnd
+		}
+	}
+	for _, it := range invs {
+		if !allPlaced(it.stage) {
+			// Curvature spilled out of the bubbles: defer the inversion to
+			// the end-of-head position too, so waits can't cycle.
+			it.placed = false
+			continue
+		}
+		for _, ow := range stageOwners(cfg, it.stage) {
+			for _, f := range []int{it.factor, pairFactor(it.factor)} {
+				if t := curvDone[[3]int{ow.device, it.stage, f}]; t > it.readyAt {
+					it.readyAt = t
+				}
+			}
+		}
+		if t := syncStageDone[it.stage]; t > it.readyAt {
+			it.readyAt = t
+		}
+		place(it)
+	}
+}
+
+// assembleExecOrders builds each device's execution order: the base
+// schedule's forward/backward ops merged with the packed K-FAC ops by start
+// time, followed by the step tail (sync-grad, precondition, optimizer) —
+// K-FAC work that did not pack goes right before the tail, preserving every
+// dependency edge.
+func assembleExecOrders(s *pipeline.Schedule, tl *pipeline.Timeline, items []*workItem, itemOp map[*workItem]*pipeline.Op) {
+	type entry struct {
+		start hardware.Microseconds
+		seq   int
+		opID  int
+	}
+	const never = hardware.Microseconds(1) << 62
+	for d := 0; d < s.Devices; d++ {
+		var head []entry
+		var tail []int
+		for _, e := range tl.Events[d] {
+			switch e.Op.Kind {
+			case pipeline.SyncGrad, pipeline.Precondition, pipeline.OptStep:
+				tail = append(tail, e.Op.ID)
+			default:
+				head = append(head, entry{start: e.Start, seq: len(head), opID: e.Op.ID})
+			}
+		}
+		for _, it := range items {
+			if it.device != d {
+				continue
+			}
+			op := itemOp[it]
+			if op == nil {
+				continue
+			}
+			start := never
+			if it.placed {
+				start = it.placedStart
+			}
+			head = append(head, entry{start: start, seq: len(head), opID: op.ID})
+		}
+		sort.SliceStable(head, func(i, j int) bool {
+			if head[i].start != head[j].start {
+				return head[i].start < head[j].start
+			}
+			return head[i].seq < head[j].seq
+		})
+		for _, en := range head {
+			s.Order[d] = append(s.Order[d], en.opID)
+		}
+		s.Order[d] = append(s.Order[d], tail...)
+	}
+}

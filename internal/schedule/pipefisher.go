@@ -135,8 +135,12 @@ type workItem struct {
 	micro    int // micro-batch for curvature, -1 otherwise
 	duration hardware.Microseconds
 	readyAt  hardware.Microseconds
-	// placedEnd records the end of the item's last placed piece.
-	placedEnd hardware.Microseconds
+	// placedEnd records the end of the item's last placed piece; placed
+	// marks whether placement succeeded, and placedStart records the start
+	// of the first piece (used by Executable to order real execution).
+	placedEnd   hardware.Microseconds
+	placedStart hardware.Microseconds
+	placed      bool
 }
 
 // Assign builds the base schedule, inserts the per-step precondition work,

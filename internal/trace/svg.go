@@ -27,6 +27,8 @@ func kindColor(k pipeline.WorkKind) string {
 		return "#b8860b" // dark gold
 	case pipeline.OptStep:
 		return "#4a4a4a" // dark grey
+	case pipeline.Recompute:
+		return "#bcd4fb" // pale blue, between forward and backward
 	}
 	return "#000000"
 }
@@ -76,8 +78,9 @@ func RenderSVG(w io.Writer, tl *pipeline.Timeline, width int) error {
 	lx := leftPad
 	ly := topPad + tl.Devices*(rowHeight+rowGap) + 6
 	for _, k := range []pipeline.WorkKind{
-		pipeline.Forward, pipeline.Backward, pipeline.Curvature, pipeline.Inversion,
-		pipeline.Precondition, pipeline.SyncGrad, pipeline.SyncCurvature, pipeline.OptStep,
+		pipeline.Forward, pipeline.Backward, pipeline.Recompute, pipeline.Curvature,
+		pipeline.Inversion, pipeline.Precondition, pipeline.SyncGrad,
+		pipeline.SyncCurvature, pipeline.OptStep,
 	} {
 		fmt.Fprintf(w, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`, lx, ly, kindColor(k))
 		fmt.Fprintf(w, `<text x="%d" y="%d">%s</text>`, lx+16, ly+11, k)

@@ -33,6 +33,8 @@ func kindRune(k pipeline.WorkKind) byte {
 		return 'c'
 	case pipeline.OptStep:
 		return 'o'
+	case pipeline.Recompute:
+		return 'R'
 	}
 	return '?'
 }
@@ -76,7 +78,7 @@ func RenderASCII(w io.Writer, tl *pipeline.Timeline, width int) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintln(w, "legend: F=forward B=backward C=curvature I=inverse P=precondition g=sync-grad c=sync-curv o=opt .=idle")
+	_, err := fmt.Fprintln(w, "legend: F=forward B=backward R=recompute C=curvature I=inverse P=precondition g=sync-grad c=sync-curv o=opt .=idle")
 	return err
 }
 
