@@ -31,6 +31,7 @@ import (
 	"repro/internal/optim"
 	"repro/internal/pipeline"
 	"repro/internal/schedule"
+	"repro/internal/tensor"
 	"repro/internal/trace"
 )
 
@@ -54,8 +55,15 @@ func main() {
 		vanilla     = flag.Bool("vanilla", false, "also render the vanilla (no K-FAC) timeline")
 		execute     = flag.Bool("execute", false, "really train a small model under this schedule and render the executed timeline")
 		execSteps   = flag.Int("execsteps", 5, "training steps to execute with -execute (use an odd count so the rendered last step is a K-FAC refresh step)")
+		workers     = flag.Int("workers", 0, "intra-op kernel worker budget for real execution (0 = GOMAXPROCS); device goroutines share it")
 	)
 	flag.Parse()
+	if *workers < 0 {
+		*workers = 0 // negative means "default", like 0
+	}
+	tensor.SetParallelism(*workers)
+	fmt.Printf("%s on %s: %d stages x %d micro-batches, intra-op workers %d\n",
+		*archName, *gpuName, *stages, *nmicro, tensor.Parallelism())
 
 	a, err := arch.ByName(*archName)
 	if err != nil {
@@ -125,14 +133,14 @@ func main() {
 	}
 
 	if *execute {
-		executeSchedule(*method, *stages, *nmicro, *execSteps, *width, *svgPath)
+		executeSchedule(*method, *stages, *nmicro, *execSteps, *width, *workers, *svgPath)
 	}
 }
 
 // executeSchedule trains a small BERT (one block per stage) for real under
 // the selected schedule with K-FAC packed into the bubbles, then renders
 // the executed timeline of the last step.
-func executeSchedule(method string, stages, nmicro, steps, width int, svgPath string) {
+func executeSchedule(method string, stages, nmicro, steps, width, workers int, svgPath string) {
 	cfg := bert.TinyConfig()
 	cfg.Blocks = stages
 	model, err := bert.New(cfg, 7)
@@ -143,7 +151,7 @@ func executeSchedule(method string, stages, nmicro, steps, width int, svgPath st
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := engine.NewWithConfig(model, engine.Config{Method: method, Stages: stages, MicroBatches: nmicro})
+	eng, err := engine.NewWithConfig(model, engine.Config{Method: method, Stages: stages, MicroBatches: nmicro, Workers: workers})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -152,7 +160,8 @@ func executeSchedule(method string, stages, nmicro, steps, width int, svgPath st
 	}
 	params := model.Params()
 	opt := optim.NewLAMB(params, 0.01)
-	fmt.Printf("\n--- real execution: %s, %d stages, %d micro-batches ---\n", method, stages, nmicro)
+	fmt.Printf("\n--- real execution: %s, %d stages, %d micro-batches, %d intra-op workers ---\n",
+		method, stages, nmicro, tensor.Parallelism())
 	for step := 0; step < steps; step++ {
 		batch := corpus.MakeBatch(4*nmicro, data.DefaultBatchConfig(cfg.SeqLen))
 		nn.ZeroGrads(params)

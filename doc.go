@@ -42,6 +42,31 @@
 // consume the same pipeline.Schedule, so a schedule validated by one is
 // valid for the other.
 //
+// # Kernel layer
+//
+// The tensor kernels under the executor are cache-blocked and
+// goroutine-parallel behind a shared worker pool: tensor.SetParallelism
+// sizes the process-wide intra-op worker budget (default GOMAXPROCS, the
+// -workers flag on cmd/pipefisher and examples/pipelinetrain), and the
+// engine caps each device goroutine's kernels to its fair share of that
+// budget (engine.Config.Workers / devices) via tensor.SetOpParallelism, so
+// concurrent stages split the cores instead of oversubscribing them. The
+// executed Timeline records both values for honest real-vs-simulated
+// comparisons. Every kernel reduces each output element in the same serial
+// order regardless of worker count, so results — and therefore gradients —
+// are bit-identical across parallelism settings.
+//
+// Hot paths are allocation-free in steady state: layers hold retained
+// output/gradient buffers (tensor.Reuse), gradient accumulation is fused
+// (tensor.TMatMulAddInto), and per-micro-batch temporaries — cross-stage
+// activation hand-offs, K-FAC statistics snapshots and partial curvature
+// products, Cholesky/eigen work buffers — cycle through a pooled workspace
+// (tensor.Get / tensor.Put). Pooling contract: whoever Gets a matrix owns
+// it until Put, and must drop every reference afterwards; matrices returned
+// by layer Forward/Backward are owned by the layer and valid only until its
+// next call, so anything that must outlive the producing op is cloned
+// (tensor.GetClone) by the engine.
+//
 // The benchmark harness in bench_test.go regenerates the paper's tables
 // and figures, and cmd/ plus examples/ provide runnable entry points
 // (cmd/pipefisher -execute runs the sim/exec comparison end to end).

@@ -29,12 +29,19 @@ import (
 	"repro/internal/optim"
 	"repro/internal/pipeline"
 	"repro/internal/schedule"
+	"repro/internal/tensor"
 	"repro/internal/trace"
 )
 
 func main() {
 	method := flag.String("method", "1f1b", "pipeline schedule: gpipe, 1f1b, chimera")
+	workers := flag.Int("workers", 0, "intra-op kernel worker budget (0 = GOMAXPROCS); device goroutines share it")
 	flag.Parse()
+	if *workers < 0 {
+		*workers = 0 // negative means "default", like 0
+	}
+	tensor.SetParallelism(*workers)
+	fmt.Printf("pipelinetrain: %s schedule, %d intra-op workers\n", *method, tensor.Parallelism())
 
 	model, err := bert.New(bert.TinyConfig(), 7)
 	if err != nil {
@@ -45,7 +52,7 @@ func main() {
 		log.Fatal(err)
 	}
 	// 2 stages (1 transformer block each), 4 micro-batches per step.
-	eng, err := engine.NewWithConfig(model, engine.Config{Method: *method, Stages: 2, MicroBatches: 4})
+	eng, err := engine.NewWithConfig(model, engine.Config{Method: *method, Stages: 2, MicroBatches: 4, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

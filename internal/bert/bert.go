@@ -61,6 +61,12 @@ type Model struct {
 
 	posIDs     []int // scratch: position ids for the current batch shape
 	pipePosIDs []int // scratch for EmbedForward's micro-batch shape
+
+	// Retained pipeline-adapter buffers (see pipeline.go): the summed
+	// token+position embeddings and the gathered [CLS] rows are reused
+	// across micro-batches instead of being freshly allocated.
+	pipeEmbBuf *tensor.Matrix
+	pipeClsBuf *tensor.Matrix
 }
 
 // New builds a model with the given configuration and seed.

@@ -20,7 +20,10 @@ func (m *Model) PipelineBlocks() []*nn.TransformerBlock { return m.Blocks }
 func (m *Model) SeqLen() int { return m.Config.SeqLen }
 
 // EmbedForward runs the stage-0 path for a micro-batch: token + position
-// embeddings followed by the embedding LayerNorm.
+// embeddings (summed in a retained buffer, no per-micro-batch allocation)
+// followed by the embedding LayerNorm. The returned matrix is owned by the
+// model and valid until the next EmbedForward; the engine recomputes the
+// embedding before the micro-batch's backward, so nothing else retains it.
 func (m *Model) EmbedForward(mb *data.Batch) *tensor.Matrix {
 	n := mb.BatchSize * mb.SeqLen
 	if len(m.pipePosIDs) != n {
@@ -29,9 +32,10 @@ func (m *Model) EmbedForward(mb *data.Batch) *tensor.Matrix {
 			m.pipePosIDs[i] = i % mb.SeqLen
 		}
 	}
-	tok := m.TokEmb.Lookup(mb.Tokens)
-	pos := m.PosEmb.Lookup(m.pipePosIDs)
-	return m.EmbNorm.Forward(tok.Add(pos))
+	m.pipeEmbBuf = tensor.Reuse(m.pipeEmbBuf, n, m.Config.DModel)
+	m.TokEmb.LookupInto(m.pipeEmbBuf, mb.Tokens)
+	m.PosEmb.LookupAddInto(m.pipeEmbBuf, m.pipePosIDs)
+	return m.EmbNorm.Forward(m.pipeEmbBuf)
 }
 
 // EmbedBackward backpropagates into the embedding tables from the caches of
@@ -61,7 +65,7 @@ func (m *Model) HeadLoss(mb *data.Batch, y *tensor.Matrix, t pipemodel.Totals) (
 	}
 	mlmLogits := m.MLMHead.Forward(y)
 	mlmLoss, _, masked := nn.CrossEntropy(mlmLogits, mb.Targets)
-	cls := clsRows(y, mb.BatchSize, mb.SeqLen, m.Config.DModel)
+	cls := m.clsRows(y, mb.BatchSize, mb.SeqLen)
 	nspLogits := m.NSPHead.Forward(cls)
 	nspLoss, _, _ := nn.CrossEntropy(nspLogits, nspTargets(mb))
 
@@ -92,7 +96,7 @@ func (m *Model) HeadGradient(mb *data.Batch, y *tensor.Matrix, t pipemodel.Total
 	}
 	dx := m.MLMHead.Backward(mlmGrad)
 
-	cls := clsRows(y, mb.BatchSize, mb.SeqLen, m.Config.DModel)
+	cls := m.clsRows(y, mb.BatchSize, mb.SeqLen)
 	nspLogits := m.NSPHead.Forward(cls)
 	_, nspGrad, _ := nn.CrossEntropy(nspLogits, nspTargets(mb))
 	nspGrad.ScaleInPlace(float64(mb.BatchSize) / float64(t.Seqs))
@@ -121,9 +125,11 @@ func (m *Model) checkHeadInput(mb *data.Batch, y *tensor.Matrix, t pipemodel.Tot
 	return nil
 }
 
-// clsRows gathers the [CLS] (first) row of each sequence.
-func clsRows(y *tensor.Matrix, batch, seqLen, d int) *tensor.Matrix {
-	cls := tensor.Zeros(batch, d)
+// clsRows gathers the [CLS] (first) row of each sequence into a retained
+// buffer (valid until the next call).
+func (m *Model) clsRows(y *tensor.Matrix, batch, seqLen int) *tensor.Matrix {
+	cls := tensor.Reuse(m.pipeClsBuf, batch, m.Config.DModel)
+	m.pipeClsBuf = cls
 	for i := 0; i < batch; i++ {
 		copy(cls.Row(i), y.Row(i*seqLen))
 	}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/pipemodel"
 	"repro/internal/schedule"
+	"repro/internal/tensor"
 )
 
 // Config selects the pipeline schedule the engine executes.
@@ -42,6 +43,14 @@ type Config struct {
 	Stages int
 	// MicroBatches is the number of micro-batches per training step.
 	MicroBatches int
+	// Workers is the intra-op kernel worker budget shared by all device
+	// goroutines (0 = tensor.Parallelism(); values above the pool size
+	// are capped at it, since the pool is all kernels can recruit). Each
+	// device's kernels are capped to a fair share, Workers / devices, so
+	// concurrent stages split the cores instead of each oversubscribing
+	// the whole pool. The budget is re-resolved against the pool at every
+	// TrainStep and recorded in the executed Timeline.
+	Workers int
 }
 
 func (c Config) normalize() (Config, error) {
@@ -58,6 +67,9 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.MicroBatches <= 0 {
 		return c, fmt.Errorf("engine: MicroBatches must be positive, got %d", c.MicroBatches)
+	}
+	if c.Workers < 0 {
+		return c, fmt.Errorf("engine: Workers must be non-negative, got %d", c.Workers)
 	}
 	if c.Method == "chimera" {
 		if c.Stages%2 != 0 {
@@ -83,6 +95,12 @@ type Engine struct {
 	stageMu []sync.Mutex
 
 	sched *pipeline.Schedule
+
+	// workers is the resolved intra-op kernel worker budget and opShare
+	// each device goroutine's per-kernel cap (workers / devices, min 1) —
+	// fair sharing of the tensor worker pool across concurrent stages.
+	workers int
+	opShare int
 
 	kfacPre      []*kfac.Preconditioner // per stage, nil until EnableKFAC
 	kfacOpts     kfac.Options
@@ -181,6 +199,23 @@ func (e *Engine) rebuildSchedule() error {
 	}
 	e.sched = sched
 	return nil
+}
+
+// resolveParallelism fixes the step's intra-op budget against the worker
+// pool as it is sized right now: the configured Workers (capped at the
+// pool, which is all the kernels can actually recruit — the recorded
+// Timeline values must reflect reality), split evenly across the device
+// goroutines so no device oversubscribes the shared pool.
+func (e *Engine) resolveParallelism() {
+	w := e.cfg.Workers
+	if p := tensor.Parallelism(); w == 0 || w > p {
+		w = p
+	}
+	e.workers = w
+	e.opShare = w / e.sched.Devices
+	if e.opShare < 1 {
+		e.opShare = 1
+	}
 }
 
 // execCosts supplies the relative work durations the builders and the
@@ -300,6 +335,16 @@ func (e *Engine) TrainStep(batch *data.Batch) (*StepResult, error) {
 	}
 	refresh := e.kfacPre != nil && e.stepIndex%e.refreshEvery == 0
 
+	// Cap each device goroutine's kernels to its fair share of the
+	// intra-op worker pool for the duration of the step, restoring the
+	// caller's cap afterwards. The cap is a process-global knob: running
+	// TrainStep on two Engine instances concurrently would clobber each
+	// other's share (and the restored value) — step engines one at a
+	// time per process, as every entry point here does.
+	e.resolveParallelism()
+	prevCap := tensor.OpParallelism()
+	tensor.SetOpParallelism(e.opShare)
+	defer tensor.SetOpParallelism(prevCap)
 	res, err := e.runStep(micro, totals, refresh)
 	if err != nil {
 		return nil, err

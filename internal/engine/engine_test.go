@@ -509,6 +509,68 @@ func TestEngineKFACTrainingConverges(t *testing.T) {
 	}
 }
 
+// The cross-schedule gradient identity must also hold with parallel
+// kernels enabled: blocked kernels reduce every output element in the same
+// serial order regardless of worker count, so gradients stay bit-compatible
+// with the single-device serial reference, and the executed timeline
+// records the configured parallelism.
+func TestSchedulesMatchSingleDeviceWithParallelKernels(t *testing.T) {
+	defer tensor.SetParallelism(0)
+	defer tensor.SetOpParallelism(0)
+	tensor.SetParallelism(1)
+	m, c := newModelAndCorpus(t)
+	batch := c.MakeBatch(8, data.DefaultBatchConfig(m.Config.SeqLen))
+	params := m.Params()
+
+	// Serial single-device reference.
+	nn.ZeroGrads(params)
+	refLoss, err := m.Step(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refGrads := cloneGrads(params)
+
+	tensor.SetParallelism(4)
+	for _, method := range []string{"gpipe", "1f1b", "chimera"} {
+		e, err := NewWithConfig(m, Config{Method: method, Stages: 2, MicroBatches: 4, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.EnableKFAC(kfac.DefaultOptions(), 2); err != nil {
+			t.Fatal(err)
+		}
+		nn.ZeroGrads(params)
+		res, err := e.TrainStep(batch)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if math.Abs(res.Loss.Total-refLoss.Total) > 1e-9 {
+			t.Fatalf("%s: parallel loss %.12f != serial single-device %.12f", method, res.Loss.Total, refLoss.Total)
+		}
+		// The first K-FAC step refreshes but must precondition only after
+		// the full backward — plain gradients are rewritten in place, so
+		// compare against the reference before preconditioning via a
+		// second, K-FAC-free engine instead.
+		tl := e.LastTimeline()
+		if tl.Parallelism != 4 {
+			t.Fatalf("%s: executed timeline records parallelism %d, want 4", method, tl.Parallelism)
+		}
+		if tl.OpParallelism != 2 {
+			t.Fatalf("%s: executed timeline records per-op share %d, want 2", method, tl.OpParallelism)
+		}
+
+		plain, err := NewWithConfig(m, Config{Method: method, Stages: 2, MicroBatches: 4, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nn.ZeroGrads(params)
+		if _, err := plain.TrainStep(batch); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		requireGradsClose(t, params, refGrads, "parallel "+method)
+	}
+}
+
 func TestStageLayers(t *testing.T) {
 	m, _ := newModelAndCorpus(t)
 	e, err := New(m, 2, 2)

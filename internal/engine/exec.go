@@ -192,11 +192,19 @@ func (st *runState) forward(d int, op *pipeline.Op) error {
 			return err
 		}
 		st.lossParts[m] = loss
+	} else {
+		// The stage output is a module-retained buffer that the next
+		// forward through this stage will overwrite; hand the consumer
+		// stage a pooled copy (returned to the pool after its backward).
+		st.stageOut[s][m] = tensor.GetClone(y)
 	}
-	st.stageOut[s][m] = y
 	if st.refresh {
+		// Snapshot the A-factor statistics into pooled buffers: the
+		// layer-retained capture buffers are only valid until this
+		// stage's next op, but the scheduled Curvature ops consume the
+		// snapshots later, in the pipeline bubbles.
 		for li, l := range stg.layers {
-			st.actsSnap[s][m][li] = l.CapturedInput()
+			st.actsSnap[s][m][li] = tensor.GetClone(l.CapturedInput())
 		}
 	}
 	st.record(d, op, t0)
@@ -246,14 +254,30 @@ func (st *runState) backward(d int, op *pipeline.Op) error {
 	}
 	grad = stg.backBlocks(grad)
 	if st.refresh {
+		// Snapshot the B-factor statistics into pooled buffers (see the
+		// A-factor snapshot in forward).
 		for li, l := range stg.layers {
-			st.gradsSnap[s][m][li] = l.CapturedOutputGrad()
+			st.gradsSnap[s][m][li] = tensor.GetClone(l.CapturedOutputGrad())
 		}
 	}
 	if stg.first {
 		st.e.model.EmbedBackward(grad)
 	} else {
-		st.gradOut[s][m] = grad
+		// Like forward activations, the outgoing error signal is a
+		// module-retained buffer; publish a pooled copy.
+		st.gradOut[s][m] = tensor.GetClone(grad)
+	}
+	// This micro-batch is done on this stage: recycle the pooled buffers
+	// it consumed — the activation received from the previous stage (kept
+	// for recomputation) and the error signal from the next stage.
+	if !stg.first {
+		tensor.Put(st.stageIn[s][m])
+		st.stageIn[s][m] = nil
+		st.stageOut[s-1][m] = nil
+	}
+	if !stg.last {
+		tensor.Put(st.gradOut[s+1][m])
+		st.gradOut[s+1][m] = nil
 	}
 	st.recordKind(d, pipeline.Backward, op, tRec, time.Since(st.start))
 	return nil
@@ -281,14 +305,21 @@ func (st *runState) curvature(d int, op *pipeline.Op) error {
 	if stat == nil {
 		return fmt.Errorf("no captured statistics for layer %d factor %d micro-batch %d", li, op.Factor, m)
 	}
-	part := tensor.TMatMul(stat, stat)
+	// The partial Gram product U^T U goes into a pooled buffer (released
+	// by the inversion op once it is folded into the factor sum), and the
+	// statistics snapshot is recycled here — its only consumer.
+	part := tensor.Get(stat.Cols, stat.Cols)
+	tensor.TMatMulInto(part, stat, stat)
 	if factorB {
 		st.curvB[s][li][m] = part
 		st.rowsB[s][li][m] = stat.Rows
+		st.gradsSnap[s][m][li] = nil
 	} else {
 		st.curvA[s][li][m] = part
 		st.rowsA[s][li][m] = stat.Rows
+		st.actsSnap[s][m][li] = nil
 	}
+	tensor.Put(stat)
 	st.record(d, op, t0)
 	return nil
 }
@@ -321,6 +352,16 @@ func (st *runState) inversion(d int, op *pipeline.Op) error {
 			return err
 		}
 		st.finalized[s][li] = true
+		// The per-micro-batch partial products are folded in; recycle
+		// their pooled buffers.
+		for i, part := range st.curvA[s][li] {
+			tensor.Put(part)
+			st.curvA[s][li][i] = nil
+		}
+		for i, part := range st.curvB[s][li] {
+			tensor.Put(part)
+			st.curvB[s][li][i] = nil
+		}
 	}
 	if err := st.e.kfacPre[s].InvertFactor(li, factorB); err != nil {
 		return err
@@ -390,13 +431,17 @@ func (st *runState) recordKind(d int, kind pipeline.WorkKind, op *pipeline.Op, t
 	st.events[d] = append(st.events[d], pipeline.Event{Op: ev, Start: start, End: end})
 }
 
-// timeline assembles the executed step's measured timeline.
+// timeline assembles the executed step's measured timeline, recording the
+// intra-op parallelism the kernels ran with so the executed trace can be
+// compared against simulated ones on equal terms.
 func (st *runState) timeline() *pipeline.Timeline {
 	tl := &pipeline.Timeline{
-		Name:    st.e.sched.Name + " (executed)",
-		Devices: st.e.sched.Devices,
-		Steps:   1,
-		Events:  st.events,
+		Name:          st.e.sched.Name + " (executed)",
+		Devices:       st.e.sched.Devices,
+		Steps:         1,
+		Events:        st.events,
+		Parallelism:   st.e.workers,
+		OpParallelism: st.e.opShare,
 	}
 	for d := range tl.Events {
 		for _, ev := range tl.Events[d] {

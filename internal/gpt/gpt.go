@@ -59,6 +59,10 @@ type Model struct {
 
 	posIDs     []int
 	pipePosIDs []int // scratch for EmbedForward's micro-batch shape
+
+	// pipeEmbBuf is the retained token+position embedding sum of the
+	// pipeline adapter (see pipeline.go), reused across micro-batches.
+	pipeEmbBuf *tensor.Matrix
 }
 
 // New builds a decoder model; every block's attention is causal.

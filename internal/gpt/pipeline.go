@@ -35,8 +35,11 @@ func (m *Model) PipelineBlocks() []*nn.TransformerBlock { return m.Blocks }
 // SeqLen returns the model's fixed sequence length.
 func (m *Model) SeqLen() int { return m.Config.SeqLen }
 
-// EmbedForward runs the stage-0 path: token + position embeddings (the
-// decoder has no embedding norm; the final norm lives in the head).
+// EmbedForward runs the stage-0 path: token + position embeddings summed in
+// a retained buffer (the decoder has no embedding norm; the final norm
+// lives in the head). The returned matrix is owned by the model and valid
+// until the next EmbedForward; the engine recomputes the embedding before
+// each micro-batch's backward, so nothing else retains it.
 func (m *Model) EmbedForward(mb *data.Batch) *tensor.Matrix {
 	n := mb.BatchSize * mb.SeqLen
 	if len(m.pipePosIDs) != n {
@@ -45,9 +48,10 @@ func (m *Model) EmbedForward(mb *data.Batch) *tensor.Matrix {
 			m.pipePosIDs[i] = i % mb.SeqLen
 		}
 	}
-	tok := m.TokEmb.Lookup(mb.Tokens)
-	pos := m.PosEmb.Lookup(m.pipePosIDs)
-	return tok.Add(pos)
+	m.pipeEmbBuf = tensor.Reuse(m.pipeEmbBuf, n, m.Config.DModel)
+	m.TokEmb.LookupInto(m.pipeEmbBuf, mb.Tokens)
+	m.PosEmb.LookupAddInto(m.pipeEmbBuf, m.pipePosIDs)
+	return m.pipeEmbBuf
 }
 
 // EmbedBackward backpropagates into the embedding tables from the caches of

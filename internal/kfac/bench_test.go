@@ -69,3 +69,22 @@ func BenchmarkPrecondition(b *testing.B) {
 		p.Precondition()
 	}
 }
+
+// BenchmarkKFACRefreshAndPrecondition covers one full K-FAC cycle —
+// curvature refresh, factor inversion, gradient preconditioning — the
+// per-refresh cost the PipeFisher packer hides in pipeline bubbles. The
+// KFAC-named benchmark also anchors the CI bench job's
+// 'MatMul|Dense|KFAC' pattern in this package.
+func BenchmarkKFACRefreshAndPrecondition(b *testing.B) {
+	p := benchPreconditioner(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.UpdateCurvature(512); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.UpdateInverses(); err != nil {
+			b.Fatal(err)
+		}
+		p.Precondition()
+	}
+}

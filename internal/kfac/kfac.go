@@ -42,6 +42,10 @@ type LayerState struct {
 	CurvatureUpdates int
 	InverseUpdates   int
 	InverseAge       int
+
+	// preTmp is the retained B⁻¹G intermediate of Precondition, so the
+	// per-step preconditioning allocates nothing in steady state.
+	preTmp *tensor.Matrix
 }
 
 // HasInverses reports whether the layer has usable cached inverses.
@@ -197,14 +201,14 @@ func (p *Preconditioner) InvertFactor(index int, factorB bool) error {
 	}
 	dampA, dampB := p.factoredDamping(s)
 	if factorB {
-		binv, err := tensor.SPDInverse(s.B.AddDiagonal(dampB), 0)
+		binv, err := dampedInverse(s.B, dampB)
 		if err != nil {
 			return fmt.Errorf("inverting B of %q: %w", s.Layer.Name, err)
 		}
 		s.BInv = binv
 		s.InverseUpdates++
 	} else {
-		ainv, err := tensor.SPDInverse(s.A.AddDiagonal(dampA), 0)
+		ainv, err := dampedInverse(s.A, dampA)
 		if err != nil {
 			return fmt.Errorf("inverting A of %q: %w", s.Layer.Name, err)
 		}
@@ -212,6 +216,16 @@ func (p *Preconditioner) InvertFactor(index int, factorB bool) error {
 	}
 	s.InverseAge = 0
 	return nil
+}
+
+// dampedInverse computes (m + damp*I)⁻¹ with the damped copy cycling
+// through the tensor workspace pool instead of being freshly allocated at
+// every inversion refresh.
+func dampedInverse(m *tensor.Matrix, damp float64) (*tensor.Matrix, error) {
+	work := tensor.GetClone(m)
+	defer tensor.Put(work)
+	work.AddDiagonalInPlace(damp)
+	return tensor.SPDInverse(work, 0)
 }
 
 // UpdateInverses refreshes the cached inverses of every registered layer.
@@ -245,11 +259,11 @@ func (p *Preconditioner) invertLayer(s *LayerState) error {
 		return fmt.Errorf("kfac: no curvature for layer %q yet", s.Layer.Name)
 	}
 	dampA, dampB := p.factoredDamping(s)
-	ainv, err := tensor.SPDInverse(s.A.AddDiagonal(dampA), 0)
+	ainv, err := dampedInverse(s.A, dampA)
 	if err != nil {
 		return fmt.Errorf("inverting A: %w", err)
 	}
-	binv, err := tensor.SPDInverse(s.B.AddDiagonal(dampB), 0)
+	binv, err := dampedInverse(s.B, dampB)
 	if err != nil {
 		return fmt.Errorf("inverting B: %w", err)
 	}
@@ -292,8 +306,11 @@ func (p *Preconditioner) Precondition() int {
 			continue
 		}
 		g := s.Layer.GW // dout x din
-		pre := tensor.MatMul(tensor.MatMul(s.BInv, g), s.AInv)
-		g.CopyFrom(pre)
+		// B⁻¹ G into the retained intermediate, then (B⁻¹G) A⁻¹ straight
+		// back into G — no per-step allocation.
+		s.preTmp = tensor.Reuse(s.preTmp, g.Rows, g.Cols)
+		tensor.MatMulInto(s.preTmp, s.BInv, g)
+		tensor.MatMulInto(g, s.preTmp, s.AInv)
 		s.InverseAge++
 		done++
 	}

@@ -8,9 +8,12 @@ import (
 
 // GELU is the Gaussian Error Linear Unit activation used by BERT:
 // gelu(x) = x/2 * (1 + erf(x/sqrt(2))). The backward uses the exact
-// derivative.
+// derivative. Forward and Backward return retained buffers (valid until the
+// module's next call), so the steady-state hot path allocates nothing.
 type GELU struct {
 	lastInput *tensor.Matrix
+	outBuf    *tensor.Matrix
+	dxBuf     *tensor.Matrix
 }
 
 // NewGELU returns a GELU activation module.
@@ -18,8 +21,12 @@ func NewGELU() *GELU { return &GELU{} }
 
 // Forward applies GELU element-wise.
 func (g *GELU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x == g.outBuf {
+		g.outBuf = nil
+	}
 	g.lastInput = x
-	y := tensor.Zeros(x.Rows, x.Cols)
+	y := tensor.Reuse(g.outBuf, x.Rows, x.Cols)
+	g.outBuf = y
 	for i, v := range x.Data {
 		y.Data[i] = 0.5 * v * (1 + math.Erf(v/math.Sqrt2))
 	}
@@ -31,7 +38,11 @@ func (g *GELU) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if g.lastInput == nil {
 		panic("nn: GELU Backward before Forward")
 	}
-	out := tensor.Zeros(grad.Rows, grad.Cols)
+	if grad == g.dxBuf {
+		g.dxBuf = nil
+	}
+	out := tensor.Reuse(g.dxBuf, grad.Rows, grad.Cols)
+	g.dxBuf = out
 	invSqrt2Pi := 1 / math.Sqrt(2*math.Pi)
 	for i, v := range g.lastInput.Data {
 		cdf := 0.5 * (1 + math.Erf(v/math.Sqrt2))

@@ -38,6 +38,14 @@ type MultiHeadAttention struct {
 	lastK     *tensor.Matrix   // (B·S) x d
 	lastV     *tensor.Matrix   // (B·S) x d
 	lastProbs []*tensor.Matrix // per (batch, head): S x S attention probabilities
+
+	// Retained scratch buffers so the steady-state hot path allocates
+	// nothing: lastProbs entries are reused across calls, the rest are
+	// transient within one Forward/Backward.
+	scoreBuf            *tensor.Matrix // S x S raw scores
+	concatBuf           *tensor.Matrix // (B·S) x d head concatenation
+	dpBuf, dsBuf        *tensor.Matrix // S x S backward scratch
+	dqBuf, dkBuf, dvBuf *tensor.Matrix // (B·S) x d projection gradients
 }
 
 // NewMultiHeadAttention builds the sublayer; d must be divisible by heads.
@@ -81,16 +89,21 @@ func (m *MultiHeadAttention) Forward(x *tensor.Matrix) *tensor.Matrix {
 	dk := d / m.Heads
 	scale := 1 / math.Sqrt(float64(dk))
 	s := m.seqLen
-	concat := tensor.Zeros(x.Rows, d)
-	m.lastProbs = make([]*tensor.Matrix, m.batch*m.Heads)
+	concat := tensor.Reuse(m.concatBuf, x.Rows, d)
+	m.concatBuf = concat
+	concat.Zero()
+	if len(m.lastProbs) != m.batch*m.Heads {
+		m.lastProbs = make([]*tensor.Matrix, m.batch*m.Heads)
+	}
+	// scores = Qh Kh^T * scale, S x S (future positions masked to -inf for
+	// causal attention); one retained scratch matrix serves every head.
+	scores := tensor.Reuse(m.scoreBuf, s, s)
+	m.scoreBuf = scores
 
 	for b := 0; b < m.batch; b++ {
 		base := b * s
 		for h := 0; h < m.Heads; h++ {
 			off := h * dk
-			// scores = Qh Kh^T * scale, S x S (future positions masked to
-			// -inf for causal attention).
-			scores := tensor.Zeros(s, s)
 			for i := 0; i < s; i++ {
 				qrow := q.Row(base + i)[off : off+dk]
 				srow := scores.Row(i)
@@ -107,8 +120,9 @@ func (m *MultiHeadAttention) Forward(x *tensor.Matrix) *tensor.Matrix {
 					srow[j] = dot * scale
 				}
 			}
-			probs := SoftmaxRows(scores)
+			probs := tensor.Reuse(m.lastProbs[b*m.Heads+h], s, s)
 			m.lastProbs[b*m.Heads+h] = probs
+			SoftmaxRowsInto(probs, scores)
 			// Oh = probs Vh, written into the concat slice.
 			for i := 0; i < s; i++ {
 				prow := probs.Row(i)
@@ -141,9 +155,19 @@ func (m *MultiHeadAttention) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	dk := d / m.Heads
 	scale := 1 / math.Sqrt(float64(dk))
 	s := m.seqLen
-	dQ := tensor.Zeros(dConcat.Rows, d)
-	dK := tensor.Zeros(dConcat.Rows, d)
-	dV := tensor.Zeros(dConcat.Rows, d)
+	dQ := tensor.Reuse(m.dqBuf, dConcat.Rows, d)
+	m.dqBuf = dQ
+	dQ.Zero()
+	dK := tensor.Reuse(m.dkBuf, dConcat.Rows, d)
+	m.dkBuf = dK
+	dK.Zero()
+	dV := tensor.Reuse(m.dvBuf, dConcat.Rows, d)
+	m.dvBuf = dV
+	dV.Zero()
+	dP := tensor.Reuse(m.dpBuf, s, s)
+	m.dpBuf = dP
+	dScores := tensor.Reuse(m.dsBuf, s, s)
+	m.dsBuf = dScores
 
 	for b := 0; b < m.batch; b++ {
 		base := b * s
@@ -151,7 +175,6 @@ func (m *MultiHeadAttention) Backward(grad *tensor.Matrix) *tensor.Matrix {
 			off := h * dk
 			probs := m.lastProbs[b*m.Heads+h]
 			// dP = dOh Vh^T ; dVh += P^T dOh.
-			dP := tensor.Zeros(s, s)
 			for i := 0; i < s; i++ {
 				dorow := dConcat.Row(base + i)[off : off+dk]
 				dprow := dP.Row(i)
@@ -174,7 +197,7 @@ func (m *MultiHeadAttention) Backward(grad *tensor.Matrix) *tensor.Matrix {
 				}
 			}
 			// Softmax backward to get dScores.
-			dScores := SoftmaxBackwardRows(probs, dP)
+			SoftmaxBackwardRowsInto(dScores, probs, dP)
 			// dQh = dScores Kh * scale ; dKh = dScores^T Qh * scale.
 			for i := 0; i < s; i++ {
 				dsrow := dScores.Row(i)

@@ -20,9 +20,6 @@ type TransformerBlock struct {
 	// FF1 and FF2 are the feed-forward projections; Act sits between them.
 	FF1, FF2 *Dense
 	Act      *GELU
-
-	lastX *tensor.Matrix
-	lastH *tensor.Matrix
 }
 
 // NewTransformerBlock builds a block with the given model and feed-forward
@@ -45,25 +42,32 @@ func (b *TransformerBlock) SetShape(batch, seqLen int) {
 	b.Attn.SetShape(batch, seqLen)
 }
 
-// Forward runs the block on a token matrix.
+// Forward runs the block on a token matrix. Residual sums are folded into
+// the sublayer output buffers in place, so the block allocates nothing in
+// steady state; the returned matrix is owned by Norm2 and valid until the
+// block's next Forward.
 func (b *TransformerBlock) Forward(x *tensor.Matrix) *tensor.Matrix {
-	b.lastX = x
 	attnOut := b.Attn.Forward(x)
-	h := b.Norm1.Forward(x.Add(attnOut))
-	b.lastH = h
+	attnOut.AddInPlace(x) // residual: x + Attn(x)
+	h := b.Norm1.Forward(attnOut)
 	ff := b.FF2.Forward(b.Act.Forward(b.FF1.Forward(h)))
-	return b.Norm2.Forward(h.Add(ff))
+	ff.AddInPlace(h) // residual: h + FFN(h)
+	return b.Norm2.Forward(ff)
 }
 
-// Backward propagates through both sublayers and their residuals.
+// Backward propagates through both sublayers and their residuals, fusing
+// the residual gradient sums into the sublayer gradient buffers in place.
+// The returned matrix is owned by the attention sublayer and valid until
+// the block's next Backward.
 func (b *TransformerBlock) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	dSum2 := b.Norm2.Backward(grad)
 	// Residual: y2 = h + FFN(h); dh gets both branches.
 	dFF := b.FF1.Backward(b.Act.Backward(b.FF2.Backward(dSum2)))
-	dh := dSum2.Add(dFF)
-	dSum1 := b.Norm1.Backward(dh)
+	dFF.AddInPlace(dSum2)
+	dSum1 := b.Norm1.Backward(dFF)
 	dAttn := b.Attn.Backward(dSum1)
-	return dSum1.Add(dAttn)
+	dAttn.AddInPlace(dSum1)
+	return dAttn
 }
 
 // Params returns every trainable parameter in the block.

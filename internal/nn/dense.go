@@ -25,6 +25,14 @@ type Dense struct {
 
 	lastInput      *tensor.Matrix // N x din, retained for backward + A_l
 	lastOutputGrad *tensor.Matrix // N x dout, retained for B_l
+
+	// Retained output/gradient buffers: in steady state (stable batch
+	// shape) Forward and Backward allocate nothing. The returned matrices
+	// are owned by the layer and valid only until its next
+	// Forward/Backward — callers that need them longer must clone.
+	outBuf *tensor.Matrix // Forward result, N x dout
+	dxBuf  *tensor.Matrix // Backward result, N x din
+	capBuf *tensor.Matrix // CaptureKFAC copy of the output gradient
 }
 
 // NewDense builds a Dense layer with Xavier-initialized weights and zero
@@ -45,23 +53,33 @@ func (d *Dense) DIn() int { return d.W.Cols }
 // DOut returns the output dimensionality.
 func (d *Dense) DOut() int { return d.W.Rows }
 
-// Forward computes Y = X W^T + b and caches X.
+// Forward computes Y = X W^T + b into the layer's retained output buffer
+// (zero allocations in steady state) and caches X.
 func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if x.Cols != d.W.Cols {
 		panic(fmt.Sprintf("nn: Dense %q expects %d input features, got %d", d.Name, d.W.Cols, x.Cols))
 	}
+	if x == d.outBuf {
+		// Pathological self-feed; fall back to a fresh output.
+		d.outBuf = nil
+	}
 	d.lastInput = x
-	y := tensor.MatMulT(x, d.W) // N x dout
+	y := tensor.Reuse(d.outBuf, x.Rows, d.W.Rows) // N x dout
+	d.outBuf = y
+	tensor.MatMulTInto(y, x, d.W)
+	bias := d.B.Data
 	for i := 0; i < y.Rows; i++ {
 		row := y.Row(i)
-		for j := range row {
-			row[j] += d.B.Data[j]
+		for j, bv := range bias {
+			row[j] += bv
 		}
 	}
 	return y
 }
 
-// Backward accumulates dW = dY^T X and db = colsum(dY), returns dX = dY W.
+// Backward accumulates dW += dY^T X (fused, no temporary) and
+// db += colsum(dY), and returns dX = dY W in the layer's retained gradient
+// buffer (zero allocations in steady state).
 func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	if d.lastInput == nil {
 		panic(fmt.Sprintf("nn: Dense %q Backward before Forward", d.Name))
@@ -71,16 +89,25 @@ func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 			d.Name, grad.Rows, grad.Cols, d.lastInput.Rows, d.W.Rows))
 	}
 	if d.CaptureKFAC {
-		d.lastOutputGrad = grad.Clone()
+		d.capBuf = tensor.Reuse(d.capBuf, grad.Rows, grad.Cols)
+		d.capBuf.CopyFrom(grad)
+		d.lastOutputGrad = d.capBuf
 	}
-	d.GW.AddInPlace(tensor.TMatMul(grad, d.lastInput))
+	tensor.TMatMulAddInto(d.GW, grad, d.lastInput)
+	gb := d.GB.Data
 	for i := 0; i < grad.Rows; i++ {
 		row := grad.Row(i)
-		for j := range row {
-			d.GB.Data[j] += row[j]
+		for j, v := range row {
+			gb[j] += v
 		}
 	}
-	return tensor.MatMul(grad, d.W)
+	if grad == d.dxBuf {
+		d.dxBuf = nil
+	}
+	dx := tensor.Reuse(d.dxBuf, grad.Rows, d.W.Cols)
+	d.dxBuf = dx
+	tensor.MatMulInto(dx, grad, d.W)
+	return dx
 }
 
 // Params returns the weight and bias parameters.

@@ -30,16 +30,46 @@ func NewEmbedding(name string, vocab, d int, rng *tensor.RNG) *Embedding {
 
 // Lookup gathers the embedding rows for ids into a len(ids) x d matrix.
 func (e *Embedding) Lookup(ids []int) *tensor.Matrix {
-	d := e.Table.Cols
-	out := tensor.Zeros(len(ids), d)
+	out := tensor.Zeros(len(ids), e.Table.Cols)
+	e.LookupInto(out, ids)
+	return out
+}
+
+// LookupInto gathers the embedding rows for ids into dst (shape
+// len(ids) x d, fully overwritten) without allocating.
+func (e *Embedding) LookupInto(dst *tensor.Matrix, ids []int) {
+	e.checkLookup(dst, ids)
 	for i, id := range ids {
+		copy(dst.Row(i), e.Table.Row(id))
+	}
+	e.lastIDs = ids
+}
+
+// LookupAddInto adds the embedding rows for ids onto dst's rows — the
+// fused form of dst.AddInPlace(e.Lookup(ids)), used to sum token and
+// position embeddings without a temporary.
+func (e *Embedding) LookupAddInto(dst *tensor.Matrix, ids []int) {
+	e.checkLookup(dst, ids)
+	for i, id := range ids {
+		drow := dst.Row(i)
+		trow := e.Table.Row(id)
+		for j, v := range trow {
+			drow[j] += v
+		}
+	}
+	e.lastIDs = ids
+}
+
+func (e *Embedding) checkLookup(dst *tensor.Matrix, ids []int) {
+	if dst.Rows != len(ids) || dst.Cols != e.Table.Cols {
+		panic(fmt.Sprintf("nn: Embedding %q dst shape %dx%d, want %dx%d",
+			e.Name, dst.Rows, dst.Cols, len(ids), e.Table.Cols))
+	}
+	for _, id := range ids {
 		if id < 0 || id >= e.Table.Rows {
 			panic(fmt.Sprintf("nn: Embedding %q id %d out of range [0,%d)", e.Name, id, e.Table.Rows))
 		}
-		copy(out.Row(i), e.Table.Row(id))
 	}
-	e.lastIDs = ids
-	return out
 }
 
 // BackwardIDs scatters grad rows back into the table gradient using the ids

@@ -22,6 +22,11 @@ type LayerNorm struct {
 
 	lastNormed *tensor.Matrix // x-hat, N x d
 	lastInvStd []float64      // per-row 1/sqrt(var+eps)
+
+	// Retained output/gradient buffers (valid until the next call), so
+	// the steady-state hot path allocates nothing.
+	outBuf *tensor.Matrix
+	dxBuf  *tensor.Matrix
 }
 
 // NewLayerNorm builds a LayerNorm over d features with gain 1 and bias 0.
@@ -42,9 +47,15 @@ func (l *LayerNorm) Forward(x *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: LayerNorm %q expects %d features, got %d", l.Name, l.Gain.Cols, x.Cols))
 	}
 	n, d := x.Rows, x.Cols
-	y := tensor.Zeros(n, d)
-	l.lastNormed = tensor.Zeros(n, d)
-	l.lastInvStd = make([]float64, n)
+	if x == l.outBuf {
+		l.outBuf = nil
+	}
+	y := tensor.Reuse(l.outBuf, n, d)
+	l.outBuf = y
+	l.lastNormed = tensor.Reuse(l.lastNormed, n, d)
+	if len(l.lastInvStd) != n {
+		l.lastInvStd = make([]float64, n)
+	}
 	for i := 0; i < n; i++ {
 		row := x.Row(i)
 		var mean float64
@@ -78,7 +89,11 @@ func (l *LayerNorm) Backward(grad *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: LayerNorm %q Backward before Forward", l.Name))
 	}
 	n, d := grad.Rows, grad.Cols
-	out := tensor.Zeros(n, d)
+	if grad == l.dxBuf {
+		l.dxBuf = nil
+	}
+	out := tensor.Reuse(l.dxBuf, n, d)
+	l.dxBuf = out
 	df := float64(d)
 	for i := 0; i < n; i++ {
 		grow := grad.Row(i)

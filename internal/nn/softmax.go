@@ -11,6 +11,14 @@ import (
 // returning a new matrix.
 func SoftmaxRows(x *tensor.Matrix) *tensor.Matrix {
 	out := tensor.Zeros(x.Rows, x.Cols)
+	SoftmaxRowsInto(out, x)
+	return out
+}
+
+// SoftmaxRowsInto writes the row-wise softmax of x into dst (same shape,
+// fully overwritten; dst may not alias x).
+func SoftmaxRowsInto(dst, x *tensor.Matrix) {
+	out := dst
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		orow := out.Row(i)
@@ -31,7 +39,6 @@ func SoftmaxRows(x *tensor.Matrix) *tensor.Matrix {
 			orow[j] *= inv
 		}
 	}
-	return out
 }
 
 // SoftmaxBackwardRows computes the gradient through a row-wise softmax:
@@ -39,6 +46,14 @@ func SoftmaxRows(x *tensor.Matrix) *tensor.Matrix {
 // ds_j = p_j (dp_j - Σ_k dp_k p_k) per row.
 func SoftmaxBackwardRows(probs, grad *tensor.Matrix) *tensor.Matrix {
 	out := tensor.Zeros(grad.Rows, grad.Cols)
+	SoftmaxBackwardRowsInto(out, probs, grad)
+	return out
+}
+
+// SoftmaxBackwardRowsInto writes the softmax gradient into dst (same shape,
+// fully overwritten; dst may alias grad but not probs).
+func SoftmaxBackwardRowsInto(dst, probs, grad *tensor.Matrix) {
+	out := dst
 	for i := 0; i < grad.Rows; i++ {
 		prow := probs.Row(i)
 		grow := grad.Row(i)
@@ -51,7 +66,6 @@ func SoftmaxBackwardRows(probs, grad *tensor.Matrix) *tensor.Matrix {
 			orow[j] = prow[j] * (grow[j] - dot)
 		}
 	}
-	return out
 }
 
 // IgnoreIndex marks positions excluded from the loss (non-masked tokens in

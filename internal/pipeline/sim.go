@@ -42,6 +42,14 @@ type Timeline struct {
 	Makespan hardware.Microseconds
 	// StepEnd[k] is the completion time of step k (max End over its ops).
 	StepEnd []hardware.Microseconds
+	// Parallelism records the intra-op kernel worker budget the executing
+	// engine ran with, and OpParallelism the per-device share of it (what
+	// one device's kernels could actually recruit). Both are 0 on
+	// simulated timelines; recording them on executed timelines keeps
+	// real-vs-simulated comparisons honest about the compute resources
+	// behind the measured durations.
+	Parallelism   int
+	OpParallelism int
 }
 
 // Run executes a schedule: every device runs its ops in the schedule's

@@ -64,6 +64,13 @@ func (l *Loss) Add(o Loss) {
 // head paths) with a per-stage lock, which is what makes bidirectional
 // schedules like Chimera — where two devices host the same stage — execute
 // correctly against one shared set of parameters.
+//
+// Buffer ownership: matrices returned by EmbedForward and HeadGradient may
+// be model-retained buffers that the next call to the same method
+// overwrites (the zero-alloc hot-path contract). The engine therefore
+// copies anything that must outlive the producing op — cross-stage
+// activations and error signals go through pooled clones — and recomputes
+// the embedding immediately before each micro-batch's backward.
 type Model interface {
 	// PipelineBlocks returns the transformer blocks, in forward order, that
 	// the engine partitions into contiguous pipeline stages.

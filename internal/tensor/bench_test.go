@@ -21,6 +21,25 @@ func BenchmarkMatMul(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulWorkers measures the same 256x256 product under explicit
+// worker budgets — the parallel-speedup trajectory the CI bench job tracks.
+func BenchmarkMatMulWorkers(b *testing.B) {
+	defer SetParallelism(0)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			SetParallelism(w)
+			r := NewRNG(1)
+			x := RandN(r, 256, 256, 1)
+			y := RandN(r, 256, 256, 1)
+			out := Zeros(256, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(out, x, y)
+			}
+		})
+	}
+}
+
 func BenchmarkMatMulT(b *testing.B) {
 	r := NewRNG(2)
 	x := RandN(r, 128, 256, 1)
@@ -31,6 +50,17 @@ func BenchmarkMatMulT(b *testing.B) {
 	}
 }
 
+func BenchmarkMatMulTInto(b *testing.B) {
+	r := NewRNG(2)
+	x := RandN(r, 128, 256, 1)
+	y := RandN(r, 128, 256, 1)
+	out := Zeros(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTInto(out, x, y)
+	}
+}
+
 func BenchmarkTMatMul(b *testing.B) {
 	// The curvature kernel shape: U^T U with tall U (tokens x features).
 	r := NewRNG(3)
@@ -38,6 +68,17 @@ func BenchmarkTMatMul(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		TMatMul(u, u)
+	}
+}
+
+func BenchmarkTMatMulAddInto(b *testing.B) {
+	// The fused gradient-accumulation kernel of Dense.Backward.
+	r := NewRNG(3)
+	u := RandN(r, 512, 64, 1)
+	acc := Zeros(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TMatMulAddInto(acc, u, u)
 	}
 }
 

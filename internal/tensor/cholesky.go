@@ -20,8 +20,19 @@ func Cholesky(m *Matrix) (*Matrix, error) {
 	if m.Rows != m.Cols {
 		return nil, fmt.Errorf("tensor: Cholesky requires a square matrix, got %dx%d", m.Rows, m.Cols)
 	}
+	l := Zeros(m.Rows, m.Rows)
+	if err := choleskyInto(l, m); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// choleskyInto factors m into the caller-provided lower-triangular buffer l
+// (shape n x n). Only l's lower triangle is written or read, so l may come
+// from the workspace pool with unspecified contents; callers that expose l
+// beyond the lower triangle must zero it first.
+func choleskyInto(l, m *Matrix) error {
 	n := m.Rows
-	l := Zeros(n, n)
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
 			var s float64
@@ -33,7 +44,7 @@ func Cholesky(m *Matrix) (*Matrix, error) {
 			if i == j {
 				d := m.Data[i*n+i] - s
 				if d <= 0 || math.IsNaN(d) {
-					return nil, ErrNotSPD
+					return ErrNotSPD
 				}
 				l.Data[i*n+j] = math.Sqrt(d)
 			} else {
@@ -41,7 +52,7 @@ func Cholesky(m *Matrix) (*Matrix, error) {
 			}
 		}
 	}
-	return l, nil
+	return nil
 }
 
 // CholeskySolve solves m x = b given the lower Cholesky factor L of m
@@ -78,8 +89,11 @@ func CholeskySolve(l *Matrix, b []float64) []float64 {
 // L^{-1} as m^{-1} = L^{-T} L^{-1} and is exactly symmetric by construction.
 func CholeskyInverse(l *Matrix) *Matrix {
 	n := l.Rows
-	// Invert the lower-triangular L in place into linv.
-	linv := Zeros(n, n)
+	// Invert the lower-triangular L into a pooled work buffer; only the
+	// lower triangle is written and read, so its contents need not be
+	// zeroed first.
+	linv := Get(n, n)
+	defer Put(linv)
 	for i := 0; i < n; i++ {
 		linv.Data[i*n+i] = 1 / l.Data[i*n+i]
 		for j := 0; j < i; j++ {
@@ -116,15 +130,28 @@ func SPDInverse(m *Matrix, damping float64) (*Matrix, error) {
 	if damping < 0 {
 		return nil, fmt.Errorf("tensor: SPDInverse damping must be non-negative, got %g", damping)
 	}
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("tensor: SPDInverse requires a square matrix, got %dx%d", m.Rows, m.Cols)
+	}
+	// The damped copy and the Cholesky factor are transient work buffers;
+	// both cycle through the workspace pool (choleskyInto touches only l's
+	// lower triangle, so the unspecified pool contents are harmless).
+	l := Get(m.Rows, m.Rows)
+	defer Put(l)
 	work := m
 	d := damping
 	const attempts = 12
 	for try := 0; try < attempts; try++ {
 		if d > 0 {
-			work = m.AddDiagonal(d)
+			if work == m {
+				work = GetClone(m)
+				defer Put(work)
+			} else {
+				work.CopyFrom(m)
+			}
+			work.AddDiagonalInPlace(d)
 		}
-		l, err := Cholesky(work)
-		if err == nil {
+		if err := choleskyInto(l, work); err == nil {
 			return CholeskyInverse(l), nil
 		}
 		if d == 0 {

@@ -20,7 +20,14 @@ func SymEigen(m *Matrix) (values []float64, vectors *Matrix, err error) {
 		return nil, nil, fmt.Errorf("tensor: SymEigen requires a square matrix, got %dx%d", m.Rows, m.Cols)
 	}
 	n := m.Rows
-	a := m.Symmetrize() // work on an exactly symmetric copy
+	// Work on an exactly symmetric pooled copy (every entry is written).
+	a := Get(n, n)
+	defer Put(a)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Data[i*n+j] = 0.5 * (m.Data[i*n+j] + m.Data[j*n+i])
+		}
+	}
 	v := Eye(n)
 
 	const maxSweeps = 100
@@ -92,8 +99,10 @@ func MatrixPower(m *Matrix, p, epsilon float64) (*Matrix, error) {
 		return nil, err
 	}
 	n := m.Rows
-	// V diag(λ^p) V^T.
-	scaled := Zeros(n, n)
+	// V diag(λ^p) V^T; the scaled copy of V is a pooled work buffer
+	// (every entry is written before use).
+	scaled := Get(n, n)
+	defer Put(scaled)
 	for j := 0; j < n; j++ {
 		lam := values[j]
 		if lam < epsilon {

@@ -5,16 +5,26 @@ import (
 	"math"
 )
 
+// The matrix-product kernels below are cache-blocked and goroutine-parallel:
+// output rows are split into chunks dispatched through the shared worker
+// pool (see parallel.go), with a serial fallback below serialWorkLimit.
+// Every output element is reduced in the same serial order regardless of
+// chunking, so results are bit-for-bit identical across parallelism
+// settings. The *Into variants write into caller-provided buffers and
+// allocate nothing; dst must never alias a or b (a and b may alias each
+// other, as in Gram products).
+
+// kBlock is the panel height of the k-blocked MatMul inner loops: a
+// kBlock x Cols panel of b stays hot in cache while a chunk of output rows
+// sweeps over it.
+const kBlock = 128
+
 // MatMul returns a*b. It panics if the inner dimensions disagree.
-//
-// The loop nest is (i, k, j) so the innermost loop walks both the output row
-// and the b row contiguously, which is the standard cache-friendly ordering
-// for row-major data.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch: %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := Zeros(a.Rows, b.Cols)
+	out := &Matrix{Rows: a.Rows, Cols: b.Cols, Data: make([]float64, a.Rows*b.Cols)}
 	MatMulInto(out, a, b)
 	return out
 }
@@ -28,18 +38,36 @@ func MatMulInto(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulInto dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	n, k, p := a.Rows, a.Cols, b.Cols
-	dst.Zero()
-	for i := 0; i < n; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		drow := dst.Data[i*p : (i+1)*p]
-		for kk, av := range arow {
-			if av == 0 {
-				continue
+	if a.Cols == 0 {
+		dst.Zero()
+		return
+	}
+	parRun(matMulChunk, dst, a, b, a.Rows, a.Rows*a.Cols*b.Cols)
+}
+
+// matMulChunk computes dst rows [i0, i1) of dst = a*b with k-blocked ikj
+// loops. The first k iteration stores instead of accumulating, so dst needs
+// no pre-zeroing.
+func matMulChunk(dst, a, b *Matrix, i0, i1 int) {
+	k, p := a.Cols, b.Cols
+	for kk0 := 0; kk0 < k; kk0 += kBlock {
+		kk1 := kk0 + kBlock
+		if kk1 > k {
+			kk1 = k
+		}
+		for i := i0; i < i1; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			drow := dst.Data[i*p : (i+1)*p]
+			kk := kk0
+			if kk0 == 0 {
+				scaleStore(drow, arow[0], b.Data[:p])
+				kk = 1
 			}
-			brow := b.Data[kk*p : (kk+1)*p]
-			for j, bv := range brow {
-				drow[j] += av * bv
+			for ; kk+2 <= kk1; kk += 2 {
+				axpy2(drow, arow[kk], b.Data[kk*p:(kk+1)*p], arow[kk+1], b.Data[(kk+1)*p:(kk+2)*p])
+			}
+			if kk < kk1 {
+				axpy(drow, arow[kk], b.Data[kk*p:(kk+1)*p])
 			}
 		}
 	}
@@ -50,21 +78,55 @@ func MatMulT(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT dimension mismatch: %dx%d * (%dx%d)^T", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := Zeros(a.Rows, b.Rows)
-	k := a.Cols
-	for i := 0; i < a.Rows; i++ {
+	out := &Matrix{Rows: a.Rows, Cols: b.Rows, Data: make([]float64, a.Rows*b.Rows)}
+	MatMulTInto(out, a, b)
+	return out
+}
+
+// MatMulTInto computes dst = a * b^T, overwriting dst. dst must have shape
+// a.Rows x b.Rows and must not alias a or b.
+func MatMulTInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTInto dimension mismatch: %dx%d * (%dx%d)^T", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTInto dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	parRun(matMulTChunk, dst, a, b, a.Rows, a.Rows*a.Cols*b.Rows)
+}
+
+// matMulTChunk computes dst rows [i0, i1) of dst = a * b^T as dot products,
+// four b rows at a time so each pass over a's row feeds four independent
+// accumulators.
+func matMulTChunk(dst, a, b *Matrix, i0, i1 int) {
+	k, br := a.Cols, b.Rows
+	for i := i0; i < i1; i++ {
 		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*b.Rows : (i+1)*b.Rows]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*k : (j+1)*k]
+		drow := dst.Data[i*br : (i+1)*br]
+		j := 0
+		for ; j+4 <= br; j += 4 {
+			b0 := b.Data[j*k : j*k+k]
+			b1 := b.Data[(j+1)*k : (j+1)*k+k]
+			b2 := b.Data[(j+2)*k : (j+2)*k+k]
+			b3 := b.Data[(j+3)*k : (j+3)*k+k]
+			var s0, s1, s2, s3 float64
+			for t, av := range arow {
+				s0 += av * b0[t]
+				s1 += av * b1[t]
+				s2 += av * b2[t]
+				s3 += av * b3[t]
+			}
+			drow[j], drow[j+1], drow[j+2], drow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < br; j++ {
+			brow := b.Data[j*k : j*k+k]
 			var s float64
 			for t, av := range arow {
 				s += av * brow[t]
 			}
-			orow[j] = s
+			drow[j] = s
 		}
 	}
-	return out
 }
 
 // TMatMul returns a^T * b without materializing the transpose.
@@ -73,20 +135,118 @@ func TMatMul(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: TMatMul dimension mismatch: (%dx%d)^T * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := Zeros(a.Cols, b.Cols)
-	for r := 0; r < a.Rows; r++ {
-		arow := a.Data[r*a.Cols : (r+1)*a.Cols]
-		brow := b.Data[r*b.Cols : (r+1)*b.Cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*b.Cols : (i+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
+	parRun(tMatMulChunk, out, a, b, a.Cols, a.Rows*a.Cols*b.Cols)
+	return out
+}
+
+// TMatMulInto computes dst = a^T * b, overwriting dst. dst must have shape
+// a.Cols x b.Cols and must not alias a or b (a may alias b, as in the Gram
+// products U^T U of the K-FAC curvature kernels).
+func TMatMulInto(dst, a, b *Matrix) {
+	checkTMatMul(dst, a, b, "TMatMulInto")
+	if a.Rows == 0 {
+		dst.Zero()
+		return
+	}
+	parRun(tMatMulZeroChunk, dst, a, b, a.Cols, a.Rows*a.Cols*b.Cols)
+}
+
+// TMatMulAddInto computes dst += a^T * b — the fused form of the
+// gradient-accumulation pattern dst.AddInPlace(TMatMul(a, b)), with no
+// temporary. dst must have shape a.Cols x b.Cols and must not alias a or b.
+func TMatMulAddInto(dst, a, b *Matrix) {
+	checkTMatMul(dst, a, b, "TMatMulAddInto")
+	parRun(tMatMulChunk, dst, a, b, a.Cols, a.Rows*a.Cols*b.Cols)
+}
+
+func checkTMatMul(dst, a, b *Matrix, op string) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: %s dimension mismatch: (%dx%d)^T * %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s dst shape %dx%d, want %dx%d", op, dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+}
+
+// tMatMulChunk accumulates dst rows [i0, i1) of dst += a^T * b: for each
+// input row r, column i of a scales row r of b into output row i. Summation
+// runs in r order for every element, matching the scalar reference exactly.
+func tMatMulChunk(dst, a, b *Matrix, i0, i1 int) {
+	k, p := a.Cols, b.Cols
+	r := 0
+	for ; r+2 <= a.Rows; r += 2 {
+		a0 := a.Data[r*k : (r+1)*k]
+		a1 := a.Data[(r+1)*k : (r+2)*k]
+		b0 := b.Data[r*p : (r+1)*p]
+		b1 := b.Data[(r+1)*p : (r+2)*p]
+		for i := i0; i < i1; i++ {
+			axpy2(dst.Data[i*p:(i+1)*p], a0[i], b0, a1[i], b1)
 		}
 	}
-	return out
+	if r < a.Rows {
+		arow := a.Data[r*k : (r+1)*k]
+		brow := b.Data[r*p : (r+1)*p]
+		for i := i0; i < i1; i++ {
+			axpy(dst.Data[i*p:(i+1)*p], arow[i], brow)
+		}
+	}
+}
+
+// tMatMulZeroChunk is tMatMulChunk with the r = 0 pass storing instead of
+// accumulating, so dst needs no pre-zeroing.
+func tMatMulZeroChunk(dst, a, b *Matrix, i0, i1 int) {
+	k, p := a.Cols, b.Cols
+	for i := i0; i < i1; i++ {
+		scaleStore(dst.Data[i*p:(i+1)*p], a.Data[i], b.Data[:p])
+	}
+	r := 1
+	for ; r+2 <= a.Rows; r += 2 {
+		a0 := a.Data[r*k : (r+1)*k]
+		a1 := a.Data[(r+1)*k : (r+2)*k]
+		b0 := b.Data[r*p : (r+1)*p]
+		b1 := b.Data[(r+1)*p : (r+2)*p]
+		for i := i0; i < i1; i++ {
+			axpy2(dst.Data[i*p:(i+1)*p], a0[i], b0, a1[i], b1)
+		}
+	}
+	if r < a.Rows {
+		arow := a.Data[r*k : (r+1)*k]
+		brow := b.Data[r*p : (r+1)*p]
+		for i := i0; i < i1; i++ {
+			axpy(dst.Data[i*p:(i+1)*p], arow[i], brow)
+		}
+	}
+}
+
+// axpy computes dst += a*x element-wise. The reslice lets the compiler
+// eliminate both bounds checks in the loop body.
+func axpy(dst []float64, a float64, x []float64) {
+	dst = dst[:len(x)]
+	for j, v := range x {
+		dst[j] += a * v
+	}
+}
+
+// axpy2 computes dst += a1*x1 followed by dst += a2*x2 in one pass, with a
+// single load/store of each dst element. The two updates stay sequential
+// per element (t is rounded before x2's term is added), so the result is
+// bit-identical to two separate axpy calls — the property the parity and
+// cross-schedule identity tests rely on.
+func axpy2(dst []float64, a1 float64, x1 []float64, a2 float64, x2 []float64) {
+	dst = dst[:len(x1)]
+	x2 = x2[:len(x1)]
+	for j, v := range x1 {
+		t := dst[j] + a1*v
+		dst[j] = t + a2*x2[j]
+	}
+}
+
+// scaleStore computes dst = a*x element-wise (bounds-check free, as axpy).
+func scaleStore(dst []float64, a float64, x []float64) {
+	dst = dst[:len(x)]
+	for j, v := range x {
+		dst[j] = a * v
+	}
 }
 
 // MatVec returns the matrix-vector product a*x as a new slice.
@@ -113,13 +273,8 @@ func VecMat(x []float64, a *Matrix) []float64 {
 	}
 	out := make([]float64, a.Cols)
 	for i, xv := range x {
-		if xv == 0 {
-			continue
-		}
 		row := a.Data[i*a.Cols : (i+1)*a.Cols]
-		for j, v := range row {
-			out[j] += xv * v
-		}
+		axpy(out, xv, row)
 	}
 	return out
 }

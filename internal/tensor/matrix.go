@@ -4,9 +4,14 @@
 // deterministic random number source.
 //
 // Everything is implemented from scratch on the standard library. The
-// package favours clarity and numerical robustness over raw speed, but the
-// inner matmul loops are cache-friendly (ikj order) so the K-FAC experiments
-// run comfortably on a laptop CPU.
+// matrix-product kernels are cache-blocked and goroutine-parallel behind a
+// shared worker pool (SetParallelism sizes the total budget,
+// SetOpParallelism caps what one kernel invocation may recruit — the
+// pipeline engine uses the latter to give each device goroutine a fair
+// share of the cores), with a serial fallback below a work threshold.
+// Results are bit-for-bit identical across parallelism settings. A pooled
+// matrix workspace (Get/Put/GetClone) backs the zero-alloc hot paths; see
+// pool.go for the ownership contract.
 package tensor
 
 import (

@@ -52,7 +52,11 @@ func RenderASCII(w io.Writer, tl *pipeline.Timeline, width int) error {
 		return err
 	}
 	scale := float64(width) / float64(tl.Makespan)
-	if _, err := fmt.Fprintf(w, "%s  [GPU util. %.1f%%]\n", tl.Name, 100*tl.Utilization()); err != nil {
+	par := ""
+	if tl.Parallelism > 0 {
+		par = fmt.Sprintf("  [intra-op: %d workers, %d/op]", tl.Parallelism, tl.OpParallelism)
+	}
+	if _, err := fmt.Fprintf(w, "%s  [GPU util. %.1f%%]%s\n", tl.Name, 100*tl.Utilization(), par); err != nil {
 		return err
 	}
 	for d := 0; d < tl.Devices; d++ {
