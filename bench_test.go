@@ -13,12 +13,16 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/arch"
 	"repro/internal/bert"
 	"repro/internal/data"
+	"repro/internal/engine"
 	"repro/internal/hardware"
+	"repro/internal/kfac"
+	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/perfmodel"
 	"repro/internal/pipeline"
@@ -517,6 +521,83 @@ func BenchmarkAblationDamping(b *testing.B) {
 				final = res.FinalLoss
 			}
 			b.ReportMetric(final, "final-loss")
+		})
+	}
+}
+
+// BenchmarkEngineStep measures per-step throughput of the *real* executor
+// at data-parallel widths W = 1 and W = 2: the same global batch, either
+// on one pipeline or sharded across two replicas with the in-process
+// gradient collective. CI distills these rows into BENCH_engine.json so
+// the perf trajectory covers the executor, not just the kernels.
+func BenchmarkEngineStep(b *testing.B) {
+	for _, w := range []int{1, 2} {
+		b.Run(fmt.Sprintf("W%d", w), func(b *testing.B) {
+			m, err := bert.New(bert.TinyConfig(), 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := data.NewCorpus(bert.TinyConfig().VocabSize, 1.0, 17)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := engine.NewWithConfig(m, engine.Config{
+				Method: "1f1b", Stages: 2, MicroBatches: 4 / w, Replicas: w,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			const batchSize = 8
+			batch := c.MakeBatch(batchSize, data.DefaultBatchConfig(m.Config.SeqLen))
+			params := m.Params()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nn.ZeroGrads(params)
+				if _, err := e.TrainStep(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "seqs/s")
+		})
+	}
+}
+
+// BenchmarkEngineStepKFAC is the same comparison with the PipeFisher
+// schedule: K-FAC curvature/inversion in the bubbles (inversion sharded
+// round-robin across the replica group at W = 2) plus per-step
+// preconditioning.
+func BenchmarkEngineStepKFAC(b *testing.B) {
+	for _, w := range []int{1, 2} {
+		b.Run(fmt.Sprintf("W%d", w), func(b *testing.B) {
+			m, err := bert.New(bert.TinyConfig(), 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := data.NewCorpus(bert.TinyConfig().VocabSize, 1.0, 17)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := engine.NewWithConfig(m, engine.Config{
+				Method: "1f1b", Stages: 2, MicroBatches: 4 / w,
+				Replicas: w, InversionParallel: w > 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.EnableKFAC(kfac.DefaultOptions(), 2); err != nil {
+				b.Fatal(err)
+			}
+			const batchSize = 8
+			batch := c.MakeBatch(batchSize, data.DefaultBatchConfig(m.Config.SeqLen))
+			params := m.Params()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nn.ZeroGrads(params)
+				if _, err := e.TrainStep(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batchSize)*float64(b.N)/b.Elapsed().Seconds(), "seqs/s")
 		})
 	}
 }

@@ -56,14 +56,18 @@ func main() {
 		execute     = flag.Bool("execute", false, "really train a small model under this schedule and render the executed timeline")
 		execSteps   = flag.Int("execsteps", 5, "training steps to execute with -execute (use an odd count so the rendered last step is a K-FAC refresh step)")
 		workers     = flag.Int("workers", 0, "intra-op kernel worker budget for real execution (0 = GOMAXPROCS); device goroutines share it")
+		replicas    = flag.Int("replicas", 1, "data-parallel width W for real execution with -execute (replicated stage parameters, in-process sync-grad collectives)")
 	)
 	flag.Parse()
 	if *workers < 0 {
 		*workers = 0 // negative means "default", like 0
 	}
+	if *replicas < 1 {
+		*replicas = 1
+	}
 	tensor.SetParallelism(*workers)
-	fmt.Printf("%s on %s: %d stages x %d micro-batches, intra-op workers %d\n",
-		*archName, *gpuName, *stages, *nmicro, tensor.Parallelism())
+	fmt.Printf("%s on %s: %d stages x %d micro-batches, simulated W=%d, executed replicas=%d, intra-op workers %d\n",
+		*archName, *gpuName, *stages, *nmicro, *dp, *replicas, tensor.Parallelism())
 
 	a, err := arch.ByName(*archName)
 	if err != nil {
@@ -133,14 +137,15 @@ func main() {
 	}
 
 	if *execute {
-		executeSchedule(*method, *stages, *nmicro, *execSteps, *width, *workers, *svgPath)
+		executeSchedule(*method, *stages, *nmicro, *replicas, *invParallel, *execSteps, *width, *workers, *svgPath)
 	}
 }
 
 // executeSchedule trains a small BERT (one block per stage) for real under
-// the selected schedule with K-FAC packed into the bubbles, then renders
-// the executed timeline of the last step.
-func executeSchedule(method string, stages, nmicro, steps, width, workers int, svgPath string) {
+// the selected schedule with K-FAC packed into the bubbles — replicated
+// W-fold when -replicas is set, with the in-process gradient and curvature
+// collectives — then renders the executed timeline of the last step.
+func executeSchedule(method string, stages, nmicro, replicas int, invParallel bool, steps, width, workers int, svgPath string) {
 	cfg := bert.TinyConfig()
 	cfg.Blocks = stages
 	model, err := bert.New(cfg, 7)
@@ -151,7 +156,10 @@ func executeSchedule(method string, stages, nmicro, steps, width, workers int, s
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := engine.NewWithConfig(model, engine.Config{Method: method, Stages: stages, MicroBatches: nmicro, Workers: workers})
+	eng, err := engine.NewWithConfig(model, engine.Config{
+		Method: method, Stages: stages, MicroBatches: nmicro,
+		Replicas: replicas, InversionParallel: invParallel, Workers: workers,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -160,10 +168,10 @@ func executeSchedule(method string, stages, nmicro, steps, width, workers int, s
 	}
 	params := model.Params()
 	opt := optim.NewLAMB(params, 0.01)
-	fmt.Printf("\n--- real execution: %s, %d stages, %d micro-batches, %d intra-op workers ---\n",
-		method, stages, nmicro, tensor.Parallelism())
+	fmt.Printf("\n--- real execution: %s, %d stages, %d micro-batches, %d replica(s), %d intra-op workers ---\n",
+		method, stages, nmicro, replicas, tensor.Parallelism())
 	for step := 0; step < steps; step++ {
-		batch := corpus.MakeBatch(4*nmicro, data.DefaultBatchConfig(cfg.SeqLen))
+		batch := corpus.MakeBatch(4*nmicro*replicas, data.DefaultBatchConfig(cfg.SeqLen))
 		nn.ZeroGrads(params)
 		res, err := eng.TrainStep(batch)
 		if err != nil {

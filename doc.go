@@ -27,8 +27,11 @@
 //	          op list with real dependency edges
 //	engine    the schedule-driven executor: per-device goroutines walk
 //	          the op lists and train a pipemodel.Model for real —
-//	          GPipe/1F1B/Chimera, with K-FAC running in its packed
-//	          bubble slots and measured (executed) timelines out
+//	          GPipe/1F1B/Chimera on a (replica, stage) device topology
+//	          (Config.Replicas = W data-parallel replicas with
+//	          replicated parameters and in-process collectives), with
+//	          K-FAC running in its packed bubble slots and measured
+//	          (executed) timelines out
 //	trace     ASCII/SVG/CSV rendering of timelines, simulated or
 //	          executed, in the style of the paper's profile figures
 //	optim     Adam, LAMB, Shampoo-style extra work; LR schedules
@@ -67,7 +70,43 @@
 // next call, so anything that must outlive the producing op is cloned
 // (tensor.GetClone) by the engine.
 //
+// # Replica topology and collectives
+//
+// Data parallelism multiplies the pipeline: engine.Config.Replicas = W
+// gives every stage W replicas (devices stage*W+r for GPipe/1F1B; W whole
+// bidirectional pairs for Chimera), each holding its own parameter copy
+// (pipemodel.Model.Replicate, re-broadcast from the primary at every
+// step) and processing its own MicroBatches micro-batches of the global
+// batch. The simulator's SyncGrad/SyncCurvature collectives execute for
+// real as in-process reductions (internal/engine/collective.go) under a
+// strict contract:
+//
+//   - Reduction order is fixed at micro-batch granularity: each backward
+//     snapshots its micro-batch's gradient contribution into pooled delta
+//     buffers, and the stage's SyncGrad folds carried state plus every
+//     delta in ascending *global* micro-batch order. The order depends on
+//     neither the schedule, W, nor the kernel worker count, so reduced
+//     gradients are bit-identical across all of them (the engine's
+//     data-parallel tests assert exact equality, not closeness). K-FAC
+//     curvature partials fold the same way, so factors, inverses, and
+//     preconditioned gradients inherit the guarantee.
+//   - Buffer ownership: the run state owns the carried and delta buffers.
+//     The reduction consumes the deltas (reduceGrads Puts each and nils
+//     its slot); the carried pre-step accumulators survive until the whole
+//     step commits, so an aborted step can roll every stage back — folded
+//     or not — to the caller's pre-step gradient state. The steady-state
+//     collective path is allocation-free.
+//   - Any participant of a stage's collective may perform the reduction;
+//     the per-stage once-guard blocks latecomers until it completed (the
+//     rendezvous), and the reduced result lands in the primary replica's
+//     accumulators — the only ones the caller's optimizer reads.
+//   - InversionParallel shards each stage's K-FAC inversion units
+//     round-robin across the stage's replica group; the shared per-stage
+//     preconditioner makes the post-inversion broadcast implicit, and
+//     per-layer locks let different factors invert concurrently.
+//
 // The benchmark harness in bench_test.go regenerates the paper's tables
 // and figures, and cmd/ plus examples/ provide runnable entry points
-// (cmd/pipefisher -execute runs the sim/exec comparison end to end).
+// (cmd/pipefisher -execute runs the sim/exec comparison end to end;
+// -replicas executes the hybrid pipeline x data-parallel configuration).
 package repro

@@ -36,12 +36,17 @@ import (
 func main() {
 	method := flag.String("method", "1f1b", "pipeline schedule: gpipe, 1f1b, chimera")
 	workers := flag.Int("workers", 0, "intra-op kernel worker budget (0 = GOMAXPROCS); device goroutines share it")
+	replicas := flag.Int("replicas", 1, "data-parallel width W (replicated stage parameters, in-process sync collectives)")
 	flag.Parse()
 	if *workers < 0 {
 		*workers = 0 // negative means "default", like 0
 	}
+	if *replicas < 1 {
+		*replicas = 1
+	}
 	tensor.SetParallelism(*workers)
-	fmt.Printf("pipelinetrain: %s schedule, %d intra-op workers\n", *method, tensor.Parallelism())
+	fmt.Printf("pipelinetrain: %s schedule, %d replica(s), %d intra-op workers\n",
+		*method, *replicas, tensor.Parallelism())
 
 	model, err := bert.New(bert.TinyConfig(), 7)
 	if err != nil {
@@ -51,8 +56,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// 2 stages (1 transformer block each), 4 micro-batches per step.
-	eng, err := engine.NewWithConfig(model, engine.Config{Method: *method, Stages: 2, MicroBatches: 4, Workers: *workers})
+	// 2 stages (1 transformer block each), 4 micro-batches per replica per
+	// step; W > 1 replicates the stages and all-reduces gradients (and
+	// K-FAC inversion work shards round-robin across the replica group).
+	eng, err := engine.NewWithConfig(model, engine.Config{
+		Method: *method, Stages: 2, MicroBatches: 4,
+		Replicas: *replicas, InversionParallel: *replicas > 1, Workers: *workers,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +78,7 @@ func main() {
 
 	const steps = 101
 	for step := 0; step < steps; step++ {
-		batch := corpus.MakeBatch(16, data.DefaultBatchConfig(model.Config.SeqLen))
+		batch := corpus.MakeBatch(8**replicas, data.DefaultBatchConfig(model.Config.SeqLen))
 		nn.ZeroGrads(params)
 		res, err := eng.TrainStep(batch)
 		if err != nil {
@@ -99,6 +109,7 @@ func main() {
 	costs := engine.MeasuredCosts(real, 2*len(eng.StageLayers(0)))
 	simSched, err := schedule.Executable(schedule.Config{
 		Method: *method, Stages: 2, MicroBatches: 4, Costs: costs,
+		DataParallelWidth: *replicas, InversionParallel: *replicas > 1,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -110,5 +121,14 @@ func main() {
 	sim.Name = simSched.Name + " (simulated, measured costs)"
 	if err := trace.RenderASCII(os.Stdout, sim, 110); err != nil {
 		log.Fatal(err)
+	}
+	if *replicas > 1 {
+		// Real vs simulated collective costs, side by side: the executed
+		// timeline's measured sync times against the simulated schedule
+		// built from them.
+		rs, ss := trace.Summarize(real), trace.Summarize(sim)
+		fmt.Printf("\ncollectives (total device-time): sync-grad %.2f ms executed vs %.2f ms simulated, sync-curvature %.2f ms vs %.2f ms\n",
+			float64(rs.PerKind[pipeline.SyncGrad])/1000, float64(ss.PerKind[pipeline.SyncGrad])/1000,
+			float64(rs.PerKind[pipeline.SyncCurvature])/1000, float64(ss.PerKind[pipeline.SyncCurvature])/1000)
 	}
 }

@@ -49,6 +49,38 @@ func (m *Model) EmbedBackward(grad *tensor.Matrix) {
 // BatchTokenCount returns the number of masked (loss-bearing) positions.
 func (m *Model) BatchTokenCount(mb *data.Batch) int { return mb.MaskedCount() }
 
+// EmbedParams returns the stage-0 embedding-path parameters (token and
+// position tables plus the embedding LayerNorm).
+func (m *Model) EmbedParams() []*nn.Param {
+	var out []*nn.Param
+	out = append(out, m.TokEmb.Params()...)
+	out = append(out, m.PosEmb.Params()...)
+	out = append(out, m.EmbNorm.Params()...)
+	return out
+}
+
+// HeadParams returns the last-stage head parameters (MLM and NSP heads).
+func (m *Model) HeadParams() []*nn.Param {
+	var out []*nn.Param
+	out = append(out, m.MLMHead.Params()...)
+	out = append(out, m.NSPHead.Params()...)
+	return out
+}
+
+// Replicate builds an independent copy of the model with the same
+// configuration and parameter values — the per-replica weights of a
+// data-parallel group.
+func (m *Model) Replicate() (pipemodel.Model, error) {
+	r, err := New(m.Config, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.CopyParams(r.Params(), m.Params()); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
 // KFACLossScale is the averaging count the K-FAC B factors rescale by: both
 // objectives contribute to the captured error signals, so it combines the
 // MLM denominator (masked tokens) with the NSP denominator (sequences).

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// This file implements the engine's in-process gradient collective: the
+// real-execution counterpart of the SyncGrad all-reduce the simulator
+// models for data-parallel replica groups.
+//
+// Determinism contract: the reduction runs at micro-batch granularity in a
+// single fixed order — ascending global micro-batch index — regardless of
+// how micro-batches were sharded across replicas, which schedule produced
+// them, or how many kernel workers computed them. Per-micro-batch
+// contributions are therefore bit-identical inputs in a bit-identical
+// order, and the reduced gradients are bit-identical for any replica
+// count W (and match the W = 1 run of the same global batch).
+//
+// Buffer ownership: the per-micro-batch delta buffers and the carried
+// pre-step accumulators are pooled matrices (tensor.Get/GetClone) owned by
+// the run state. reduceGrads consumes (Puts and nils) the deltas it folds,
+// but leaves the carried buffers alone: they are the rollback state of an
+// aborted step, released by the run state only once the whole step
+// succeeded. The steady-state collective path allocates nothing either
+// way.
+
+// reduceGrads folds one stage's gradient contributions into the primary
+// replica's accumulators: for each parameter, the pre-step carried value
+// (the caller's accumulate-semantics state) plus every micro-batch's delta
+// in ascending global micro-batch order. carried[k] and deltas[m][k] align
+// with params[k]; delta buffers are returned to the pool and their slots
+// nilled, carried buffers stay with the caller (rollback state). A nil
+// delta means a backward never snapshotted its contribution — a
+// scheduling bug surfaced as an error.
+func reduceGrads(params []*nn.Param, carried []*tensor.Matrix, deltas [][]*tensor.Matrix) error {
+	for k, p := range params {
+		g := p.Grad
+		if carried[k] == nil {
+			return fmt.Errorf("missing carried gradient state for %s", p.Name)
+		}
+		g.CopyFrom(carried[k])
+		for m := range deltas {
+			d := deltas[m][k]
+			if d == nil {
+				return fmt.Errorf("missing micro-batch %d gradient contribution for %s", m, p.Name)
+			}
+			g.AddInPlace(d)
+			tensor.Put(d)
+			deltas[m][k] = nil
+		}
+	}
+	return nil
+}
+
+// snapshotGradDeltas moves one micro-batch's accumulated gradients out of
+// the stage's parameters into pooled delta buffers (zeroing the
+// accumulators for the next micro-batch) — the per-participant send buffer
+// of the gradient collective. Must run under the (replica, stage) lock,
+// immediately after the micro-batch's backward finished accumulating.
+func snapshotGradDeltas(params []*nn.Param, dst []*tensor.Matrix) {
+	for k, p := range params {
+		dst[k] = tensor.GetClone(p.Grad)
+		p.Grad.Zero()
+	}
+}

@@ -13,11 +13,32 @@
 // (§3.1), with per-stage factor storage (§3(i)) and factor-granular
 // inversion parallelism (§3(ii)).
 //
+// # Data parallelism
+//
+// With Config.Replicas = W > 1 the engine executes the paper's hybrid
+// configuration — pipeline stages × data-parallel replicas — on a
+// (replica, stage) device topology: replica r holds its own full copy of
+// the model's parameters (pipemodel.Model.Replicate; re-broadcast from the
+// primary at every step), processes its own MicroBatches micro-batches of
+// the step's batch, and joins the per-stage SyncGrad/SyncCurvature
+// collectives. The collectives are realized in-process (collective.go)
+// with a fixed reduction order at micro-batch granularity: every backward
+// snapshots its micro-batch's gradient contribution into pooled buffers,
+// and the stage's SyncGrad folds the contributions into the primary
+// replica's accumulators in ascending global micro-batch order. Because
+// that order depends on neither the schedule, the replica count, nor the
+// worker count, gradients are bit-identical across all of them. K-FAC
+// curvature partials are indexed the same way, so factors — and therefore
+// inverses and preconditioned gradients — inherit the guarantee, and
+// InversionParallel shards each stage's inversion units round-robin across
+// the stage's replica group (each replica inverts its shard; the shared
+// per-stage preconditioner makes the broadcast implicit).
+//
 // Because the simulator and this executor share one schedule
 // representation, any schedule the simulator can lay out — GPipe, 1F1B,
-// Chimera, or their PipeFisher-augmented forms — trains for real, and a
-// step's executed timeline (LastTimeline) can be rendered side by side with
-// the simulated one.
+// Chimera, their data-parallel W > 1 forms, or their PipeFisher-augmented
+// forms — trains for real, and a step's executed timeline (LastTimeline)
+// can be rendered side by side with the simulated one.
 package engine
 
 import (
@@ -41,8 +62,20 @@ type Config struct {
 	// Stages is the pipeline depth; the model's blocks are partitioned into
 	// this many contiguous stages (embedding on stage 0, head on the last).
 	Stages int
-	// MicroBatches is the number of micro-batches per training step.
+	// MicroBatches is the number of micro-batches per replica per training
+	// step; one step consumes Replicas*MicroBatches micro-batches.
 	MicroBatches int
+	// Replicas is the data-parallel width W (0 or 1 disables data
+	// parallelism). Each replica beyond the first is an independent copy
+	// of the model (built via pipemodel.Model.Replicate) whose parameters
+	// are re-broadcast from the primary at every step and whose gradient
+	// contributions join the per-stage SyncGrad collective.
+	Replicas int
+	// InversionParallel shards each stage's K-FAC inversion units
+	// round-robin across the stage's device group — the replica group for
+	// gpipe/1f1b, the bidirectional pairs for chimera — instead of every
+	// replica duplicating the whole stage's inversions.
+	InversionParallel bool
 	// Workers is the intra-op kernel worker budget shared by all device
 	// goroutines (0 = tensor.Parallelism(); values above the pool size
 	// are capped at it, since the pool is all kernels can recruit). Each
@@ -68,6 +101,12 @@ func (c Config) normalize() (Config, error) {
 	if c.MicroBatches <= 0 {
 		return c, fmt.Errorf("engine: MicroBatches must be positive, got %d", c.MicroBatches)
 	}
+	if c.Replicas < 0 {
+		return c, fmt.Errorf("engine: Replicas must be non-negative, got %d", c.Replicas)
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
 	if c.Workers < 0 {
 		return c, fmt.Errorf("engine: Workers must be non-negative, got %d", c.Workers)
 	}
@@ -82,17 +121,37 @@ func (c Config) normalize() (Config, error) {
 	return c, nil
 }
 
+// replica is one data-parallel copy of the model, partitioned into stages.
+// Replica 0 wraps the caller's model (the primary — the copy the caller's
+// optimizer updates); the others are engine-owned clones.
+type replica struct {
+	model  pipemodel.Model
+	stages []*stage
+	// params caches model.Params() in the model's canonical order, for the
+	// per-step parameter broadcast.
+	params []*nn.Param
+	// stageParams[s] lists the parameters stage s's ops touch — embedding
+	// params first (stage 0 only), then the stage's block params, then
+	// head params (last stage only) — in an order shared by all replicas,
+	// so per-micro-batch gradient deltas align across the group.
+	stageParams [][]*nn.Param
+}
+
 // Engine drives pipeline-parallel training steps of a stageable model.
 type Engine struct {
-	model  pipemodel.Model
-	cfg    Config
-	stages []*stage
-	// stageMu serializes all access to one stage's modules. For gpipe/1f1b
-	// each stage belongs to exactly one device goroutine; for Chimera two
-	// devices (one per pipeline direction) share each stage's parameters,
-	// and the lock is what stands in for the per-replica weights +
-	// gradient all-reduce of the real system.
-	stageMu []sync.Mutex
+	cfg  Config
+	reps []*replica
+	// stageMu[r][s] serializes all access to replica r's stage-s modules.
+	// For gpipe/1f1b each (replica, stage) belongs to exactly one device
+	// goroutine; for Chimera two devices (one per pipeline direction)
+	// share each replica's stage parameters, and the lock is what stands
+	// in for the per-direction weights sharing of the real system.
+	stageMu [][]sync.Mutex
+	// layerMu[s][li] guards the primary preconditioner's per-layer factor
+	// state — the curvature fold (SetFactors) and inversion refreshes — so
+	// different devices of a stage's replica group can invert different
+	// layers concurrently under InversionParallel.
+	layerMu [][]sync.Mutex
 
 	sched *pipeline.Schedule
 
@@ -123,7 +182,7 @@ func New(model pipemodel.Model, nStages, microBatches int) (*Engine, error) {
 
 // NewWithConfig builds an engine executing the configured schedule. The
 // number of blocks must be divisible by the stage count, and each
-// TrainStep's batch size must be divisible by the micro-batch count.
+// TrainStep's batch size must be divisible by Replicas*MicroBatches.
 func NewWithConfig(model pipemodel.Model, cfg Config) (*Engine, error) {
 	if model == nil {
 		return nil, fmt.Errorf("engine: nil model")
@@ -132,14 +191,48 @@ func NewWithConfig(model pipemodel.Model, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	blocks := model.PipelineBlocks()
-	if len(blocks) == 0 {
+	if len(model.PipelineBlocks()) == 0 {
 		return nil, fmt.Errorf("engine: model has no pipeline blocks")
 	}
+	e := &Engine{cfg: cfg}
+	prim, err := buildReplica(model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.reps = append(e.reps, prim)
+	for r := 1; r < cfg.Replicas; r++ {
+		clone, err := model.Replicate()
+		if err != nil {
+			return nil, fmt.Errorf("engine: replicating model for replica %d: %w", r, err)
+		}
+		rep, err := buildReplica(clone, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("engine: replica %d: %w", r, err)
+		}
+		if len(rep.params) != len(prim.params) {
+			return nil, fmt.Errorf("engine: replica %d has %d params, primary has %d (Replicate must preserve structure)",
+				r, len(rep.params), len(prim.params))
+		}
+		e.reps = append(e.reps, rep)
+	}
+	e.stageMu = make([][]sync.Mutex, cfg.Replicas)
+	for r := range e.stageMu {
+		e.stageMu[r] = make([]sync.Mutex, cfg.Stages)
+	}
+	if err := e.rebuildSchedule(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// buildReplica partitions one model copy into stages and derives the
+// per-stage parameter lists the gradient collective reduces over.
+func buildReplica(model pipemodel.Model, cfg Config) (*replica, error) {
+	blocks := model.PipelineBlocks()
 	if len(blocks)%cfg.Stages != 0 {
 		return nil, fmt.Errorf("engine: %d blocks not divisible by %d stages", len(blocks), cfg.Stages)
 	}
-	e := &Engine{model: model, cfg: cfg, stageMu: make([]sync.Mutex, cfg.Stages)}
+	rep := &replica{model: model, params: model.Params()}
 	per := len(blocks) / cfg.Stages
 	for s := 0; s < cfg.Stages; s++ {
 		st := &stage{
@@ -151,16 +244,26 @@ func NewWithConfig(model pipemodel.Model, cfg Config) (*Engine, error) {
 		for _, b := range st.blocks {
 			st.layers = append(st.layers, b.DenseLayers()...)
 		}
-		e.stages = append(e.stages, st)
+		rep.stages = append(rep.stages, st)
+
+		var params []*nn.Param
+		if st.first {
+			params = append(params, model.EmbedParams()...)
+		}
+		for _, b := range st.blocks {
+			params = append(params, b.Params()...)
+		}
+		if st.last {
+			params = append(params, model.HeadParams()...)
+		}
+		rep.stageParams = append(rep.stageParams, params)
 	}
-	if err := e.rebuildSchedule(); err != nil {
-		return nil, err
-	}
-	return e, nil
+	return rep, nil
 }
 
 // rebuildSchedule derives the executable one-step schedule for the current
-// configuration: the plain pipeline when K-FAC is off, the
+// configuration: the plain pipeline (with its optimizer tail — the anchor
+// ops for the gradient collective) when K-FAC is off, the
 // PipeFisher-packed form when it is on. The schedule is validated by
 // running it through the timing simulator, which proves the per-device
 // orders and dependency edges cannot deadlock the executor.
@@ -170,17 +273,21 @@ func (e *Engine) rebuildSchedule() error {
 	var err error
 	if e.kfacPre != nil {
 		sched, err = schedule.Executable(schedule.Config{
-			Method:       e.cfg.Method,
-			Stages:       e.cfg.Stages,
-			MicroBatches: e.cfg.MicroBatches,
-			Costs:        costs,
+			Method:            e.cfg.Method,
+			Stages:            e.cfg.Stages,
+			MicroBatches:      e.cfg.MicroBatches,
+			Costs:             costs,
+			DataParallelWidth: e.cfg.Replicas,
+			InversionParallel: e.cfg.InversionParallel,
 		})
 	} else {
 		bc := pipeline.BuildConfig{
-			Stages:       e.cfg.Stages,
-			MicroBatches: e.cfg.MicroBatches,
-			Steps:        1,
-			Costs:        costs,
+			Stages:               e.cfg.Stages,
+			MicroBatches:         e.cfg.MicroBatches,
+			Steps:                1,
+			Costs:                costs,
+			DataParallelWidth:    e.cfg.Replicas,
+			IncludeOptimizerWork: true,
 		}
 		switch e.cfg.Method {
 		case "gpipe":
@@ -222,14 +329,21 @@ func (e *Engine) resolveParallelism() {
 // PipeFisher packer need to lay out op orders. Real execution follows the
 // resulting *order*, not the modeled times, so only the proportions matter;
 // these mirror the profiled shape of the paper's workloads (backward ≈ 2×
-// forward, curvature and inversion each well under a bubble).
+// forward, curvature and inversion each well under a bubble, collectives
+// comparable to a forward).
 func (e *Engine) execCosts() pipeline.StageCosts {
-	nFactors := 2 * len(e.stages[0].layers)
+	nFactors := 2 * len(e.reps[0].stages[0].layers)
 	c := pipeline.StageCosts{
 		Forward:      100,
 		Backward:     200,
 		Precondition: 25,
 		OptStep:      10,
+	}
+	if e.cfg.Replicas > 1 {
+		c.SyncGrad = 60
+	}
+	if e.cfg.Replicas > 1 || e.cfg.InversionParallel {
+		c.SyncCurvature = 20
 	}
 	for i := 0; i < nFactors; i++ {
 		c.CurvatureUnits = append(c.CurvatureUnits, 6)
@@ -240,7 +354,10 @@ func (e *Engine) execCosts() pipeline.StageCosts {
 }
 
 // Stages returns the number of pipeline stages.
-func (e *Engine) Stages() int { return len(e.stages) }
+func (e *Engine) Stages() int { return e.cfg.Stages }
+
+// Replicas returns the data-parallel width W.
+func (e *Engine) Replicas() int { return e.cfg.Replicas }
 
 // Method returns the schedule family the engine executes.
 func (e *Engine) Method() string { return e.cfg.Method }
@@ -249,8 +366,9 @@ func (e *Engine) Method() string { return e.cfg.Method }
 // the engine walks each step.
 func (e *Engine) Schedule() *pipeline.Schedule { return e.sched }
 
-// StageLayers returns the K-FAC-eligible dense layers of one stage.
-func (e *Engine) StageLayers(s int) []*nn.Dense { return e.stages[s].layers }
+// StageLayers returns the K-FAC-eligible dense layers of one stage (the
+// primary replica's copy — the one the preconditioners are attached to).
+func (e *Engine) StageLayers(s int) []*nn.Dense { return e.reps[0].stages[s].layers }
 
 // LastTimeline returns the executed timeline of the most recent TrainStep
 // (wall-clock microseconds, one event per executed op, recomputation shown
@@ -268,14 +386,28 @@ func (e *Engine) LastTimeline() *pipeline.Timeline { return e.lastTimeline }
 // at the end of each step. Curvature/inversion ops execute every
 // refreshEvery steps (1 = every step); preconditioning runs every step with
 // the (possibly stale) cached inverses, exactly the staleness discipline of
-// §3.1.
+// §3.1. The preconditioners attach to the primary replica's layers;
+// replicas contribute curvature statistics from their own micro-batches
+// and — under InversionParallel — invert their round-robin shard of each
+// stage's factors.
 func (e *Engine) EnableKFAC(opts kfac.Options, refreshEvery int) error {
 	if refreshEvery <= 0 {
 		refreshEvery = 1
 	}
-	e.kfacPre = make([]*kfac.Preconditioner, len(e.stages))
-	for s, st := range e.stages {
+	e.kfacPre = make([]*kfac.Preconditioner, e.cfg.Stages)
+	e.layerMu = make([][]sync.Mutex, e.cfg.Stages)
+	for s, st := range e.reps[0].stages {
 		e.kfacPre[s] = kfac.NewPreconditioner(st.layers, opts)
+		e.layerMu[s] = make([]sync.Mutex, len(st.layers))
+	}
+	// Replica layers capture the same statistics as the primary's: their
+	// micro-batches contribute to the shared per-stage factors.
+	for _, rep := range e.reps[1:] {
+		for _, st := range rep.stages {
+			for _, l := range st.layers {
+				l.CaptureKFAC = true
+			}
+		}
 	}
 	e.kfacOpts = opts
 	e.refreshEvery = refreshEvery
@@ -314,16 +446,19 @@ type StepResult struct {
 
 // TrainStep runs one step of the engine's schedule over the batch:
 // micro-batched forwards and backwards in the schedule's per-device op
-// order, with K-FAC work (when enabled) executed in its packed bubble
-// slots. Gradients accumulate into the model parameters; the caller zeroes
+// order (each replica processing its own shard of the batch), with K-FAC
+// work (when enabled) executed in its packed bubble slots. Gradients are
+// reduced across micro-batches and replicas in the fixed collective order
+// and accumulate into the primary model's parameters; the caller zeroes
 // them and applies the optimizer.
 func (e *Engine) TrainStep(batch *data.Batch) (*StepResult, error) {
-	n := e.cfg.MicroBatches
+	n := e.cfg.MicroBatches * e.cfg.Replicas
 	if batch.BatchSize%n != 0 {
-		return nil, fmt.Errorf("engine: batch size %d not divisible by %d micro-batches", batch.BatchSize, n)
+		return nil, fmt.Errorf("engine: batch size %d not divisible by %d micro-batches (%d per replica x %d replicas)",
+			batch.BatchSize, n, e.cfg.MicroBatches, e.cfg.Replicas)
 	}
-	if batch.SeqLen != e.model.SeqLen() {
-		return nil, fmt.Errorf("engine: batch seq len %d != model %d", batch.SeqLen, e.model.SeqLen())
+	if batch.SeqLen != e.reps[0].model.SeqLen() {
+		return nil, fmt.Errorf("engine: batch seq len %d != model %d", batch.SeqLen, e.reps[0].model.SeqLen())
 	}
 	micro := splitBatch(batch, n)
 
@@ -331,9 +466,18 @@ func (e *Engine) TrainStep(batch *data.Batch) (*StepResult, error) {
 	// (they are known after data loading: masking is part of the batch).
 	totals := pipemodel.Totals{Seqs: batch.BatchSize}
 	for _, mb := range micro {
-		totals.Tokens += e.model.BatchTokenCount(mb)
+		totals.Tokens += e.reps[0].model.BatchTokenCount(mb)
 	}
 	refresh := e.kfacPre != nil && e.stepIndex%e.refreshEvery == 0
+
+	// Broadcast the primary's parameters to every replica: each step of
+	// the data-parallel group starts from identical weights (the caller's
+	// optimizer only ever updates the primary).
+	for r := 1; r < len(e.reps); r++ {
+		if err := nn.CopyParams(e.reps[r].params, e.reps[0].params); err != nil {
+			return nil, fmt.Errorf("engine: broadcasting params to replica %d: %w", r, err)
+		}
+	}
 
 	// Cap each device goroutine's kernels to its fair share of the
 	// intra-op worker pool for the duration of the step, restoring the
@@ -372,8 +516,11 @@ func splitBatch(b *data.Batch, n int) []*data.Batch {
 
 // MeasuredCosts derives StageCosts from an executed timeline (mean measured
 // duration per work kind, recomputation folded into backward the way the
-// cost model folds it). Feeding these into the builders yields a simulated
-// timeline calibrated to the real execution, for side-by-side rendering.
+// cost model folds it; measured collective times fill SyncGrad and
+// SyncCurvature when the timeline contains those events). Feeding these
+// into the builders yields a simulated timeline calibrated to the real
+// execution, for side-by-side rendering — including real-vs-modeled
+// collective costs on data-parallel schedules.
 func MeasuredCosts(tl *pipeline.Timeline, nFactors int) pipeline.StageCosts {
 	sum := make(map[pipeline.WorkKind]int64)
 	cnt := make(map[pipeline.WorkKind]int64)
@@ -398,6 +545,12 @@ func MeasuredCosts(tl *pipeline.Timeline, nFactors int) pipeline.StageCosts {
 		Backward:     avg(pipeline.Backward) + avg(pipeline.Recompute),
 		Precondition: avg(pipeline.Precondition),
 		OptStep:      1,
+	}
+	if cnt[pipeline.SyncGrad] > 0 {
+		c.SyncGrad = avg(pipeline.SyncGrad)
+	}
+	if cnt[pipeline.SyncCurvature] > 0 {
+		c.SyncCurvature = avg(pipeline.SyncCurvature)
 	}
 	for i := 0; i < nFactors; i++ {
 		c.CurvatureUnits = append(c.CurvatureUnits, avg(pipeline.Curvature))

@@ -17,29 +17,44 @@ import (
 // per-op completion channels realize the schedule's dependency edges;
 // activations and error signals are published into the staged arrays by
 // their producing op and read by consumers only after the producer's
-// channel closed, so the arrays need no locking of their own.
+// channel closed, so the arrays need no locking of their own. All
+// micro-batch-indexed arrays use the *global* micro-batch index
+// (replica*MicroBatches + local micro): replicas write disjoint slots, and
+// every reduction walks the slots in ascending global order — the fixed
+// collective order that makes gradients bit-identical across W.
 type runState struct {
 	e       *Engine
-	micro   []*data.Batch
+	micro   []*data.Batch // global micro-batches, Replicas*MicroBatches of them
 	totals  pipemodel.Totals
 	refresh bool
 
 	done []chan struct{} // per op, closed on completion (or skip)
 
-	stageIn  [][]*tensor.Matrix // [stage][micro] stage inputs saved for recomputation
-	stageOut [][]*tensor.Matrix // [stage][micro] activations leaving a stage
-	gradOut  [][]*tensor.Matrix // [stage][micro] error signals leaving a stage
+	stageIn  [][]*tensor.Matrix // [stage][gmicro] stage inputs saved for recomputation
+	stageOut [][]*tensor.Matrix // [stage][gmicro] activations leaving a stage
+	gradOut  [][]*tensor.Matrix // [stage][gmicro] error signals leaving a stage
 
-	lossParts []pipemodel.Loss // per micro-batch, written by the last stage
+	lossParts []pipemodel.Loss // per global micro-batch, written by the last stage
+
+	// Gradient-collective state: carried holds the primary's pre-step
+	// accumulators (restored as the base of the reduction), deltas the
+	// per-micro-batch contributions snapshotted by each backward, foldDone
+	// the per-stage once-guards of the reduction (any participant of the
+	// stage's collective may perform it; latecomers block until it
+	// finished), and foldErr a reduction failure to surface.
+	carried  [][]*tensor.Matrix   // [stage][param]
+	deltas   [][][]*tensor.Matrix // [stage][gmicro][param]
+	foldDone []sync.Once          // per stage
+	foldErr  []error              // per stage, written inside foldDone
 
 	// K-FAC dataflow (refresh steps only): per-micro-batch statistics
 	// snapshots taken at the op boundaries rules 1 makes them available,
 	// and the partial factor products the scheduled Curvature ops compute
 	// in the bubbles.
-	actsSnap  [][][]*tensor.Matrix // [stage][micro][layer]
-	gradsSnap [][][]*tensor.Matrix // [stage][micro][layer]
-	curvA     [][][]*tensor.Matrix // [stage][layer][micro]
-	curvB     [][][]*tensor.Matrix // [stage][layer][micro]
+	actsSnap  [][][]*tensor.Matrix // [stage][gmicro][layer]
+	gradsSnap [][][]*tensor.Matrix // [stage][gmicro][layer]
+	curvA     [][][]*tensor.Matrix // [stage][layer][gmicro]
+	curvB     [][][]*tensor.Matrix // [stage][layer][gmicro]
 	rowsA     [][][]int
 	rowsB     [][][]int
 	finalized [][]bool // [stage][layer]: factors folded into the EMA this step
@@ -51,15 +66,22 @@ type runState struct {
 	start  time.Time
 }
 
+// gmicro maps an op to its global micro-batch index.
+func (st *runState) gmicro(op *pipeline.Op) int {
+	return op.Replica*st.e.cfg.MicroBatches + op.MicroBatch
+}
+
 // runStep executes the engine's schedule once: one goroutine per device
 // walks that device's op order, waiting on each op's dependency channels,
 // executing the op, then signalling completion. On the first error the
 // step is aborted — remaining ops are drained (signalled without
 // executing) so no peer can block on a dependency that will never arrive,
-// and the error is surfaced after all devices joined.
+// the gradient state is rolled back to the pre-step accumulators, and the
+// error is surfaced after all devices joined.
 func (e *Engine) runStep(micro []*data.Batch, totals pipemodel.Totals, refresh bool) (*StepResult, error) {
-	nStages := len(e.stages)
+	nStages := e.cfg.Stages
 	n := len(micro)
+	nLayers := len(e.reps[0].stages[0].layers)
 	st := &runState{
 		e: e, micro: micro, totals: totals, refresh: refresh,
 		done:      make([]chan struct{}, len(e.sched.Ops)),
@@ -67,6 +89,10 @@ func (e *Engine) runStep(micro []*data.Batch, totals pipemodel.Totals, refresh b
 		stageOut:  mat2(nStages, n),
 		gradOut:   mat2(nStages, n),
 		lossParts: make([]pipemodel.Loss, n),
+		carried:   make([][]*tensor.Matrix, nStages),
+		deltas:    make([][][]*tensor.Matrix, nStages),
+		foldDone:  make([]sync.Once, nStages),
+		foldErr:   make([]error, nStages),
 		errs:      make([]error, e.sched.Devices),
 		events:    make([][]pipeline.Event, e.sched.Devices),
 		start:     time.Now(),
@@ -74,16 +100,37 @@ func (e *Engine) runStep(micro []*data.Batch, totals pipemodel.Totals, refresh b
 	for i := range st.done {
 		st.done[i] = make(chan struct{})
 	}
+	// Move the primary's pre-step gradient state aside (accumulate
+	// semantics: the reduction re-adds it as its base) and start every
+	// replica's accumulators from zero, so each backward's snapshot is
+	// exactly its micro-batch's contribution.
+	for s := 0; s < nStages; s++ {
+		params := e.reps[0].stageParams[s]
+		st.carried[s] = make([]*tensor.Matrix, len(params))
+		for k, p := range params {
+			st.carried[s][k] = tensor.GetClone(p.Grad)
+			p.Grad.Zero()
+		}
+		st.deltas[s] = make([][]*tensor.Matrix, n)
+		for m := 0; m < n; m++ {
+			st.deltas[s][m] = make([]*tensor.Matrix, len(params))
+		}
+		for _, rep := range e.reps[1:] {
+			for _, p := range rep.stageParams[s] {
+				p.Grad.Zero()
+			}
+		}
+	}
 	if refresh {
-		st.actsSnap = mat3(nStages, n, len(e.stages[0].layers))
-		st.gradsSnap = mat3(nStages, n, len(e.stages[0].layers))
-		st.curvA = mat3(nStages, len(e.stages[0].layers), n)
-		st.curvB = mat3(nStages, len(e.stages[0].layers), n)
-		st.rowsA = int3(nStages, len(e.stages[0].layers), n)
-		st.rowsB = int3(nStages, len(e.stages[0].layers), n)
+		st.actsSnap = mat3(nStages, n, nLayers)
+		st.gradsSnap = mat3(nStages, n, nLayers)
+		st.curvA = mat3(nStages, nLayers, n)
+		st.curvB = mat3(nStages, nLayers, n)
+		st.rowsA = int3(nStages, nLayers, n)
+		st.rowsB = int3(nStages, nLayers, n)
 		st.finalized = make([][]bool, nStages)
 		for s := range st.finalized {
-			st.finalized[s] = make([]bool, len(e.stages[s].layers))
+			st.finalized[s] = make([]bool, nLayers)
 		}
 	}
 
@@ -110,7 +157,15 @@ func (e *Engine) runStep(micro []*data.Batch, totals pipemodel.Totals, refresh b
 	wg.Wait()
 	for _, err := range st.errs {
 		if err != nil {
+			st.rollback()
 			return nil, err
+		}
+	}
+	// The step committed: release the carried rollback state.
+	for s := range st.carried {
+		for k, c := range st.carried[s] {
+			tensor.Put(c)
+			st.carried[s][k] = nil
 		}
 	}
 
@@ -129,10 +184,64 @@ func (e *Engine) runStep(micro []*data.Batch, totals pipemodel.Totals, refresh b
 	return res, nil
 }
 
-// exec dispatches one op. Modeled collectives and the optimizer update
-// (SyncGrad, SyncCurvature, OptStep) are no-ops in this single-process
-// realization: gradients live in shared memory and the caller applies the
-// optimizer between steps.
+// rollback restores the pre-step gradient state after an aborted step:
+// every stage gets its carried accumulators back — including stages whose
+// reduction already committed, since the carried buffers live until the
+// whole step succeeds — partial per-micro deltas are released, and every
+// replica's accumulators are re-zeroed so the snapshot discipline of the
+// next step starts clean.
+func (st *runState) rollback() {
+	for s := range st.carried {
+		params := st.e.reps[0].stageParams[s]
+		for k, p := range params {
+			if st.carried[s][k] != nil {
+				p.Grad.CopyFrom(st.carried[s][k])
+				tensor.Put(st.carried[s][k])
+				st.carried[s][k] = nil
+			}
+		}
+		for m := range st.deltas[s] {
+			for k, d := range st.deltas[s][m] {
+				tensor.Put(d)
+				st.deltas[s][m][k] = nil
+			}
+		}
+		for _, rep := range st.e.reps[1:] {
+			for _, p := range rep.stageParams[s] {
+				p.Grad.Zero()
+			}
+		}
+	}
+}
+
+// foldStages performs the gradient collective of every stage the op's
+// device participates in, exactly once per stage (Once.Do blocks the other
+// participants until the reduction finished — the rendezvous of the
+// all-reduce). A chimera device hosts two stages and syncs both; every
+// other topology syncs the op's own stage.
+func (st *runState) foldStages(op *pipeline.Op) error {
+	stages := []int{op.Stage}
+	if st.e.cfg.Method == "chimera" {
+		if up := st.e.cfg.Stages - 1 - op.Stage; up != op.Stage {
+			stages = append(stages, up)
+		}
+	}
+	for _, s := range stages {
+		s := s
+		st.foldDone[s].Do(func() {
+			st.foldErr[s] = reduceGrads(st.e.reps[0].stageParams[s], st.carried[s], st.deltas[s])
+		})
+		if st.foldErr[s] != nil {
+			return fmt.Errorf("gradient collective of stage %d: %w", s, st.foldErr[s])
+		}
+	}
+	return nil
+}
+
+// exec dispatches one op. The optimizer update itself stays with the
+// caller (OptStep anchors the gradient collective and is otherwise a
+// no-op); SyncCurvature is a pure dependency barrier in this in-process
+// realization — the factor fold reads every replica's partials directly.
 func (st *runState) exec(d int, op *pipeline.Op) error {
 	if hook := st.e.failOp; hook != nil {
 		if err := hook(op); err != nil {
@@ -156,28 +265,55 @@ func (st *runState) exec(d int, op *pipeline.Op) error {
 		return nil
 	case pipeline.Precondition:
 		return st.precondition(d, op)
-	case pipeline.SyncGrad, pipeline.SyncCurvature, pipeline.OptStep:
+	case pipeline.SyncGrad:
+		t0 := time.Since(st.start)
+		if err := st.foldStages(op); err != nil {
+			return err
+		}
+		st.record(d, op, t0)
+		return nil
+	case pipeline.OptStep:
+		// The last anchor of the stage's tail: on W = 1 non-K-FAC
+		// schedules (no SyncGrad, no Precondition) it is where the
+		// gradient reduction lands. The optimizer itself stays with the
+		// caller; the recorded event measures the fold (or the wait for
+		// a peer performing it), keeping executed timelines honest about
+		// the reduction cost at every W.
+		t0 := time.Since(st.start)
+		if err := st.foldStages(op); err != nil {
+			return err
+		}
+		st.record(d, op, t0)
+		return nil
+	case pipeline.SyncCurvature:
+		// Like Curvature/Inversion, only refresh steps perform (and
+		// record) the curvature exchange; on stale steps the op is a
+		// silent no-op so the executed timeline matches the work done.
+		if st.refresh {
+			st.record(d, op, time.Since(st.start))
+		}
 		return nil
 	}
 	return fmt.Errorf("unexpected op kind %v", op.Kind)
 }
 
 // forward embeds (stage 0) or receives the upstream activation, runs the
-// stage's blocks, evaluates the loss on the last stage, and publishes the
-// output for the next stage. On refresh steps it snapshots each dense
-// layer's input activations — the A-factor statistics that rule 1 makes
-// schedulable from this point on.
+// replica's stage blocks, evaluates the loss on the last stage, and
+// publishes the output for the next stage. On refresh steps it snapshots
+// each dense layer's input activations — the A-factor statistics that rule
+// 1 makes schedulable from this point on.
 func (st *runState) forward(d int, op *pipeline.Op) error {
-	s, m := op.Stage, op.MicroBatch
-	stg := st.e.stages[s]
+	s, m := op.Stage, st.gmicro(op)
+	rep := st.e.reps[op.Replica]
+	stg := rep.stages[s]
 	mb := st.micro[m]
-	st.e.stageMu[s].Lock()
-	defer st.e.stageMu[s].Unlock()
+	st.e.stageMu[op.Replica][s].Lock()
+	defer st.e.stageMu[op.Replica][s].Unlock()
 	t0 := time.Since(st.start)
 
 	var x *tensor.Matrix
 	if stg.first {
-		x = st.e.model.EmbedForward(mb)
+		x = rep.model.EmbedForward(mb)
 	} else {
 		x = st.stageOut[s-1][m]
 		if x == nil {
@@ -187,7 +323,7 @@ func (st *runState) forward(d int, op *pipeline.Op) error {
 	}
 	y := stg.runBlocks(x, mb.BatchSize, mb.SeqLen)
 	if stg.last {
-		loss, err := st.e.model.HeadLoss(mb, y, st.totals)
+		loss, err := rep.model.HeadLoss(mb, y, st.totals)
 		if err != nil {
 			return err
 		}
@@ -217,18 +353,21 @@ func (st *runState) forward(d int, op *pipeline.Op) error {
 // globally-scaled loss gradient, other stages consume the error signal of
 // the stage after them, and stage 0 finishes into the embedding tables. On
 // refresh steps it snapshots each dense layer's output gradients — the
-// B-factor statistics of rule 1.
+// B-factor statistics of rule 1. Finally the micro-batch's accumulated
+// parameter gradients move into their pooled collective delta buffers
+// (zeroing the replica's accumulators for the next micro-batch).
 func (st *runState) backward(d int, op *pipeline.Op) error {
-	s, m := op.Stage, op.MicroBatch
-	stg := st.e.stages[s]
+	s, m := op.Stage, st.gmicro(op)
+	rep := st.e.reps[op.Replica]
+	stg := rep.stages[s]
 	mb := st.micro[m]
-	st.e.stageMu[s].Lock()
-	defer st.e.stageMu[s].Unlock()
+	st.e.stageMu[op.Replica][s].Lock()
+	defer st.e.stageMu[op.Replica][s].Unlock()
 	t0 := time.Since(st.start)
 
 	var x *tensor.Matrix
 	if stg.first {
-		x = st.e.model.EmbedForward(mb)
+		x = rep.model.EmbedForward(mb)
 	} else {
 		x = st.stageIn[s][m]
 		if x == nil {
@@ -242,7 +381,7 @@ func (st *runState) backward(d int, op *pipeline.Op) error {
 	var grad *tensor.Matrix
 	if stg.last {
 		var err error
-		grad, err = st.e.model.HeadGradient(mb, y, st.totals)
+		grad, err = rep.model.HeadGradient(mb, y, st.totals)
 		if err != nil {
 			return err
 		}
@@ -261,15 +400,18 @@ func (st *runState) backward(d int, op *pipeline.Op) error {
 		}
 	}
 	if stg.first {
-		st.e.model.EmbedBackward(grad)
+		rep.model.EmbedBackward(grad)
 	} else {
 		// Like forward activations, the outgoing error signal is a
 		// module-retained buffer; publish a pooled copy.
 		st.gradOut[s][m] = tensor.GetClone(grad)
 	}
-	// This micro-batch is done on this stage: recycle the pooled buffers
-	// it consumed — the activation received from the previous stage (kept
-	// for recomputation) and the error signal from the next stage.
+	// The micro-batch finished accumulating on this (replica, stage):
+	// move its gradient contribution into the collective's delta slot.
+	snapshotGradDeltas(rep.stageParams[s], st.deltas[s][m])
+	// Recycle the pooled buffers the micro-batch consumed — the
+	// activation received from the previous stage (kept for
+	// recomputation) and the error signal from the next stage.
 	if !stg.first {
 		tensor.Put(st.stageIn[s][m])
 		st.stageIn[s][m] = nil
@@ -285,16 +427,19 @@ func (st *runState) backward(d int, op *pipeline.Op) error {
 
 // curvature computes one micro-batch's partial Kronecker-factor product
 // (U^T U) from the snapshotted statistics — the bubble-filling work of
-// rule 1, at the factor granularity the packer scheduled.
+// rule 1, at the factor granularity the packer scheduled. Partials land in
+// global micro-batch slots, so the later factor fold reduces every
+// replica's contributions in the same fixed order as the gradient
+// collective.
 func (st *runState) curvature(d int, op *pipeline.Op) error {
-	s, m := op.Stage, op.MicroBatch
-	stg := st.e.stages[s]
+	s, m := op.Stage, st.gmicro(op)
+	stg := st.e.reps[op.Replica].stages[s]
 	li, factorB, err := stg.layerOf(op.Factor)
 	if err != nil {
 		return err
 	}
-	st.e.stageMu[s].Lock()
-	defer st.e.stageMu[s].Unlock()
+	st.e.stageMu[op.Replica][s].Lock()
+	defer st.e.stageMu[op.Replica][s].Unlock()
 	t0 := time.Since(st.start)
 	var stat *tensor.Matrix
 	if factorB {
@@ -325,25 +470,29 @@ func (st *runState) curvature(d int, op *pipeline.Op) error {
 }
 
 // inversion finalizes the layer's factors on first touch (folding the
-// accumulated per-micro-batch products into the preconditioner's EMA, in
-// deterministic micro-batch order) and then refreshes the cached inverse
-// of the op's factor — rule 2's unit of inversion work.
+// accumulated per-micro-batch products of every replica into the shared
+// preconditioner's EMA, in ascending global micro-batch order — the
+// distributed K-FAC factor exchange) and then refreshes the cached inverse
+// of the op's factor — rule 2's unit of inversion work. The per-layer lock
+// (instead of a stage-wide one) is what lets InversionParallel's
+// round-robin sharding run different layers' inversions concurrently on
+// different devices of the replica group.
 func (st *runState) inversion(d int, op *pipeline.Op) error {
 	s := op.Stage
-	stg := st.e.stages[s]
+	stg := st.e.reps[op.Replica].stages[s]
 	li, factorB, err := stg.layerOf(op.Factor)
 	if err != nil {
 		return err
 	}
-	st.e.stageMu[s].Lock()
-	defer st.e.stageMu[s].Unlock()
+	st.e.layerMu[s][li].Lock()
+	defer st.e.layerMu[s][li].Unlock()
 	t0 := time.Since(st.start)
 	if !st.finalized[s][li] {
 		newA, err := sumFactor(st.curvA[s][li], st.rowsA[s][li], 1)
 		if err != nil {
 			return fmt.Errorf("factor A of layer %d: %w", li, err)
 		}
-		scale := st.e.model.KFACLossScale(st.totals)
+		scale := st.e.reps[0].model.KFACLossScale(st.totals)
 		newB, err := sumFactor(st.curvB[s][li], st.rowsB[s][li], scale*scale)
 		if err != nil {
 			return fmt.Errorf("factor B of layer %d: %w", li, err)
@@ -371,7 +520,8 @@ func (st *runState) inversion(d int, op *pipeline.Op) error {
 }
 
 // sumFactor folds per-micro-batch partial products into one factor:
-// scale/N · Σ_m U_m^T U_m, summed in micro-batch order for determinism.
+// scale/N · Σ_m U_m^T U_m, summed in ascending global micro-batch order
+// for determinism across replica counts and schedules.
 func sumFactor(parts []*tensor.Matrix, rows []int, scale float64) (*tensor.Matrix, error) {
 	var sum *tensor.Matrix
 	var n int
@@ -394,15 +544,26 @@ func sumFactor(parts []*tensor.Matrix, rows []int, scale float64) (*tensor.Matri
 
 // precondition rewrites the stage's gradients with the cached (possibly
 // stale) K-FAC inverses — the per-step Precondition op, "the only
-// computational overhead of PipeFisher" (Figure 1).
+// computational overhead of PipeFisher" (Figure 1). Only the primary
+// replica's op does the work: the collective already reduced the group's
+// gradients into the primary's accumulators, which are the only ones the
+// caller's optimizer consumes. It first joins the stage's gradient
+// collective, which on W = 1 schedules without SyncGrad ops (gpipe/1f1b)
+// is where the reduction lands.
 func (st *runState) precondition(d int, op *pipeline.Op) error {
-	if st.e.kfacPre == nil {
+	// t0 is taken before the fold so the recorded event covers the
+	// gradient reduction this op anchors on W = 1 schedules, not only the
+	// inverse application.
+	t0 := time.Since(st.start)
+	if err := st.foldStages(op); err != nil {
+		return err
+	}
+	if st.e.kfacPre == nil || op.Replica != 0 {
 		return nil
 	}
 	s := op.Stage
-	st.e.stageMu[s].Lock()
-	defer st.e.stageMu[s].Unlock()
-	t0 := time.Since(st.start)
+	st.e.stageMu[0][s].Lock()
+	defer st.e.stageMu[0][s].Unlock()
 	st.e.kfacPre[s].Precondition()
 	st.record(d, op, t0)
 	return nil
@@ -419,7 +580,7 @@ func (st *runState) recordKind(d int, kind pipeline.WorkKind, op *pipeline.Op, t
 	ev := op
 	if kind != op.Kind {
 		ev = &pipeline.Op{
-			Kind: kind, Device: op.Device, Stage: op.Stage,
+			Kind: kind, Device: op.Device, Stage: op.Stage, Replica: op.Replica,
 			MicroBatch: op.MicroBatch, Factor: op.Factor, Step: op.Step,
 		}
 	}

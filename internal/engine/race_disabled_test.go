@@ -1,0 +1,7 @@
+//go:build !race
+
+package engine
+
+// raceEnabled reports whether the race detector is active (see the race
+// build-tagged counterpart).
+const raceEnabled = false

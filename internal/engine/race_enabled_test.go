@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports that the race detector is active: sync.Pool
+// deliberately drops items under race instrumentation, so pooled-path
+// zero-allocation assertions are skipped.
+const raceEnabled = true

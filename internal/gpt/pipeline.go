@@ -75,6 +75,38 @@ func (m *Model) BatchTokenCount(mb *data.Batch) int {
 // KFACLossScale is the next-token loss's averaging count.
 func (m *Model) KFACLossScale(t pipemodel.Totals) float64 { return float64(t.Tokens) }
 
+// EmbedParams returns the stage-0 embedding-path parameters (token and
+// position tables; the decoder has no embedding norm).
+func (m *Model) EmbedParams() []*nn.Param {
+	var out []*nn.Param
+	out = append(out, m.TokEmb.Params()...)
+	out = append(out, m.PosEmb.Params()...)
+	return out
+}
+
+// HeadParams returns the last-stage head parameters (final norm and LM
+// head).
+func (m *Model) HeadParams() []*nn.Param {
+	var out []*nn.Param
+	out = append(out, m.FinalNorm.Params()...)
+	out = append(out, m.LMHead.Params()...)
+	return out
+}
+
+// Replicate builds an independent copy of the model with the same
+// configuration and parameter values — the per-replica weights of a
+// data-parallel group.
+func (m *Model) Replicate() (pipemodel.Model, error) {
+	r, err := New(m.Config, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.CopyParams(r.Params(), m.Params()); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
 // HeadLoss evaluates the final norm, LM head and next-token loss, weighted
 // by the micro-batch's share of predicted positions.
 func (m *Model) HeadLoss(mb *data.Batch, y *tensor.Matrix, t pipemodel.Totals) (pipemodel.Loss, error) {

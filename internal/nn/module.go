@@ -14,6 +14,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/tensor"
@@ -52,6 +53,26 @@ func ZeroGrads(params []*Param) {
 	for _, p := range params {
 		p.Grad.Zero()
 	}
+}
+
+// CopyParams copies the parameter values of src into dst, matched by
+// position. The lists must be congruent (same length, same shapes) — the
+// case when both models were built from the same configuration. Gradients
+// are not copied. This is the weight-broadcast primitive data-parallel
+// replicas use to start each step from identical parameters.
+func CopyParams(dst, src []*Param) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("nn: CopyParams length mismatch: %d vs %d params", len(dst), len(src))
+	}
+	for i, d := range dst {
+		s := src[i]
+		if d.Value.Rows != s.Value.Rows || d.Value.Cols != s.Value.Cols {
+			return fmt.Errorf("nn: CopyParams shape mismatch at %q: %dx%d vs %dx%d",
+				d.Name, d.Value.Rows, d.Value.Cols, s.Value.Rows, s.Value.Cols)
+		}
+		d.Value.CopyFrom(s.Value)
+	}
+	return nil
 }
 
 // NumParameters sums the element counts of params.

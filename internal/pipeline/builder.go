@@ -19,8 +19,9 @@ type BuildConfig struct {
 	// Costs supplies the per-stage work durations (uniform stages, as the
 	// paper assumes in §3.3).
 	Costs StageCosts
-	// DataParallelWidth is W, the number of replicas per stage for GPipe
-	// and 1F1B (Chimera's two pipelines already replicate each stage).
+	// DataParallelWidth is W, the number of data-parallel replicas: per
+	// stage for GPipe and 1F1B, and whole bidirectional pipeline pairs
+	// for Chimera (each pair carrying its own MicroBatches).
 	DataParallelWidth int
 	// IncludeOptimizerWork appends sync-grad (when W > 1) and the
 	// optimizer update to each step, as in the paper's profiles.
@@ -139,7 +140,7 @@ func buildForwardBackward(cfg BuildConfig, name string, order func(stage, stages
 			for stage := 0; stage < d; stage++ {
 				for m := 0; m < n; m++ {
 					op := &Op{
-						Kind: Forward, Device: stage*w + r, Stage: stage,
+						Kind: Forward, Device: stage*w + r, Stage: stage, Replica: r,
 						MicroBatch: m, Factor: -1, Step: step, Duration: cfg.Costs.Forward,
 					}
 					if stage > 0 {
@@ -158,7 +159,7 @@ func buildForwardBackward(cfg BuildConfig, name string, order func(stage, stages
 			for stage := d - 1; stage >= 0; stage-- {
 				for m := 0; m < n; m++ {
 					op := &Op{
-						Kind: Backward, Device: stage*w + r, Stage: stage,
+						Kind: Backward, Device: stage*w + r, Stage: stage, Replica: r,
 						MicroBatch: m, Factor: -1, Step: step, Duration: cfg.Costs.Backward,
 					}
 					if stage < d-1 {
@@ -185,7 +186,7 @@ func buildForwardBackward(cfg BuildConfig, name string, order func(stage, stages
 							}
 						}
 						sync := &Op{
-							Kind: SyncGrad, Device: dev, Stage: stage, MicroBatch: -1,
+							Kind: SyncGrad, Device: dev, Stage: stage, Replica: r, MicroBatch: -1,
 							Factor: -1, Step: step, Duration: maxDur(cfg.Costs.SyncGrad, 1), Deps: deps,
 						}
 						s.addOpDeferred(sync)
@@ -198,7 +199,7 @@ func buildForwardBackward(cfg BuildConfig, name string, order func(stage, stages
 					}
 					if cfg.IncludePrecondition {
 						prec := &Op{
-							Kind: Precondition, Device: dev, Stage: stage, MicroBatch: -1,
+							Kind: Precondition, Device: dev, Stage: stage, Replica: r, MicroBatch: -1,
 							Factor: -1, Step: step, Duration: maxDur(cfg.Costs.Precondition, 1), Deps: deps,
 						}
 						s.addOpDeferred(prec)
@@ -206,7 +207,7 @@ func buildForwardBackward(cfg BuildConfig, name string, order func(stage, stages
 						deps = []int{prec.ID}
 					}
 					opt := &Op{
-						Kind: OptStep, Device: dev, Stage: stage, MicroBatch: -1,
+						Kind: OptStep, Device: dev, Stage: stage, Replica: r, MicroBatch: -1,
 						Factor: -1, Step: step, Duration: maxDur(cfg.Costs.OptStep, 1), Deps: deps,
 					}
 					s.addOpDeferred(opt)
@@ -244,7 +245,10 @@ func buildForwardBackward(cfg BuildConfig, name string, order func(stage, stages
 // BuildChimera lays out the Chimera schedule (Li & Hoefler, 2021) with two
 // bidirectional pipelines: the down pipeline maps stage s to device s, the
 // up pipeline maps stage s to device D-1-s, and each direction carries N/2
-// micro-batches. Per-device op orders are derived by critical-path list
+// micro-batches. With DataParallelWidth W > 1 the whole bidirectional pair
+// is replicated W times (replica r occupies devices [r*D, (r+1)*D)), each
+// replica carrying its own N micro-batches, with a cross-replica sync-grad
+// in the step tail. Per-device op orders are derived by critical-path list
 // scheduling over the dependency graph, which reproduces Chimera's
 // interleaving for uniform stages.
 func BuildChimera(cfg BuildConfig) (*Schedule, error) {
@@ -252,7 +256,7 @@ func BuildChimera(cfg BuildConfig) (*Schedule, error) {
 	if err != nil {
 		return nil, err
 	}
-	d, n := cfg.Stages, cfg.MicroBatches
+	d, n, w := cfg.Stages, cfg.MicroBatches, cfg.DataParallelWidth
 	if d%2 != 0 {
 		return nil, fmt.Errorf("pipeline: Chimera requires an even number of stages, got %d", d)
 	}
@@ -262,68 +266,70 @@ func BuildChimera(cfg BuildConfig) (*Schedule, error) {
 	half := n / 2
 	s := &Schedule{
 		Name:         "Chimera",
-		Devices:      d,
+		Devices:      d * w,
 		Stages:       d,
 		MicroBatches: n,
 		Steps:        cfg.Steps,
-		Order:        make([][]int, d),
+		Order:        make([][]int, d*w),
 	}
-	deviceOf := func(pipe, stage int) int {
+	deviceOf := func(r, pipe, stage int) int {
 		if pipe == 0 {
-			return stage
+			return r*d + stage
 		}
-		return d - 1 - stage
+		return r*d + d - 1 - stage
 	}
-	fid := make(map[[4]int]int) // (step, pipe, stage, micro index within pipe)
-	bid := make(map[[4]int]int)
+	fid := make(map[[5]int]int) // (step, replica, pipe, stage, micro index within pipe)
+	bid := make(map[[5]int]int)
 	// prevTail[dev] is the op every op of the next step on dev must follow
 	// (the optimizer update, or the step's last backward without one).
-	prevTail := make([]int, d)
+	prevTail := make([]int, d*w)
 	for i := range prevTail {
 		prevTail[i] = -1
 	}
 
 	for step := 0; step < cfg.Steps; step++ {
-		for pipe := 0; pipe < 2; pipe++ {
-			for stage := 0; stage < d; stage++ {
-				for m := 0; m < half; m++ {
-					f := &Op{
-						Kind: Forward, Device: deviceOf(pipe, stage), Stage: stage,
-						MicroBatch: pipe*half + m, Factor: -1, Step: step, Pipeline: pipe,
-						Duration: cfg.Costs.Forward,
+		for r := 0; r < w; r++ {
+			for pipe := 0; pipe < 2; pipe++ {
+				for stage := 0; stage < d; stage++ {
+					for m := 0; m < half; m++ {
+						f := &Op{
+							Kind: Forward, Device: deviceOf(r, pipe, stage), Stage: stage, Replica: r,
+							MicroBatch: pipe*half + m, Factor: -1, Step: step, Pipeline: pipe,
+							Duration: cfg.Costs.Forward,
+						}
+						if stage > 0 {
+							f.Deps = append(f.Deps, fid[[5]int{step, r, pipe, stage - 1, m}])
+						}
+						if prevTail[f.Device] >= 0 {
+							f.Deps = append(f.Deps, prevTail[f.Device])
+						}
+						s.addOpDeferred(f)
+						fid[[5]int{step, r, pipe, stage, m}] = f.ID
 					}
-					if stage > 0 {
-						f.Deps = append(f.Deps, fid[[4]int{step, pipe, stage - 1, m}])
-					}
-					if prevTail[f.Device] >= 0 {
-						f.Deps = append(f.Deps, prevTail[f.Device])
-					}
-					s.addOpDeferred(f)
-					fid[[4]int{step, pipe, stage, m}] = f.ID
 				}
-			}
-			for stage := d - 1; stage >= 0; stage-- {
-				for m := 0; m < half; m++ {
-					b := &Op{
-						Kind: Backward, Device: deviceOf(pipe, stage), Stage: stage,
-						MicroBatch: pipe*half + m, Factor: -1, Step: step, Pipeline: pipe,
-						Duration: cfg.Costs.Backward,
+				for stage := d - 1; stage >= 0; stage-- {
+					for m := 0; m < half; m++ {
+						b := &Op{
+							Kind: Backward, Device: deviceOf(r, pipe, stage), Stage: stage, Replica: r,
+							MicroBatch: pipe*half + m, Factor: -1, Step: step, Pipeline: pipe,
+							Duration: cfg.Costs.Backward,
+						}
+						if stage < d-1 {
+							b.Deps = append(b.Deps, bid[[5]int{step, r, pipe, stage + 1, m}])
+						} else {
+							b.Deps = append(b.Deps, fid[[5]int{step, r, pipe, stage, m}])
+						}
+						if prevTail[b.Device] >= 0 {
+							b.Deps = append(b.Deps, prevTail[b.Device])
+						}
+						s.addOpDeferred(b)
+						bid[[5]int{step, r, pipe, stage, m}] = b.ID
 					}
-					if stage < d-1 {
-						b.Deps = append(b.Deps, bid[[4]int{step, pipe, stage + 1, m}])
-					} else {
-						b.Deps = append(b.Deps, fid[[4]int{step, pipe, stage, m}])
-					}
-					if prevTail[b.Device] >= 0 {
-						b.Deps = append(b.Deps, prevTail[b.Device])
-					}
-					s.addOpDeferred(b)
-					bid[[4]int{step, pipe, stage, m}] = b.ID
 				}
 			}
 		}
-		for dev := 0; dev < d; dev++ {
-			tailID := chimeraDeviceTail(s, cfg, step, dev, bid, deviceOf)
+		for dev := 0; dev < d*w; dev++ {
+			tailID := chimeraDeviceTail(s, cfg, step, dev, bid)
 			prevTail[dev] = tailID
 		}
 	}
@@ -338,19 +344,23 @@ func BuildChimera(cfg BuildConfig) (*Schedule, error) {
 
 // chimeraDeviceTail appends the end-of-step work for one device and returns
 // the op ID the next step must wait for. Each stage of Chimera is held by a
-// device pair (one per direction), so with optimizer work enabled a
-// sync-grad all-reduce couples the pair before the update (§3.2).
-func chimeraDeviceTail(s *Schedule, cfg BuildConfig, step, dev int, bid map[[4]int]int, deviceOf func(pipe, stage int) int) int {
-	d, n := cfg.Stages, cfg.MicroBatches
+// device pair (one per direction) in every replica, so with optimizer work
+// enabled a sync-grad all-reduce couples the whole group — the pair, times
+// the W replicas — before the update (§3.2).
+func chimeraDeviceTail(s *Schedule, cfg BuildConfig, step, dev int, bid map[[5]int]int) int {
+	d, n, w := cfg.Stages, cfg.MicroBatches, cfg.DataParallelWidth
 	half := n / 2
-	downStage := dev
-	upStage := d - 1 - dev
+	replica := dev / d
+	downStage := dev % d
+	upStage := d - 1 - dev%d
 	var deps []int
-	for pipe := 0; pipe < 2; pipe++ {
-		for _, stage := range []int{downStage, upStage} {
-			for m := 0; m < half; m++ {
-				if id, ok := bid[[4]int{step, pipe, stage, m}]; ok {
-					deps = append(deps, id)
+	for r := 0; r < w; r++ {
+		for pipe := 0; pipe < 2; pipe++ {
+			for _, stage := range []int{downStage, upStage} {
+				for m := 0; m < half; m++ {
+					if id, ok := bid[[5]int{step, r, pipe, stage, m}]; ok {
+						deps = append(deps, id)
+					}
 				}
 			}
 		}
@@ -368,7 +378,7 @@ func chimeraDeviceTail(s *Schedule, cfg BuildConfig, step, dev int, bid map[[4]i
 		return last
 	}
 	sync := &Op{
-		Kind: SyncGrad, Device: dev, Stage: downStage, MicroBatch: -1,
+		Kind: SyncGrad, Device: dev, Stage: downStage, Replica: replica, MicroBatch: -1,
 		Factor: -1, Step: step, Duration: maxDur(2*cfg.Costs.SyncGrad, 1), Deps: deps,
 	}
 	s.addOpDeferred(sync)
@@ -376,14 +386,14 @@ func chimeraDeviceTail(s *Schedule, cfg BuildConfig, step, dev int, bid map[[4]i
 	if cfg.IncludePrecondition {
 		// The device preconditions both stages it hosts.
 		prec := &Op{
-			Kind: Precondition, Device: dev, Stage: downStage, MicroBatch: -1,
+			Kind: Precondition, Device: dev, Stage: downStage, Replica: replica, MicroBatch: -1,
 			Factor: -1, Step: step, Duration: maxDur(2*cfg.Costs.Precondition, 1), Deps: optDeps,
 		}
 		s.addOpDeferred(prec)
 		optDeps = []int{prec.ID}
 	}
 	opt := &Op{
-		Kind: OptStep, Device: dev, Stage: downStage, MicroBatch: -1,
+		Kind: OptStep, Device: dev, Stage: downStage, Replica: replica, MicroBatch: -1,
 		Factor: -1, Step: step, Duration: maxDur(2*cfg.Costs.OptStep, 1), Deps: optDeps,
 	}
 	s.addOpDeferred(opt)

@@ -69,6 +69,13 @@ type Op struct {
 	Device int
 	// Stage is the pipeline stage the op belongs to (0-based).
 	Stage int
+	// Replica is the data-parallel replica the op belongs to (0-based;
+	// 0 when W = 1). For GPipe/1F1B replica r of stage s runs on device
+	// s*W + r; for Chimera replica r is one bidirectional pipeline pair
+	// occupying devices [r*D, (r+1)*D). The execution engine uses it to
+	// route an op to the replica's parameter copy and to derive the op's
+	// global micro-batch index (replica*N + MicroBatch).
+	Replica int
 	// MicroBatch is the micro-batch index, or -1 when not applicable.
 	MicroBatch int
 	// Factor is the K-FAC Kronecker-factor index within the op's stage

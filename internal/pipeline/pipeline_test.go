@@ -463,3 +463,62 @@ func TestChimeraDependencyProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestChimeraDataParallelWidthReplicatesPairs(t *testing.T) {
+	// W = 2 Chimera replicates the whole bidirectional pair: 2*D devices,
+	// each replica carrying its own N micro-batches, coupled by a
+	// cross-replica sync-grad in the step tail.
+	costs := unitCosts()
+	costs.SyncGrad = 4
+	s, err := BuildChimera(BuildConfig{
+		Stages: 4, MicroBatches: 4, Steps: 1, Costs: costs,
+		DataParallelWidth: 2, IncludeOptimizerWork: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Devices != 8 {
+		t.Fatalf("W=2 Chimera must double devices, got %d", s.Devices)
+	}
+	tl, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replica r occupies devices [r*D, (r+1)*D); every op is tagged.
+	for d := 0; d < tl.Devices; d++ {
+		for _, e := range tl.Events[d] {
+			if e.Op.Replica != d/4 {
+				t.Fatalf("device %d event %s tagged replica %d, want %d", d, e.Op.Label(), e.Op.Replica, d/4)
+			}
+		}
+	}
+	// The sync-grad of any device starts only after every replica's
+	// backwards of the device's two stages finished.
+	syncs := tl.EventsOfKind(SyncGrad)
+	if len(syncs) != 8 {
+		t.Fatalf("expected 8 sync-grad events, got %d", len(syncs))
+	}
+	for _, sy := range syncs {
+		stages := map[int]bool{sy.Op.Stage: true, 3 - sy.Op.Stage: true}
+		for d := 0; d < tl.Devices; d++ {
+			for _, e := range tl.Events[d] {
+				if e.Op.Kind == Backward && stages[e.Op.Stage] && sy.Start < e.End {
+					t.Fatalf("sync-grad of stage %d starts before a replica-%d backward of stage %d ends",
+						sy.Op.Stage, e.Op.Replica, e.Op.Stage)
+				}
+			}
+		}
+	}
+	// A replica's forward/backward dataflow stays within the replica: the
+	// W=1 schedule shape is preserved per replica (same per-replica op
+	// count).
+	perReplica := map[int]int{}
+	for _, op := range s.Ops {
+		if op.Kind == Forward || op.Kind == Backward {
+			perReplica[op.Replica]++
+		}
+	}
+	if perReplica[0] != perReplica[1] || perReplica[0] != 2*4*4 {
+		t.Fatalf("per-replica F/B op counts %v, want 32 each", perReplica)
+	}
+}

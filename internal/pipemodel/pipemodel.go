@@ -96,4 +96,23 @@ type Model interface {
 	// KFACLossScale returns the loss-averaging count M the K-FAC B-factor
 	// rescales by (see kfac.UpdateCurvature), given the step's totals.
 	KFACLossScale(t Totals) float64
+	// Params returns every trainable parameter of the model in a
+	// deterministic order, congruent across Replicate copies — the unit
+	// of the engine's per-step parameter broadcast.
+	Params() []*nn.Param
+	// EmbedParams returns the parameters of the stage-0 embedding path
+	// (everything EmbedForward/EmbedBackward touches), in a deterministic
+	// order. The engine uses it to attribute embedding gradients to stage
+	// 0's per-micro-batch reduction segments.
+	EmbedParams() []*nn.Param
+	// HeadParams returns the parameters of the last-stage head path
+	// (everything HeadLoss/HeadGradient touches), in a deterministic
+	// order, for the last stage's reduction segments.
+	HeadParams() []*nn.Param
+	// Replicate builds an independent copy of the model — same
+	// configuration, parameter values copied, no shared mutable state —
+	// for one data-parallel replica. Replicas are stepped by the engine
+	// only; their gradients are engine-owned and their parameters are
+	// re-broadcast from the primary model at every step.
+	Replicate() (Model, error)
 }

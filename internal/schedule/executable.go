@@ -80,7 +80,7 @@ func Executable(cfg Config) (*pipeline.Schedule, error) {
 	newOp := func(it *workItem) *pipeline.Op {
 		op := &pipeline.Op{
 			ID: len(s.Ops), Kind: it.kind, Device: it.device, Stage: it.stage,
-			MicroBatch: it.micro, Factor: it.factor, Step: 0,
+			Replica: it.replica, MicroBatch: it.micro, Factor: it.factor, Step: 0,
 			Duration: maxDur(it.duration, 1),
 		}
 		s.Ops = append(s.Ops, op)
@@ -197,11 +197,19 @@ func packForExec(items []*workItem, base *pipeline.Timeline, cfg Config) {
 		it.placedStart = pieces[0].Start
 		it.placedEnd = end
 	}
-	allPlaced := func(stage int) bool {
+	allCurvPlaced := func(stage int) bool {
 		for _, it := range curv {
 			if it.stage == stage && !it.placed {
 				return false
 			}
+		}
+		return true
+	}
+	// allPlaced gates inversions: they additionally depend on the stage's
+	// sync-curvature ops, so those must have found slots too.
+	allPlaced := func(stage int) bool {
+		if !allCurvPlaced(stage) {
+			return false
 		}
 		for _, it := range syncs {
 			if it.stage == stage && !it.placed {
@@ -226,7 +234,11 @@ func packForExec(items []*workItem, base *pipeline.Timeline, cfg Config) {
 	}
 	syncStageDone := make(map[int]hardware.Microseconds)
 	for _, it := range syncs {
-		if !allPlaced(it.stage) {
+		// A sync is placeable once the stage's *curvature* is placed —
+		// checking the sync items themselves here would see the item
+		// under consideration (still unplaced) and refuse every sync,
+		// deferring all of the stage's inversions out of the bubbles.
+		if !allCurvPlaced(it.stage) {
 			it.placed = false
 			continue
 		}

@@ -49,7 +49,9 @@ type Config struct {
 	MicroBatches int
 	// Costs provides all work durations.
 	Costs pipeline.StageCosts
-	// DataParallelWidth is W for gpipe/1f1b replica groups.
+	// DataParallelWidth is W, the data-parallel replica count: replica
+	// streams per stage for gpipe/1f1b, whole bidirectional pipeline
+	// pairs for chimera.
 	DataParallelWidth int
 	// InversionParallel splits each stage's inversion units across the
 	// devices holding that stage (the replica group for gpipe/1f1b, the
@@ -131,6 +133,7 @@ type workItem struct {
 	kind     pipeline.WorkKind
 	stage    int
 	device   int
+	replica  int // data-parallel replica owning the device
 	factor   int // index into Costs.InversionUnits / CurvatureUnits
 	micro    int // micro-batch for curvature, -1 otherwise
 	duration hardware.Microseconds
@@ -241,57 +244,56 @@ func buildBase(cfg Config, steps int, precondition bool) (*pipeline.Schedule, er
 // key quantity predicting the refresh interval (§3.3).
 func estimateRatio(cfg Config, oneStep *pipeline.Timeline) float64 {
 	var kfacWork float64
-	nDev := devicesFor(cfg)
 	perStageCurv := float64(cfg.Costs.CurvaturePerMicroBatch) * float64(cfg.MicroBatches)
 	perStageInv := float64(cfg.Costs.InversionTotal())
-	// Chimera devices hold two stages each; gpipe/1f1b replicas each
-	// compute curvature for their own micro-batches.
-	switch cfg.Method {
-	case "chimera":
-		kfacWork = float64(cfg.Stages) * (perStageCurv + perStageInv)
-	default:
-		kfacWork = float64(cfg.Stages*cfg.DataParallelWidth)*perStageCurv + float64(cfg.Stages)*perStageInv
-		if !cfg.InversionParallel && cfg.DataParallelWidth > 1 {
-			kfacWork += float64(cfg.Stages*(cfg.DataParallelWidth-1)) * perStageInv
-		}
+	// Chimera devices hold two stages each; every replica group (the W
+	// replica streams of gpipe/1f1b, the W bidirectional pairs of chimera)
+	// computes curvature for its own micro-batches, and replicas duplicate
+	// the inversion work unless InversionParallel shards it.
+	w := cfg.DataParallelWidth
+	kfacWork = float64(cfg.Stages*w)*perStageCurv + float64(cfg.Stages)*perStageInv
+	if !cfg.InversionParallel && w > 1 {
+		kfacWork += float64(cfg.Stages*(w-1)) * perStageInv
 	}
 	bubble := float64(oneStep.TotalBubble())
 	if bubble <= 0 {
 		return float64(cfg.MaxSteps)
 	}
-	_ = nDev
 	return kfacWork / bubble
 }
 
 func devicesFor(cfg Config) int {
-	if cfg.Method == "chimera" {
-		return cfg.Stages
-	}
 	return cfg.Stages * cfg.DataParallelWidth
 }
 
 // stageOwners returns the devices that hold a stage's parameters and their
-// micro-batch ranges. For gpipe/1f1b, each of the W replicas owns all N
-// micro-batches of its own replica stream; for chimera, the down device
-// owns micro-batches [0, N/2) and the up device [N/2, N).
+// local micro-batch ranges, replica-major. For gpipe/1f1b, each of the W
+// replicas owns all N micro-batches of its own replica stream; for chimera,
+// each replica contributes a device pair — the down device owning local
+// micro-batches [0, N/2) and the up device [N/2, N).
 type owner struct {
 	device  int
+	replica int
 	microLo int
 	microHi int // exclusive
 }
 
 func stageOwners(cfg Config, stage int) []owner {
+	w := cfg.DataParallelWidth
 	if cfg.Method == "chimera" {
 		half := cfg.MicroBatches / 2
-		return []owner{
-			{device: stage, microLo: 0, microHi: half},
-			{device: cfg.Stages - 1 - stage, microLo: half, microHi: cfg.MicroBatches},
+		owners := make([]owner, 0, 2*w)
+		for r := 0; r < w; r++ {
+			owners = append(owners,
+				owner{device: r*cfg.Stages + stage, replica: r, microLo: 0, microHi: half},
+				owner{device: r*cfg.Stages + cfg.Stages - 1 - stage, replica: r, microLo: half, microHi: cfg.MicroBatches},
+			)
 		}
+		return owners
 	}
-	w := cfg.DataParallelWidth
 	owners := make([]owner, w)
 	for r := 0; r < w; r++ {
-		owners[r] = owner{device: stage*w + r, microLo: 0, microHi: cfg.MicroBatches}
+		owners[r] = owner{device: stage*w + r, replica: r, microLo: 0, microHi: cfg.MicroBatches}
 	}
 	return owners
 }
@@ -321,7 +323,7 @@ func buildWorkQueue(cfg Config, sched *pipeline.Schedule, tl *pipeline.Timeline)
 					}
 					items = append(items, &workItem{
 						kind: pipeline.Curvature, stage: stage, device: ow.device,
-						factor: f, micro: m,
+						replica: ow.replica, factor: f, micro: m,
 						duration: cfg.Costs.CurvatureUnits[f],
 						readyAt:  ready,
 					})
@@ -332,15 +334,32 @@ func buildWorkQueue(cfg Config, sched *pipeline.Schedule, tl *pipeline.Timeline)
 				}
 			}
 		}
-		// Inversion: one item per factor, split across owners when
-		// inversion parallelism is on; otherwise on every owner that
-		// computed curvature (gpipe/1f1b without splitting duplicates the
-		// work per replica; chimera without splitting puts all units on
-		// the down device).
-		addInv := func(dev, f int) {
+		// Sync-curvature collectives when factors are split across owners.
+		// Created before the inversion items: inversions depend on their
+		// stage's sync ops, and work that does not fit the bubbles keeps
+		// its creation order at the end of the device's pre-tail op list —
+		// a sync created after the inversions would be ordered after ops
+		// that wait on it, deadlocking the executable form.
+		if cfg.InversionParallel && len(owners) > 1 && cfg.Costs.SyncCurvature > 0 {
+			for _, ow := range owners {
+				items = append(items, &workItem{
+					kind: pipeline.SyncCurvature, stage: stage, device: ow.device,
+					replica: ow.replica, factor: -1, micro: -1,
+					duration: cfg.Costs.SyncCurvature,
+					readyAt:  0, // after the stage's curvature; set in pack
+				})
+			}
+		}
+		// Inversion: one item per factor, split round-robin across the
+		// stage's owner group (the replica group for gpipe/1f1b, the W
+		// bidirectional pairs for chimera) when inversion parallelism is
+		// on — each owner inverts its shard, then broadcasts; otherwise
+		// every replica duplicates the whole stage's inversion work
+		// (chimera puts each replica's units on its down device).
+		addInv := func(ow owner, f int) {
 			items = append(items, &workItem{
-				kind: pipeline.Inversion, stage: stage, device: dev,
-				factor: f, micro: -1,
+				kind: pipeline.Inversion, stage: stage, device: ow.device,
+				replica: ow.replica, factor: f, micro: -1,
 				duration: cfg.Costs.InversionUnits[f],
 				// Actual readiness (after all curvature for this factor is
 				// *placed*) is enforced during packing; this is the lower
@@ -350,28 +369,19 @@ func buildWorkQueue(cfg Config, sched *pipeline.Schedule, tl *pipeline.Timeline)
 		}
 		if cfg.InversionParallel && len(owners) > 1 {
 			for f := 0; f < nFactors; f++ {
-				addInv(owners[f%len(owners)].device, f)
+				addInv(owners[f%len(owners)], f)
 			}
 		} else if cfg.Method == "chimera" {
-			for f := 0; f < nFactors; f++ {
-				addInv(owners[0].device, f)
+			for r := 0; r < cfg.DataParallelWidth; r++ {
+				for f := 0; f < nFactors; f++ {
+					addInv(owners[2*r], f)
+				}
 			}
 		} else {
 			for _, ow := range owners {
 				for f := 0; f < nFactors; f++ {
-					addInv(ow.device, f)
+					addInv(ow, f)
 				}
-			}
-		}
-		// Sync-curvature collectives when factors are split across owners.
-		if cfg.InversionParallel && len(owners) > 1 && cfg.Costs.SyncCurvature > 0 {
-			for _, ow := range owners {
-				items = append(items, &workItem{
-					kind: pipeline.SyncCurvature, stage: stage, device: ow.device,
-					factor: -1, micro: -1,
-					duration: cfg.Costs.SyncCurvature,
-					readyAt:  0, // after the stage's curvature; set in pack
-				})
 			}
 		}
 	}
@@ -507,7 +517,7 @@ func pack(items []*workItem, base *pipeline.Timeline, cfg Config) (*pipeline.Tim
 		}
 		for _, p := range pieces {
 			op := &pipeline.Op{
-				Kind: it.kind, Device: it.device, Stage: it.stage,
+				Kind: it.kind, Device: it.device, Stage: it.stage, Replica: it.replica,
 				MicroBatch: it.micro, Step: -1, Duration: p.End - p.Start,
 			}
 			out.Events[it.device] = append(out.Events[it.device], pipeline.Event{Op: op, Start: p.Start, End: p.End})

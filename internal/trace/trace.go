@@ -59,6 +59,21 @@ func RenderASCII(w io.Writer, tl *pipeline.Timeline, width int) error {
 	if _, err := fmt.Fprintf(w, "%s  [GPU util. %.1f%%]%s\n", tl.Name, 100*tl.Utilization(), par); err != nil {
 		return err
 	}
+	// Data-parallel timelines get replica lanes: each device row is
+	// annotated with the replica it belongs to, so the W>1 topology — and
+	// how collectives line up across a stage's replica group — reads off
+	// the trace directly.
+	replicated := false
+	repOf := make([]int, tl.Devices)
+	for d := 0; d < tl.Devices; d++ {
+		for _, e := range tl.Events[d] {
+			repOf[d] = e.Op.Replica
+			if e.Op.Replica > 0 {
+				replicated = true
+			}
+			break
+		}
+	}
 	for d := 0; d < tl.Devices; d++ {
 		row := make([]byte, width)
 		for i := range row {
@@ -78,6 +93,12 @@ func RenderASCII(w io.Writer, tl *pipeline.Timeline, width int) error {
 				row[i] = ch
 			}
 		}
+		if replicated {
+			if _, err := fmt.Fprintf(w, "GPU %-2d r%d |%s|\n", d+1, repOf[d], row); err != nil {
+				return err
+			}
+			continue
+		}
 		if _, err := fmt.Fprintf(w, "GPU %-2d |%s|\n", d+1, row); err != nil {
 			return err
 		}
@@ -87,15 +108,16 @@ func RenderASCII(w io.Writer, tl *pipeline.Timeline, width int) error {
 }
 
 // WriteCSV exports the timeline events as CSV rows
-// (device,kind,stage,micro,step,start_us,end_us) for external plotting.
+// (device,kind,stage,replica,micro,step,start_us,end_us) for external
+// plotting.
 func WriteCSV(w io.Writer, tl *pipeline.Timeline) error {
-	if _, err := fmt.Fprintln(w, "device,kind,stage,micro_batch,step,start_us,end_us"); err != nil {
+	if _, err := fmt.Fprintln(w, "device,kind,stage,replica,micro_batch,step,start_us,end_us"); err != nil {
 		return err
 	}
 	for d := 0; d < tl.Devices; d++ {
 		for _, e := range tl.Events[d] {
-			if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d\n",
-				d, e.Op.Kind, e.Op.Stage, e.Op.MicroBatch, e.Op.Step, e.Start, e.End); err != nil {
+			if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%d\n",
+				d, e.Op.Kind, e.Op.Stage, e.Op.Replica, e.Op.MicroBatch, e.Op.Step, e.Start, e.End); err != nil {
 				return err
 			}
 		}

@@ -76,7 +76,7 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != wantRows {
 		t.Fatalf("expected %d CSV rows, got %d", wantRows, len(lines))
 	}
-	if lines[0] != "device,kind,stage,micro_batch,step,start_us,end_us" {
+	if lines[0] != "device,kind,stage,replica,micro_batch,step,start_us,end_us" {
 		t.Fatalf("bad header: %s", lines[0])
 	}
 	if !strings.Contains(sb.String(), "forward") || !strings.Contains(sb.String(), "backward") {

@@ -1,0 +1,19 @@
+# Distills `go test -bench` output into a JSON array for the CI perf
+# artifacts (BENCH_tensor.json, BENCH_engine.json). Standard columns map to
+# ns_per_op/bytes_per_op/allocs_per_op; the custom metrics in use (MB/s
+# from the kernel benchmarks, seqs/s from the engine benchmarks) never
+# co-occur, so one parser serves every benchmark suite.
+BEGIN { print "["; first=1 }
+/^Benchmark/ {
+  if (!first) printf ",\n"; first=0
+  name=$1; sub(/-[0-9]+$/, "", name)
+  printf "  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s", name, $2, $3
+  for (i=4; i<=NF; i++) {
+    if ($i == "B/op") printf ",\"bytes_per_op\":%s", $(i-1)
+    if ($i == "allocs/op") printf ",\"allocs_per_op\":%s", $(i-1)
+    if ($i == "MB/s") printf ",\"mb_per_s\":%s", $(i-1)
+    if ($i == "seqs/s") printf ",\"seqs_per_s\":%s", $(i-1)
+  }
+  printf "}"
+}
+END { print "\n]" }
