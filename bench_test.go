@@ -562,6 +562,55 @@ func BenchmarkEngineStep(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRoundKFAC measures round-mode executor throughput: the
+// same 1F1B PipeFisher configuration executed as K-step refresh rounds
+// (K in {1, 2, 4}) — one K-FAC refresh spread over each window's bubbles,
+// optimizer firing at the round-internal step barriers. The refresh
+// interval is fixed at 4 steps for every K (skip-cadence for K = 1, every
+// other round for K = 2, every round for K = 4), so the series isolates
+// the cost/benefit of the round shape itself. CI distills the rows into
+// BENCH_engine.json next to the per-step W series.
+func BenchmarkEngineRoundKFAC(b *testing.B) {
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("K%d", k), func(b *testing.B) {
+			m, err := bert.New(bert.TinyConfig(), 5)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := data.NewCorpus(bert.TinyConfig().VocabSize, 1.0, 17)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := engine.NewWithConfig(m, engine.Config{
+				Method: "1f1b", Stages: 2, MicroBatches: 4, RefreshSteps: k,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.EnableKFAC(kfac.DefaultOptions(), 4); err != nil {
+				b.Fatal(err)
+			}
+			opt := optim.NewLAMB(m.Params(), 0.01)
+			e.SetOptimizer(func(step int) error {
+				opt.Step(1e-3)
+				return nil
+			})
+			const batchSize = 8
+			batches := make([]*data.Batch, k)
+			for j := range batches {
+				batches[j] = c.MakeBatch(batchSize, data.DefaultBatchConfig(m.Config.SeqLen))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.TrainRound(batches); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(batchSize*k)*float64(b.N)/b.Elapsed().Seconds(), "seqs/s")
+		})
+	}
+}
+
 // BenchmarkEngineStepKFAC is the same comparison with the PipeFisher
 // schedule: K-FAC curvature/inversion in the bubbles (inversion sharded
 // round-robin across the replica group at W = 2) plus per-step

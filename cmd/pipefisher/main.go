@@ -27,7 +27,6 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hardware"
 	"repro/internal/kfac"
-	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/pipeline"
 	"repro/internal/schedule"
@@ -39,24 +38,25 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pipefisher: ")
 	var (
-		method      = flag.String("method", "gpipe", "pipeline schedule: gpipe, 1f1b, chimera")
-		archName    = flag.String("arch", "BERT-Base", "architecture (Table 3 name)")
-		gpuName     = flag.String("gpu", "P100", "GPU profile: P100, V100, RTX3090")
-		stages      = flag.Int("stages", 4, "number of pipeline stages D")
-		blocks      = flag.Int("blocks", 3, "transformer blocks per stage")
-		nmicro      = flag.Int("nmicro", 4, "micro-batches per device per step")
-		bmicro      = flag.Int("bmicro", 32, "micro-batch size")
-		dp          = flag.Int("dp", 1, "data-parallel width W (gpipe/1f1b)")
-		invParallel = flag.Bool("invparallel", false, "split inversion work across the stage's devices")
-		recompute   = flag.Bool("recompute", false, "activation recomputation")
-		width       = flag.Int("width", 120, "ASCII timeline width")
-		csvPath     = flag.String("csv", "", "write the augmented timeline as CSV to this file")
-		svgPath     = flag.String("svg", "", "write the augmented timeline as SVG to this file")
-		vanilla     = flag.Bool("vanilla", false, "also render the vanilla (no K-FAC) timeline")
-		execute     = flag.Bool("execute", false, "really train a small model under this schedule and render the executed timeline")
-		execSteps   = flag.Int("execsteps", 5, "training steps to execute with -execute (use an odd count so the rendered last step is a K-FAC refresh step)")
-		workers     = flag.Int("workers", 0, "intra-op kernel worker budget for real execution (0 = GOMAXPROCS); device goroutines share it")
-		replicas    = flag.Int("replicas", 1, "data-parallel width W for real execution with -execute (replicated stage parameters, in-process sync-grad collectives)")
+		method       = flag.String("method", "gpipe", "pipeline schedule: gpipe, 1f1b, chimera")
+		archName     = flag.String("arch", "BERT-Base", "architecture (Table 3 name)")
+		gpuName      = flag.String("gpu", "P100", "GPU profile: P100, V100, RTX3090")
+		stages       = flag.Int("stages", 4, "number of pipeline stages D")
+		blocks       = flag.Int("blocks", 3, "transformer blocks per stage")
+		nmicro       = flag.Int("nmicro", 4, "micro-batches per device per step")
+		bmicro       = flag.Int("bmicro", 32, "micro-batch size")
+		dp           = flag.Int("dp", 1, "data-parallel width W (gpipe/1f1b)")
+		invParallel  = flag.Bool("invparallel", false, "split inversion work across the stage's devices")
+		recompute    = flag.Bool("recompute", false, "activation recomputation")
+		width        = flag.Int("width", 120, "ASCII timeline width")
+		csvPath      = flag.String("csv", "", "write the augmented timeline as CSV to this file")
+		svgPath      = flag.String("svg", "", "write the augmented timeline as SVG to this file")
+		vanilla      = flag.Bool("vanilla", false, "also render the vanilla (no K-FAC) timeline")
+		execute      = flag.Bool("execute", false, "really train a small model under this schedule and render the executed timeline")
+		execSteps    = flag.Int("execsteps", 5, "training steps to execute with -execute (rounded up to whole refresh rounds)")
+		workers      = flag.Int("workers", 0, "intra-op kernel worker budget for real execution (0 = GOMAXPROCS); device goroutines share it")
+		replicas     = flag.Int("replicas", 1, "data-parallel width W for real execution with -execute (replicated stage parameters, in-process sync-grad collectives)")
+		refreshSteps = flag.Int("refresh-steps", 1, "round length K for real execution with -execute: one K-FAC refresh spreads over the bubbles of K consecutive steps (1 = classic skip cadence)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -65,9 +65,12 @@ func main() {
 	if *replicas < 1 {
 		*replicas = 1
 	}
+	if *refreshSteps < 1 {
+		*refreshSteps = 1
+	}
 	tensor.SetParallelism(*workers)
-	fmt.Printf("%s on %s: %d stages x %d micro-batches, simulated W=%d, executed replicas=%d, intra-op workers %d\n",
-		*archName, *gpuName, *stages, *nmicro, *dp, *replicas, tensor.Parallelism())
+	fmt.Printf("%s on %s: %d stages x %d micro-batches, simulated W=%d, executed replicas=%d, refresh round K=%d, intra-op workers %d\n",
+		*archName, *gpuName, *stages, *nmicro, *dp, *replicas, *refreshSteps, tensor.Parallelism())
 
 	a, err := arch.ByName(*archName)
 	if err != nil {
@@ -137,15 +140,17 @@ func main() {
 	}
 
 	if *execute {
-		executeSchedule(*method, *stages, *nmicro, *replicas, *invParallel, *execSteps, *width, *workers, *svgPath)
+		executeSchedule(*method, *stages, *nmicro, *replicas, *invParallel, *execSteps, *refreshSteps, *width, *workers, *svgPath)
 	}
 }
 
 // executeSchedule trains a small BERT (one block per stage) for real under
 // the selected schedule with K-FAC packed into the bubbles — replicated
 // W-fold when -replicas is set, with the in-process gradient and curvature
-// collectives — then renders the executed timeline of the last step.
-func executeSchedule(method string, stages, nmicro, replicas int, invParallel bool, steps, width, workers int, svgPath string) {
+// collectives, and in K-step refresh rounds when -refresh-steps asks for
+// multi-step windows — then renders the executed timeline of the last
+// round (step boundaries marked on the ruler).
+func executeSchedule(method string, stages, nmicro, replicas int, invParallel bool, steps, refreshSteps, width, workers int, svgPath string) {
 	cfg := bert.TinyConfig()
 	cfg.Blocks = stages
 	model, err := bert.New(cfg, 7)
@@ -159,26 +164,41 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 	eng, err := engine.NewWithConfig(model, engine.Config{
 		Method: method, Stages: stages, MicroBatches: nmicro,
 		Replicas: replicas, InversionParallel: invParallel, Workers: workers,
+		RefreshSteps: refreshSteps,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.EnableKFAC(kfac.Options{Damping: 1e-2, StatDecay: 0.95, UsePiDamping: true}, 2); err != nil {
+	// With one-step rounds keep the classic every-2-steps skip cadence;
+	// with multi-step rounds the window is the cadence.
+	every := 2
+	if refreshSteps > 1 {
+		every = refreshSteps
+	}
+	if err := eng.EnableKFAC(kfac.Options{Damping: 1e-2, StatDecay: 0.95, UsePiDamping: true}, every); err != nil {
 		log.Fatal(err)
 	}
 	params := model.Params()
 	opt := optim.NewLAMB(params, 0.01)
-	fmt.Printf("\n--- real execution: %s, %d stages, %d micro-batches, %d replica(s), %d intra-op workers ---\n",
-		method, stages, nmicro, replicas, tensor.Parallelism())
-	for step := 0; step < steps; step++ {
-		batch := corpus.MakeBatch(4*nmicro*replicas, data.DefaultBatchConfig(cfg.SeqLen))
-		nn.ZeroGrads(params)
-		res, err := eng.TrainStep(batch)
+	eng.SetOptimizer(func(step int) error {
+		opt.Step(3e-3)
+		return nil
+	})
+	fmt.Printf("\n--- real execution: %s, %d stages, %d micro-batches, %d replica(s), refresh round K=%d, %d intra-op workers ---\n",
+		method, stages, nmicro, replicas, refreshSteps, tensor.Parallelism())
+	rounds := (steps + refreshSteps - 1) / refreshSteps
+	for round := 0; round < rounds; round++ {
+		batches := make([]*data.Batch, refreshSteps)
+		for j := range batches {
+			batches[j] = corpus.MakeBatch(4*nmicro*replicas, data.DefaultBatchConfig(cfg.SeqLen))
+		}
+		res, err := eng.TrainRound(batches)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opt.Step(3e-3)
-		fmt.Printf("step %d  loss %.4f  refreshed=%v\n", step, res.Loss.Total, res.Refreshed)
+		for j, r := range res {
+			fmt.Printf("step %d  loss %.4f  refreshed=%v\n", round*refreshSteps+j, r.Loss.Total, r.Refreshed)
+		}
 	}
 	fmt.Println()
 	real := eng.LastTimeline()

@@ -24,14 +24,17 @@
 //	          discrete-event simulator producing timelines and bubbles
 //	schedule  PipeFisher's work assignment (§3.1): packs curvature and
 //	          inversion into the bubbles; Executable emits the packed
-//	          op list with real dependency edges
+//	          op list with real dependency edges — over a K-step
+//	          refresh round (Config.RefreshSteps) when the refresh
+//	          should spread across several steps' bubbles
 //	engine    the schedule-driven executor: per-device goroutines walk
 //	          the op lists and train a pipemodel.Model for real —
 //	          GPipe/1F1B/Chimera on a (replica, stage) device topology
 //	          (Config.Replicas = W data-parallel replicas with
 //	          replicated parameters and in-process collectives), with
-//	          K-FAC running in its packed bubble slots and measured
-//	          (executed) timelines out
+//	          K-FAC running in its packed bubble slots, multi-step
+//	          refresh rounds executed atomically (TrainRound), and
+//	          measured (executed) timelines out
 //	trace     ASCII/SVG/CSV rendering of timelines, simulated or
 //	          executed, in the style of the paper's profile figures
 //	optim     Adam, LAMB, Shampoo-style extra work; LR schedules
@@ -105,8 +108,50 @@
 //     preconditioner makes the post-inversion broadcast implicit, and
 //     per-layer locks let different factors invert concurrently.
 //
+// # Refresh rounds
+//
+// The paper's K-FAC refreshes fit into the bubbles of *several consecutive
+// pipeline steps* (2-4-step refresh windows). The round is the first-class
+// executable form of that window: schedule.Executable with RefreshSteps =
+// K emits ONE op list spanning K steps — each op carries its step index,
+// curvature ops (fed by the window's first-step statistics) land in the
+// bubbles of steps 0..K-1 wherever the PipeFisher packer placed them,
+// inversions follow in later steps' bubbles, and the engine executes the
+// whole round without goroutine teardown: cross-step dependency edges
+// (optimizer-step to next forward, curvature fold to a later step's
+// inversion) use the same completion channels as intra-step ones. Round
+// contract:
+//
+//   - Factor ownership across step boundaries: the window's first step
+//     snapshots the per-micro-batch statistics into pooled buffers owned
+//     by the run state; the scheduled Curvature ops consume them in
+//     whichever step's bubble the packer chose; the first Inversion op of
+//     a layer folds every replica's partials into the per-stage
+//     preconditioner's EMA (ascending global-micro order, under the
+//     per-layer lock) and each Inversion op then swaps one cached inverse.
+//     One round always completes exactly one refresh.
+//   - Staleness semantics: the Precondition op of step j depends exactly
+//     on the inversions the packer assigned to steps <= j, so each step
+//     preconditions with the freshest completed inverses — and with the
+//     previous refresh's inverses for factors still in flight, the
+//     stale-but-cheap discipline of §3.1. FrontLoadRefresh pins the whole
+//     refresh to the window's first step instead: the legacy skip cadence
+//     expressed as a round, bit-identical to a RefreshSteps = 1 engine at
+//     the same refresh interval (the round-vs-skip identity tests run on
+//     this; refreshEvery must be a multiple of K either way).
+//   - Step commits: every step's OptStep ops rendezvous at a barrier; the
+//     last arriver fires the caller's optimizer callback (SetOptimizer),
+//     zeroes the primary's accumulators, and re-broadcasts parameters to
+//     the replicas while every device is parked — so collectives and the
+//     update still happen exactly once per step, with the bit-identical
+//     fixed reduction order. On failure the round aborts at round
+//     granularity: committed steps stand, the failing step's gradient
+//     state rolls back, and the step counter advances only past the
+//     committed steps.
+//
 // The benchmark harness in bench_test.go regenerates the paper's tables
 // and figures, and cmd/ plus examples/ provide runnable entry points
 // (cmd/pipefisher -execute runs the sim/exec comparison end to end;
-// -replicas executes the hybrid pipeline x data-parallel configuration).
+// -replicas executes the hybrid pipeline x data-parallel configuration,
+// -refresh-steps the multi-step refresh rounds).
 package repro

@@ -8,11 +8,17 @@
 // the very bubble slots the PipeFisher packer assigned (§3.1), with
 // per-stage factors (§3(i)) and factor-granular inversion (§3(ii)).
 //
-// After training it renders the *executed* timeline of the last step next
+// With -refresh-steps K > 1 the engine executes the paper's multi-step
+// refresh windows for real: one K-FAC refresh spreads over the bubbles of
+// K consecutive steps (one executable round), the optimizer fires at the
+// round-internal step barriers, and each step preconditions with the
+// freshest inverses completed by that step.
+//
+// After training it renders the *executed* timeline of the last round next
 // to a *simulated* timeline calibrated with the measured op durations —
 // the sim/exec comparison the shared schedule form makes possible.
 //
-// Run: go run ./examples/pipelinetrain [-method gpipe|1f1b|chimera]
+// Run: go run ./examples/pipelinetrain [-method gpipe|1f1b|chimera] [-refresh-steps K]
 package main
 
 import (
@@ -25,7 +31,6 @@ import (
 	"repro/internal/data"
 	"repro/internal/engine"
 	"repro/internal/kfac"
-	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/pipeline"
 	"repro/internal/schedule"
@@ -37,6 +42,7 @@ func main() {
 	method := flag.String("method", "1f1b", "pipeline schedule: gpipe, 1f1b, chimera")
 	workers := flag.Int("workers", 0, "intra-op kernel worker budget (0 = GOMAXPROCS); device goroutines share it")
 	replicas := flag.Int("replicas", 1, "data-parallel width W (replicated stage parameters, in-process sync collectives)")
+	refreshSteps := flag.Int("refresh-steps", 2, "round length K: one K-FAC refresh spreads over the bubbles of K consecutive steps")
 	flag.Parse()
 	if *workers < 0 {
 		*workers = 0 // negative means "default", like 0
@@ -44,9 +50,19 @@ func main() {
 	if *replicas < 1 {
 		*replicas = 1
 	}
+	if *refreshSteps < 1 {
+		*refreshSteps = 1
+	}
+	// Refresh cadence: with multi-step rounds the window IS the cadence
+	// (refresh every round); the one-step engine keeps the classic
+	// skip-based every-2-steps interval.
+	every := 2
+	if *refreshSteps > 1 {
+		every = *refreshSteps
+	}
 	tensor.SetParallelism(*workers)
-	fmt.Printf("pipelinetrain: %s schedule, %d replica(s), %d intra-op workers\n",
-		*method, *replicas, tensor.Parallelism())
+	fmt.Printf("pipelinetrain: %s schedule, %d replica(s), refresh round K=%d (refresh every %d steps), %d intra-op workers\n",
+		*method, *replicas, *refreshSteps, every, tensor.Parallelism())
 
 	model, err := bert.New(bert.TinyConfig(), 7)
 	if err != nil {
@@ -62,33 +78,45 @@ func main() {
 	eng, err := engine.NewWithConfig(model, engine.Config{
 		Method: *method, Stages: 2, MicroBatches: 4,
 		Replicas: *replicas, InversionParallel: *replicas > 1, Workers: *workers,
+		RefreshSteps: *refreshSteps,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// PipeFisher cadence: curvature+inverse ops execute in the bubbles
-	// every 2 steps, preconditioning every step with the cached inverses.
-	if err := eng.EnableKFAC(kfac.Options{Damping: 1e-2, StatDecay: 0.95, UsePiDamping: true}, 2); err != nil {
+	// PipeFisher cadence: curvature+inverse ops execute in the bubbles of
+	// each refresh window; preconditioning runs every step with the cached
+	// inverses.
+	if err := eng.EnableKFAC(kfac.Options{Damping: 1e-2, StatDecay: 0.95, UsePiDamping: true}, every); err != nil {
 		log.Fatal(err)
 	}
 
 	params := model.Params()
 	opt := optim.NewLAMB(params, 0.01)
-	sched := optim.PolyDecaySchedule{BaseLR: 5e-3, WarmupSteps: 8, TotalSteps: 100, Power: 0.5}
+	lrs := optim.PolyDecaySchedule{BaseLR: 5e-3, WarmupSteps: 8, TotalSteps: 100, Power: 0.5}
+	// The engine owns the per-step optimizer firing: inside a round the
+	// update runs at the step barrier, between the round's steps.
+	eng.SetOptimizer(func(step int) error {
+		opt.Step(lrs.LR(step))
+		return nil
+	})
 
-	const steps = 101
-	for step := 0; step < steps; step++ {
-		batch := corpus.MakeBatch(8**replicas, data.DefaultBatchConfig(model.Config.SeqLen))
-		nn.ZeroGrads(params)
-		res, err := eng.TrainStep(batch)
+	const steps = 100
+	for start := 0; start < steps; start += *refreshSteps {
+		batches := make([]*data.Batch, *refreshSteps)
+		for j := range batches {
+			batches[j] = corpus.MakeBatch(8**replicas, data.DefaultBatchConfig(model.Config.SeqLen))
+		}
+		res, err := eng.TrainRound(batches)
 		if err != nil {
 			log.Fatal(err)
 		}
-		opt.Step(sched.LR(step))
-		if step%10 == 0 {
-			fmt.Printf("step %3d  loss %.4f (MLM %.4f, NSP %.4f)  refreshed=%v  device busy: %.0f / %.0f ms\n",
-				step, res.Loss.Total, res.Loss.Components["mlm"], res.Loss.Components["nsp"],
-				res.Refreshed, res.DeviceBusy[0]*1000, res.DeviceBusy[1]*1000)
+		for j, r := range res {
+			step := start + j
+			if step%10 == 0 {
+				fmt.Printf("step %3d  loss %.4f (MLM %.4f, NSP %.4f)  refreshed=%v  device busy: %.0f / %.0f ms\n",
+					step, r.Loss.Total, r.Loss.Components["mlm"], r.Loss.Components["nsp"],
+					r.Refreshed, r.DeviceBusy[0]*1000, r.DeviceBusy[1]*1000)
+			}
 		}
 	}
 	heldOut := corpus.MakeBatch(64, data.DefaultBatchConfig(model.Config.SeqLen))
@@ -99,8 +127,9 @@ func main() {
 	fmt.Printf("\nheld-out: loss %.4f, MLM accuracy %.1f%%, perplexity %.1f, NSP accuracy %.1f%%\n\n",
 		eval.Loss.Total, 100*eval.MLMAccuracy, eval.MLMPerplexity, 100*eval.NSPAccuracy)
 
-	// Real-vs-simulated: the executed timeline of the last step, then the
-	// same schedule simulated with the measured op durations.
+	// Real-vs-simulated: the executed timeline of the last round (its K
+	// steps separated by the ruler's boundary markers), then the same
+	// round simulated with the measured op durations.
 	real := eng.LastTimeline()
 	if err := trace.RenderASCII(os.Stdout, real, 110); err != nil {
 		log.Fatal(err)
@@ -110,6 +139,7 @@ func main() {
 	simSched, err := schedule.Executable(schedule.Config{
 		Method: *method, Stages: 2, MicroBatches: 4, Costs: costs,
 		DataParallelWidth: *replicas, InversionParallel: *replicas > 1,
+		RefreshSteps: *refreshSteps,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -76,6 +76,25 @@ type Config struct {
 	// gpipe/1f1b, the bidirectional pairs for chimera — instead of every
 	// replica duplicating the whole stage's inversions.
 	InversionParallel bool
+	// RefreshSteps is the round length K: the executable schedule spans K
+	// consecutive pipeline steps and — with K-FAC enabled — one
+	// curvature/inversion refresh is packed into the bubbles of the whole
+	// K-step window (the paper's multi-step refresh rounds). The engine
+	// executes rounds atomically: TrainRound consumes K batches, fires the
+	// optimizer callback (SetOptimizer) once per step at the round-internal
+	// step barriers, and each step preconditions with the freshest inverses
+	// completed by that step. 0 or 1 is the degenerate one-step round
+	// (TrainStep's historical behavior).
+	RefreshSteps int
+	// FrontLoadRefresh pins the refresh work of a RefreshSteps > 1 round to
+	// the window's first step instead of spreading it across the window's
+	// bubbles: the skip-cadence semantics expressed as a round, bit-identical
+	// to a RefreshSteps = 1 engine at the same refresh interval (the
+	// round-vs-skip identity tests run on this). The default spreads the
+	// refresh across the whole window — the paper's multi-step schedule
+	// shape — with each step preconditioning on the freshest completed
+	// inverses.
+	FrontLoadRefresh bool
 	// Workers is the intra-op kernel worker budget shared by all device
 	// goroutines (0 = tensor.Parallelism(); values above the pool size
 	// are capped at it, since the pool is all kernels can recruit). Each
@@ -109,6 +128,12 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.Workers < 0 {
 		return c, fmt.Errorf("engine: Workers must be non-negative, got %d", c.Workers)
+	}
+	if c.RefreshSteps < 0 {
+		return c, fmt.Errorf("engine: RefreshSteps must be non-negative, got %d", c.RefreshSteps)
+	}
+	if c.RefreshSteps == 0 {
+		c.RefreshSteps = 1
 	}
 	if c.Method == "chimera" {
 		if c.Stages%2 != 0 {
@@ -164,7 +189,22 @@ type Engine struct {
 	kfacPre      []*kfac.Preconditioner // per stage, nil until EnableKFAC
 	kfacOpts     kfac.Options
 	refreshEvery int
-	stepIndex    int
+	stepIndex    int // completed (committed) training steps
+	roundIndex   int // rounds with at least one committed step: the refresh cadence counter
+	// refreshPending is set when a refresh round aborts mid-window: some
+	// layers may have folded fresh factors or swapped inverses while
+	// others kept the previous generation, so the next round re-runs the
+	// refresh instead of preconditioning on mixed-generation state until
+	// the cadence comes around again.
+	refreshPending bool
+
+	// optApply, when set (SetOptimizer), is the caller's parameter update,
+	// fired exactly once per training step at the round-internal step
+	// barrier (after the step's gradients are fully reduced and
+	// preconditioned, before any next-step op starts). Required for
+	// RefreshSteps > 1; optional for one-step rounds, where the caller may
+	// instead apply the optimizer between TrainStep calls as before.
+	optApply func(step int) error
 
 	lastTimeline *pipeline.Timeline
 
@@ -261,10 +301,12 @@ func buildReplica(model pipemodel.Model, cfg Config) (*replica, error) {
 	return rep, nil
 }
 
-// rebuildSchedule derives the executable one-step schedule for the current
-// configuration: the plain pipeline (with its optimizer tail — the anchor
-// ops for the gradient collective) when K-FAC is off, the
-// PipeFisher-packed form when it is on. The schedule is validated by
+// rebuildSchedule derives the executable round schedule for the current
+// configuration — RefreshSteps consecutive steps, one step being the
+// degenerate round: the plain pipeline (with its per-step optimizer tail —
+// the anchor ops for the gradient collective and the step-commit barrier)
+// when K-FAC is off, the PipeFisher-packed form — one refresh spread over
+// the whole window's bubbles — when it is on. The schedule is validated by
 // running it through the timing simulator, which proves the per-device
 // orders and dependency edges cannot deadlock the executor.
 func (e *Engine) rebuildSchedule() error {
@@ -279,12 +321,14 @@ func (e *Engine) rebuildSchedule() error {
 			Costs:             costs,
 			DataParallelWidth: e.cfg.Replicas,
 			InversionParallel: e.cfg.InversionParallel,
+			RefreshSteps:      e.cfg.RefreshSteps,
+			FrontLoadRefresh:  e.cfg.FrontLoadRefresh,
 		})
 	} else {
 		bc := pipeline.BuildConfig{
 			Stages:               e.cfg.Stages,
 			MicroBatches:         e.cfg.MicroBatches,
-			Steps:                1,
+			Steps:                e.cfg.RefreshSteps,
 			Costs:                costs,
 			DataParallelWidth:    e.cfg.Replicas,
 			IncludeOptimizerWork: true,
@@ -356,6 +400,29 @@ func (e *Engine) execCosts() pipeline.StageCosts {
 // Stages returns the number of pipeline stages.
 func (e *Engine) Stages() int { return e.cfg.Stages }
 
+// RoundSteps returns the round length K (the number of training steps one
+// TrainRound executes; 1 unless Config.RefreshSteps asked for multi-step
+// refresh windows).
+func (e *Engine) RoundSteps() int { return e.cfg.RefreshSteps }
+
+// SetOptimizer registers the caller's parameter update, fired exactly once
+// per training step at the round-internal step barrier: all of the step's
+// gradient collectives and preconditions have completed, no op of the next
+// step has started, and every other device goroutine is parked — the
+// callback has exclusive access to the primary's parameters (the engine
+// re-broadcasts them to the replicas afterwards). The argument is the
+// global step index. The engine zeroes the primary's gradient accumulators
+// after the callback returns, exactly like the manual
+// ZeroGrads-TrainStep-Step loop the callback replaces. Required before
+// TrainRound on engines with RefreshSteps > 1.
+//
+// The callback must be atomic: either update every parameter or return an
+// error having touched none. A callback that errors out half way leaves
+// the model in a state the engine cannot roll back (the step is counted
+// uncommitted, but parameter writes are the caller's); optimizers whose
+// failure mode is detected mid-loop should validate first, then apply.
+func (e *Engine) SetOptimizer(apply func(step int) error) { e.optApply = apply }
+
 // Replicas returns the data-parallel width W.
 func (e *Engine) Replicas() int { return e.cfg.Replicas }
 
@@ -370,11 +437,12 @@ func (e *Engine) Schedule() *pipeline.Schedule { return e.sched }
 // primary replica's copy — the one the preconditioners are attached to).
 func (e *Engine) StageLayers(s int) []*nn.Dense { return e.reps[0].stages[s].layers }
 
-// LastTimeline returns the executed timeline of the most recent TrainStep
-// (wall-clock microseconds, one event per executed op, recomputation shown
-// separately), or nil before the first step. Render it with the trace
-// package next to a simulated timeline of the same schedule to compare
-// real execution against the model.
+// LastTimeline returns the executed timeline of the most recent round
+// (wall-clock microseconds, one event per executed op with its step index,
+// per-step boundaries in StepEnd, recomputation shown separately), or nil
+// before the first step. Render it with the trace package next to a
+// simulated timeline of the same schedule to compare real execution
+// against the model.
 func (e *Engine) LastTimeline() *pipeline.Timeline { return e.lastTimeline }
 
 // EnableKFAC attaches one K-FAC preconditioner per stage, covering exactly
@@ -390,9 +458,20 @@ func (e *Engine) LastTimeline() *pipeline.Timeline { return e.lastTimeline }
 // replicas contribute curvature statistics from their own micro-batches
 // and — under InversionParallel — invert their round-robin shard of each
 // stage's factors.
+// With Config.RefreshSteps = K > 1 the refresh work is not skipped but
+// *spread*: the executable schedule spans K steps and one refresh packs
+// into the bubbles of the whole window, so refreshEvery = K realizes the
+// same cadence as the historical skip-based refreshEvery on a one-step
+// schedule — by round shape instead of by skipping — and refreshEvery = nK
+// skips whole rounds between refreshes. refreshEvery must be a multiple of
+// K (a refresh window cannot straddle a round boundary); 0 defaults to K.
 func (e *Engine) EnableKFAC(opts kfac.Options, refreshEvery int) error {
 	if refreshEvery <= 0 {
-		refreshEvery = 1
+		refreshEvery = e.cfg.RefreshSteps
+	}
+	if refreshEvery%e.cfg.RefreshSteps != 0 {
+		return fmt.Errorf("engine: refreshEvery %d must be a multiple of the round length RefreshSteps %d",
+			refreshEvery, e.cfg.RefreshSteps)
 	}
 	e.kfacPre = make([]*kfac.Preconditioner, e.cfg.Stages)
 	e.layerMu = make([][]sync.Mutex, e.cfg.Stages)
@@ -411,7 +490,8 @@ func (e *Engine) EnableKFAC(opts kfac.Options, refreshEvery int) error {
 	}
 	e.kfacOpts = opts
 	e.refreshEvery = refreshEvery
-	e.stepIndex = 0 // restart the refresh cadence: the next step refreshes
+	e.stepIndex = 0 // restart the refresh cadence: the next round refreshes
+	e.roundIndex = 0
 	if err := e.rebuildSchedule(); err != nil {
 		e.kfacPre = nil
 		return err
@@ -438,63 +518,120 @@ type StepResult struct {
 	// coarse realization of the profiles in Figure 3 (wall-clock based,
 	// so values are only meaningful comparatively).
 	DeviceBusy []float64
-	// Refreshed reports whether this step executed its curvature and
-	// inversion ops (false on non-refresh steps, which precondition with
-	// stale inverses).
+	// Refreshed reports whether this step belonged to a refresh window:
+	// its round executed the packed curvature/inversion ops (spread over
+	// the window's bubbles for RefreshSteps > 1). Steps of non-refresh
+	// rounds precondition with stale inverses and report false.
 	Refreshed bool
 }
 
-// TrainStep runs one step of the engine's schedule over the batch:
-// micro-batched forwards and backwards in the schedule's per-device op
-// order (each replica processing its own shard of the batch), with K-FAC
-// work (when enabled) executed in its packed bubble slots. Gradients are
-// reduced across micro-batches and replicas in the fixed collective order
-// and accumulate into the primary model's parameters; the caller zeroes
-// them and applies the optimizer.
+// TrainStep runs one training step — the degenerate one-step round. It is
+// only valid on engines with RefreshSteps <= 1; multi-step rounds are
+// atomic and must go through TrainRound. Gradients are reduced across
+// micro-batches and replicas in the fixed collective order and accumulate
+// into the primary model's parameters; unless SetOptimizer was called, the
+// caller zeroes them and applies the optimizer between steps.
 func (e *Engine) TrainStep(batch *data.Batch) (*StepResult, error) {
+	if e.cfg.RefreshSteps > 1 {
+		return nil, fmt.Errorf("engine: RefreshSteps=%d executes multi-step rounds; call TrainRound with %d batches",
+			e.cfg.RefreshSteps, e.cfg.RefreshSteps)
+	}
+	res, err := e.TrainRound([]*data.Batch{batch})
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// TrainRound runs one refresh round — RefreshSteps consecutive training
+// steps, one batch per step — as a single executable schedule: persistent
+// per-device goroutines walk all K steps' ops without teardown,
+// micro-batched forwards and backwards follow the schedule's per-device op
+// order (each replica processing its own shard of each step's batch), and
+// — with K-FAC enabled on a refresh round — the curvature and inversion
+// work of ONE refresh executes in the bubbles of the whole window, each
+// step preconditioning with the freshest inverses completed by that step.
+// Gradient collectives and the optimizer callback fire once per step at
+// the round-internal step barriers (the collectives in the fixed
+// bit-identical ascending-global-micro order). On an error the round
+// aborts; steps whose optimizer already fired stay committed — their
+// StepResults are returned alongside the error and the engine's step
+// counter advances past them only — and an aborted *refresh* round forces
+// the next round to refresh again rather than serving half-delivered
+// factors as a stale generation.
+func (e *Engine) TrainRound(batches []*data.Batch) ([]*StepResult, error) {
+	r := e.cfg.RefreshSteps
+	if len(batches) != r {
+		return nil, fmt.Errorf("engine: a round is %d steps (RefreshSteps), got %d batches", r, len(batches))
+	}
+	if r > 1 && e.optApply == nil {
+		return nil, fmt.Errorf("engine: multi-step rounds need SetOptimizer: the update fires once per step inside the round")
+	}
 	n := e.cfg.MicroBatches * e.cfg.Replicas
-	if batch.BatchSize%n != 0 {
-		return nil, fmt.Errorf("engine: batch size %d not divisible by %d micro-batches (%d per replica x %d replicas)",
-			batch.BatchSize, n, e.cfg.MicroBatches, e.cfg.Replicas)
-	}
-	if batch.SeqLen != e.reps[0].model.SeqLen() {
-		return nil, fmt.Errorf("engine: batch seq len %d != model %d", batch.SeqLen, e.reps[0].model.SeqLen())
-	}
-	micro := splitBatch(batch, n)
-
-	// Global loss denominators must be known before any backward starts
-	// (they are known after data loading: masking is part of the batch).
-	totals := pipemodel.Totals{Seqs: batch.BatchSize}
-	for _, mb := range micro {
-		totals.Tokens += e.reps[0].model.BatchTokenCount(mb)
-	}
-	refresh := e.kfacPre != nil && e.stepIndex%e.refreshEvery == 0
-
-	// Broadcast the primary's parameters to every replica: each step of
-	// the data-parallel group starts from identical weights (the caller's
-	// optimizer only ever updates the primary).
-	for r := 1; r < len(e.reps); r++ {
-		if err := nn.CopyParams(e.reps[r].params, e.reps[0].params); err != nil {
-			return nil, fmt.Errorf("engine: broadcasting params to replica %d: %w", r, err)
+	micro := make([][]*data.Batch, r)
+	totals := make([]pipemodel.Totals, r)
+	for j, batch := range batches {
+		if batch.BatchSize%n != 0 {
+			return nil, fmt.Errorf("engine: batch size %d not divisible by %d micro-batches (%d per replica x %d replicas)",
+				batch.BatchSize, n, e.cfg.MicroBatches, e.cfg.Replicas)
 		}
+		if batch.SeqLen != e.reps[0].model.SeqLen() {
+			return nil, fmt.Errorf("engine: batch seq len %d != model %d", batch.SeqLen, e.reps[0].model.SeqLen())
+		}
+		micro[j] = splitBatch(batch, n)
+		// Each step's global loss denominators must be known before any of
+		// its backwards starts (they are known after data loading: masking
+		// is part of the batch).
+		totals[j] = pipemodel.Totals{Seqs: batch.BatchSize}
+		for _, mb := range micro[j] {
+			totals[j].Tokens += e.reps[0].model.BatchTokenCount(mb)
+		}
+	}
+	// Cadence is counted in rounds (refreshEvery is a validated multiple of
+	// the round length), so a partially committed round cannot desync the
+	// refresh phase: a refresh fires on every (refreshEvery/K)-th round —
+	// and again right away after an aborted refresh round, whose
+	// half-delivered factor state must not serve as a stale generation.
+	refresh := e.kfacPre != nil && (e.refreshPending || e.roundIndex%(e.refreshEvery/r) == 0)
+
+	// Broadcast the primary's parameters to every replica: the round's
+	// first step starts from identical weights (later steps re-broadcast
+	// at the step-commit barrier, after the optimizer updated the primary).
+	if err := e.broadcastParams(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
 	}
 
 	// Cap each device goroutine's kernels to its fair share of the
-	// intra-op worker pool for the duration of the step, restoring the
+	// intra-op worker pool for the duration of the round, restoring the
 	// caller's cap afterwards. The cap is a process-global knob: running
-	// TrainStep on two Engine instances concurrently would clobber each
+	// rounds on two Engine instances concurrently would clobber each
 	// other's share (and the restored value) — step engines one at a
 	// time per process, as every entry point here does.
 	e.resolveParallelism()
 	prevCap := tensor.OpParallelism()
 	tensor.SetOpParallelism(e.opShare)
 	defer tensor.SetOpParallelism(prevCap)
-	res, err := e.runStep(micro, totals, refresh)
-	if err != nil {
-		return nil, err
+	res, committed, err := e.runRound(micro, totals, refresh)
+	e.stepIndex += committed
+	if committed > 0 {
+		e.roundIndex++
 	}
-	e.stepIndex++
-	return res, nil
+	if refresh {
+		e.refreshPending = err != nil
+	}
+	return res, err
+}
+
+// broadcastParams copies the primary's parameters to every replica — the
+// start-of-step weight broadcast of the data-parallel group, used by the
+// round prologue and the step-commit barrier alike.
+func (e *Engine) broadcastParams() error {
+	for rep := 1; rep < len(e.reps); rep++ {
+		if err := nn.CopyParams(e.reps[rep].params, e.reps[0].params); err != nil {
+			return fmt.Errorf("broadcasting params to replica %d: %w", rep, err)
+		}
+	}
+	return nil
 }
 
 // splitBatch cuts a batch into n equal micro-batches.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -13,121 +14,181 @@ import (
 	"repro/internal/tensor"
 )
 
-// runState is the transient dataflow of one executed training step. The
-// per-op completion channels realize the schedule's dependency edges;
+// errRoundAborted marks a device that was parked at a step barrier when
+// another device's failure aborted the round; it is never the root cause.
+var errRoundAborted = errors.New("round aborted by another device's failure")
+
+// runState is the transient dataflow of one executed refresh round — K =
+// RefreshSteps consecutive training steps walked by one persistent set of
+// per-device goroutines, K = 1 being the ordinary single step. The per-op
+// completion channels realize the schedule's dependency edges (cross-step
+// edges — optimizer-step to next forward, curvature fold to a later step's
+// inversion — through the very same mechanism as intra-step ones);
 // activations and error signals are published into the staged arrays by
 // their producing op and read by consumers only after the producer's
-// channel closed, so the arrays need no locking of their own. All
-// micro-batch-indexed arrays use the *global* micro-batch index
-// (replica*MicroBatches + local micro): replicas write disjoint slots, and
-// every reduction walks the slots in ascending global order — the fixed
-// collective order that makes gradients bit-identical across W.
+// channel closed, so the arrays need no locking of their own.
+//
+// Micro-batch indexing: within a step, arrays use the *global* micro-batch
+// index (replica*MicroBatches + local micro); across the round they use
+// the flat index step*perStep + gmicro. Replicas write disjoint slots, and
+// every reduction walks its step's slots in ascending global order — the
+// fixed collective order that makes gradients bit-identical across W. The
+// round's K-FAC statistics come from the window's FIRST step (the batch
+// whose curvature the round folds), so the snapshot and curvature arrays
+// are one step wide regardless of K.
 type runState struct {
 	e       *Engine
-	micro   []*data.Batch // global micro-batches, Replicas*MicroBatches of them
-	totals  pipemodel.Totals
-	refresh bool
+	micro   [][]*data.Batch    // [step][gmicro], perStep = Replicas*MicroBatches each
+	totals  []pipemodel.Totals // per step: that step's loss denominators
+	refresh bool               // whether this round executes its packed refresh
 
 	done []chan struct{} // per op, closed on completion (or skip)
 
-	stageIn  [][]*tensor.Matrix // [stage][gmicro] stage inputs saved for recomputation
-	stageOut [][]*tensor.Matrix // [stage][gmicro] activations leaving a stage
-	gradOut  [][]*tensor.Matrix // [stage][gmicro] error signals leaving a stage
+	stageIn  [][]*tensor.Matrix // [stage][flat] stage inputs saved for recomputation
+	stageOut [][]*tensor.Matrix // [stage][flat] activations leaving a stage
+	gradOut  [][]*tensor.Matrix // [stage][flat] error signals leaving a stage
 
-	lossParts []pipemodel.Loss // per global micro-batch, written by the last stage
+	lossParts [][]pipemodel.Loss // [step][gmicro], written by the last stage
 
-	// Gradient-collective state: carried holds the primary's pre-step
-	// accumulators (restored as the base of the reduction), deltas the
-	// per-micro-batch contributions snapshotted by each backward, foldDone
-	// the per-stage once-guards of the reduction (any participant of the
-	// stage's collective may perform it; latecomers block until it
-	// finished), and foldErr a reduction failure to surface.
-	carried  [][]*tensor.Matrix   // [stage][param]
-	deltas   [][][]*tensor.Matrix // [stage][gmicro][param]
-	foldDone []sync.Once          // per stage
-	foldErr  []error              // per stage, written inside foldDone
+	// Gradient-collective state, per step of the round: carried holds the
+	// step's pre-step accumulators (restored as the base of the reduction;
+	// step 0's captured in the round prologue, later steps' at the previous
+	// step's commit barrier), deltas the per-micro-batch contributions
+	// snapshotted by each backward, foldDone the per-(step, stage)
+	// once-guards of the reduction (any participant of the stage's
+	// collective may perform it; latecomers block until it finished), and
+	// foldErr a reduction failure to surface.
+	carried  [][][]*tensor.Matrix   // [step][stage][param]
+	deltas   [][][][]*tensor.Matrix // [step][stage][gmicro][param]
+	foldDone [][]sync.Once          // [step][stage]
+	foldErr  [][]error              // [step][stage], written inside foldDone
 
-	// K-FAC dataflow (refresh steps only): per-micro-batch statistics
-	// snapshots taken at the op boundaries rules 1 makes them available,
+	// Step-commit barrier: every step's OptStep ops rendezvous here after
+	// folding their stages; the last arriver commits the step (optimizer
+	// callback, then next-step gradient state and parameter broadcast)
+	// while every other device is parked and no next-step op can have
+	// started — the round-internal step boundary.
+	optMu     sync.Mutex
+	optLeft   []int           // per step: OptStep arrivals outstanding
+	optDone   []chan struct{} // per step, closed once the step committed
+	optErr    []error         // per step, written by the committing device
+	committed int             // steps whose optimizer callback completed
+
+	// K-FAC dataflow (refresh rounds only): per-micro-batch statistics
+	// snapshots taken at the window's first-step op boundaries (rule 1),
 	// and the partial factor products the scheduled Curvature ops compute
-	// in the bubbles.
+	// in the bubbles — of whichever step of the window the packer chose.
 	actsSnap  [][][]*tensor.Matrix // [stage][gmicro][layer]
 	gradsSnap [][][]*tensor.Matrix // [stage][gmicro][layer]
 	curvA     [][][]*tensor.Matrix // [stage][layer][gmicro]
 	curvB     [][][]*tensor.Matrix // [stage][layer][gmicro]
 	rowsA     [][][]int
 	rowsB     [][][]int
-	finalized [][]bool // [stage][layer]: factors folded into the EMA this step
+	finalized [][]bool // [stage][layer]: factors folded into the EMA this round
 
-	errs   []error // per device
-	failed atomic.Bool
+	errs      []error // per device
+	failed    atomic.Bool
+	abortC    chan struct{} // closed on first failure: unparks barrier waiters
+	abortOnce sync.Once
 
 	events [][]pipeline.Event // per device, measured wall-clock
 	start  time.Time
 }
 
-// gmicro maps an op to its global micro-batch index.
+// gmicro maps an op to its global micro-batch index within its step.
 func (st *runState) gmicro(op *pipeline.Op) int {
 	return op.Replica*st.e.cfg.MicroBatches + op.MicroBatch
 }
 
-// runStep executes the engine's schedule once: one goroutine per device
-// walks that device's op order, waiting on each op's dependency channels,
-// executing the op, then signalling completion. On the first error the
-// step is aborted — remaining ops are drained (signalled without
-// executing) so no peer can block on a dependency that will never arrive,
-// the gradient state is rolled back to the pre-step accumulators, and the
-// error is surfaced after all devices joined.
-func (e *Engine) runStep(micro []*data.Batch, totals pipemodel.Totals, refresh bool) (*StepResult, error) {
+// flat maps an op to its round-wide micro-batch slot (activations and
+// error signals of different steps must not collide).
+func (st *runState) flat(op *pipeline.Op) int {
+	return op.Step*len(st.micro[0]) + st.gmicro(op)
+}
+
+// fail records a device failure exactly once per device and aborts the
+// round: the failed flag stops further execution, and the abort channel
+// unparks any device waiting at a step-commit barrier whose quorum will
+// never arrive.
+func (st *runState) fail(d int, err error) {
+	st.errs[d] = err
+	st.failed.Store(true)
+	st.abortOnce.Do(func() { close(st.abortC) })
+}
+
+// runRound executes the engine's schedule once — all RefreshSteps steps of
+// it: one persistent goroutine per device walks that device's whole op
+// order with no teardown between steps, waiting on each op's dependency
+// channels, executing the op, then signalling completion. Step boundaries
+// are realized by the OptStep commit barrier (optimizer callback, gradient
+// re-zeroing, parameter broadcast), not by joining the goroutines. On the
+// first error the round is aborted — remaining ops are drained (signalled
+// without executing) so no peer can block on a dependency that will never
+// arrive, the gradient state is rolled back to the first uncommitted
+// step's pre-step accumulators, and the error is surfaced after all
+// devices joined, along with how many steps had already committed.
+func (e *Engine) runRound(micro [][]*data.Batch, totals []pipemodel.Totals, refresh bool) ([]*StepResult, int, error) {
 	nStages := e.cfg.Stages
-	n := len(micro)
+	r := len(micro)
+	perStep := len(micro[0])
+	nFlat := r * perStep
 	nLayers := len(e.reps[0].stages[0].layers)
 	st := &runState{
 		e: e, micro: micro, totals: totals, refresh: refresh,
 		done:      make([]chan struct{}, len(e.sched.Ops)),
-		stageIn:   mat2(nStages, n),
-		stageOut:  mat2(nStages, n),
-		gradOut:   mat2(nStages, n),
-		lossParts: make([]pipemodel.Loss, n),
-		carried:   make([][]*tensor.Matrix, nStages),
-		deltas:    make([][][]*tensor.Matrix, nStages),
-		foldDone:  make([]sync.Once, nStages),
-		foldErr:   make([]error, nStages),
+		stageIn:   mat2(nStages, nFlat),
+		stageOut:  mat2(nStages, nFlat),
+		gradOut:   mat2(nStages, nFlat),
+		lossParts: make([][]pipemodel.Loss, r),
+		carried:   make([][][]*tensor.Matrix, r),
+		deltas:    make([][][][]*tensor.Matrix, r),
+		foldDone:  make([][]sync.Once, r),
+		foldErr:   make([][]error, r),
+		optLeft:   make([]int, r),
+		optDone:   make([]chan struct{}, r),
+		optErr:    make([]error, r),
 		errs:      make([]error, e.sched.Devices),
+		abortC:    make(chan struct{}),
 		events:    make([][]pipeline.Event, e.sched.Devices),
 		start:     time.Now(),
 	}
 	for i := range st.done {
 		st.done[i] = make(chan struct{})
 	}
-	// Move the primary's pre-step gradient state aside (accumulate
-	// semantics: the reduction re-adds it as its base) and start every
-	// replica's accumulators from zero, so each backward's snapshot is
-	// exactly its micro-batch's contribution.
-	for s := 0; s < nStages; s++ {
-		params := e.reps[0].stageParams[s]
-		st.carried[s] = make([]*tensor.Matrix, len(params))
-		for k, p := range params {
-			st.carried[s][k] = tensor.GetClone(p.Grad)
-			p.Grad.Zero()
-		}
-		st.deltas[s] = make([][]*tensor.Matrix, n)
-		for m := 0; m < n; m++ {
-			st.deltas[s][m] = make([]*tensor.Matrix, len(params))
-		}
-		for _, rep := range e.reps[1:] {
-			for _, p := range rep.stageParams[s] {
-				p.Grad.Zero()
+	for j := 0; j < r; j++ {
+		st.lossParts[j] = make([]pipemodel.Loss, perStep)
+		st.carried[j] = make([][]*tensor.Matrix, nStages)
+		st.deltas[j] = make([][][]*tensor.Matrix, nStages)
+		st.foldDone[j] = make([]sync.Once, nStages)
+		st.foldErr[j] = make([]error, nStages)
+		st.optDone[j] = make(chan struct{})
+		for s := 0; s < nStages; s++ {
+			params := e.reps[0].stageParams[s]
+			st.carried[j][s] = make([]*tensor.Matrix, len(params))
+			st.deltas[j][s] = make([][]*tensor.Matrix, perStep)
+			for m := 0; m < perStep; m++ {
+				st.deltas[j][s][m] = make([]*tensor.Matrix, len(params))
 			}
 		}
 	}
+	for _, op := range e.sched.Ops {
+		if op.Kind == pipeline.OptStep {
+			st.optLeft[op.Step]++
+		}
+	}
+	// Move the primary's pre-round gradient state aside (accumulate
+	// semantics: step 0's reduction re-adds it as its base) and start every
+	// replica's accumulators from zero, so each backward's snapshot is
+	// exactly its micro-batch's contribution. Later steps get the same
+	// treatment at the previous step's commit barrier.
+	st.captureStepBase(0)
 	if refresh {
-		st.actsSnap = mat3(nStages, n, nLayers)
-		st.gradsSnap = mat3(nStages, n, nLayers)
-		st.curvA = mat3(nStages, nLayers, n)
-		st.curvB = mat3(nStages, nLayers, n)
-		st.rowsA = int3(nStages, nLayers, n)
-		st.rowsB = int3(nStages, nLayers, n)
+		st.actsSnap = mat3(nStages, perStep, nLayers)
+		st.gradsSnap = mat3(nStages, perStep, nLayers)
+		st.curvA = mat3(nStages, nLayers, perStep)
+		st.curvB = mat3(nStages, nLayers, perStep)
+		st.rowsA = int3(nStages, nLayers, perStep)
+		st.rowsB = int3(nStages, nLayers, perStep)
 		st.finalized = make([][]bool, nStages)
 		for s := range st.finalized {
 			st.finalized[s] = make([]bool, nLayers)
@@ -146,8 +207,7 @@ func (e *Engine) runStep(micro []*data.Batch, totals pipemodel.Totals, refresh b
 				}
 				if !st.failed.Load() {
 					if err := st.exec(d, op); err != nil {
-						st.errs[d] = fmt.Errorf("engine: device %d op %s: %w", d, op.Label(), err)
-						st.failed.Store(true)
+						st.fail(d, fmt.Errorf("engine: device %d op %s: %w", d, op.Label(), err))
 					}
 				}
 				close(st.done[id])
@@ -155,56 +215,69 @@ func (e *Engine) runStep(micro []*data.Batch, totals pipemodel.Totals, refresh b
 		}(d)
 	}
 	wg.Wait()
+	var root, aborted error
 	for _, err := range st.errs {
-		if err != nil {
-			st.rollback()
-			return nil, err
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, errRoundAborted) {
+			if aborted == nil {
+				aborted = err
+			}
+			continue
+		}
+		if root == nil {
+			root = err
 		}
 	}
-	// The step committed: release the carried rollback state.
-	for s := range st.carried {
-		for k, c := range st.carried[s] {
-			tensor.Put(c)
-			st.carried[s][k] = nil
-		}
+	if root == nil {
+		root = aborted
 	}
-
-	res := &StepResult{DeviceBusy: make([]float64, e.sched.Devices), Refreshed: refresh}
-	for _, part := range st.lossParts {
-		res.Loss.Add(part)
+	if root != nil {
+		st.rollback()
+		// Committed steps really happened (their optimizer updates stand),
+		// so their results are returned alongside the error — the caller's
+		// loss curve must not silently skip steps it can never re-run.
+		return st.results(st.committed), st.committed, root
 	}
-	for d := range st.events {
-		var busy hardware.Microseconds
-		for _, ev := range st.events[d] {
-			busy += ev.Duration()
-		}
-		res.DeviceBusy[d] = float64(busy) / 1e6
-	}
+	// The round committed: release the carried rollback state of every step.
+	st.releaseCarried()
 	e.lastTimeline = st.timeline()
-	return res, nil
+	return st.results(r), st.committed, nil
 }
 
-// rollback restores the pre-step gradient state after an aborted step:
-// every stage gets its carried accumulators back — including stages whose
-// reduction already committed, since the carried buffers live until the
-// whole step succeeds — partial per-micro deltas are released, and every
-// replica's accumulators are re-zeroed so the snapshot discipline of the
-// next step starts clean.
-func (st *runState) rollback() {
-	for s := range st.carried {
-		params := st.e.reps[0].stageParams[s]
-		for k, p := range params {
-			if st.carried[s][k] != nil {
-				p.Grad.CopyFrom(st.carried[s][k])
-				tensor.Put(st.carried[s][k])
-				st.carried[s][k] = nil
+// results assembles the StepResults of the round's first upTo steps (all of
+// them on success; the committed prefix on an abort).
+func (st *runState) results(upTo int) []*StepResult {
+	res := make([]*StepResult, upTo)
+	for j := 0; j < upTo; j++ {
+		res[j] = &StepResult{DeviceBusy: make([]float64, st.e.sched.Devices), Refreshed: st.refresh}
+		for _, part := range st.lossParts[j] {
+			res[j].Loss.Add(part)
+		}
+	}
+	for d := range st.events {
+		for _, ev := range st.events[d] {
+			if j := ev.Op.Step; j >= 0 && j < upTo {
+				res[j].DeviceBusy[d] += float64(ev.Duration()) / 1e6
 			}
 		}
-		for m := range st.deltas[s] {
-			for k, d := range st.deltas[s][m] {
-				tensor.Put(d)
-				st.deltas[s][m][k] = nil
-			}
+	}
+	return res
+}
+
+// captureStepBase prepares step j's gradient-collective state: it
+// snapshots the primary's accumulators as the step's carried reduction
+// base (accumulate semantics — the fold re-adds it), zeroes them so each
+// backward's delta is exactly its micro-batch's contribution, and zeroes
+// every replica's accumulators. The round prologue uses it for step 0 and
+// the commit barrier for each following step, so the preparation sequence
+// exists once.
+func (st *runState) captureStepBase(j int) {
+	for s := range st.e.reps[0].stageParams {
+		for k, p := range st.e.reps[0].stageParams[s] {
+			st.carried[j][s][k] = tensor.GetClone(p.Grad)
+			p.Grad.Zero()
 		}
 		for _, rep := range st.e.reps[1:] {
 			for _, p := range rep.stageParams[s] {
@@ -214,11 +287,67 @@ func (st *runState) rollback() {
 	}
 }
 
+// releaseCarried returns every captured carried buffer to the pool.
+func (st *runState) releaseCarried() {
+	for j := range st.carried {
+		for s := range st.carried[j] {
+			for k, c := range st.carried[j][s] {
+				if c != nil {
+					tensor.Put(c)
+					st.carried[j][s][k] = nil
+				}
+			}
+		}
+	}
+}
+
+// rollback restores the gradient state after an aborted round. Committed
+// steps stand — their optimizer updates already happened and cannot be
+// undone without parameter snapshots — so the restore target is the first
+// *uncommitted* step: every stage gets that step's carried accumulators
+// back (including stages whose reduction already committed, since the
+// carried buffers live until the whole round succeeded), partial per-micro
+// deltas of every step are released, and every replica's accumulators are
+// re-zeroed so the snapshot discipline of the next round starts clean.
+func (st *runState) rollback() {
+	j := st.committed // the step that failed to commit
+	if j < len(st.carried) {
+		for s := range st.carried[j] {
+			params := st.e.reps[0].stageParams[s]
+			for k, p := range params {
+				if st.carried[j][s][k] != nil {
+					p.Grad.CopyFrom(st.carried[j][s][k])
+				}
+			}
+		}
+	}
+	st.releaseCarried()
+	for j := range st.deltas {
+		for s := range st.deltas[j] {
+			for m := range st.deltas[j][s] {
+				for k, d := range st.deltas[j][s][m] {
+					if d != nil {
+						tensor.Put(d)
+						st.deltas[j][s][m][k] = nil
+					}
+				}
+			}
+		}
+	}
+	for _, rep := range st.e.reps[1:] {
+		for s := range rep.stageParams {
+			for _, p := range rep.stageParams[s] {
+				p.Grad.Zero()
+			}
+		}
+	}
+}
+
 // foldStages performs the gradient collective of every stage the op's
-// device participates in, exactly once per stage (Once.Do blocks the other
-// participants until the reduction finished — the rendezvous of the
-// all-reduce). A chimera device hosts two stages and syncs both; every
-// other topology syncs the op's own stage.
+// device participates in — for the op's step — exactly once per (step,
+// stage) (Once.Do blocks the other participants until the reduction
+// finished — the rendezvous of the all-reduce). A chimera device hosts two
+// stages and syncs both; every other topology syncs the op's own stage.
 func (st *runState) foldStages(op *pipeline.Op) error {
 	stages := []int{op.Stage}
 	if st.e.cfg.Method == "chimera" {
@@ -226,22 +355,78 @@ func (st *runState) foldStages(op *pipeline.Op) error {
 			stages = append(stages, up)
 		}
 	}
+	j := op.Step
 	for _, s := range stages {
 		s := s
-		st.foldDone[s].Do(func() {
-			st.foldErr[s] = reduceGrads(st.e.reps[0].stageParams[s], st.carried[s], st.deltas[s])
+		st.foldDone[j][s].Do(func() {
+			st.foldErr[j][s] = reduceGrads(st.e.reps[0].stageParams[s], st.carried[j][s], st.deltas[j][s])
 		})
-		if st.foldErr[s] != nil {
-			return fmt.Errorf("gradient collective of stage %d: %w", s, st.foldErr[s])
+		if st.foldErr[j][s] != nil {
+			return fmt.Errorf("gradient collective of stage %d step %d: %w", s, j, st.foldErr[j][s])
 		}
 	}
 	return nil
 }
 
-// exec dispatches one op. The optimizer update itself stays with the
-// caller (OptStep anchors the gradient collective and is otherwise a
-// no-op); SyncCurvature is a pure dependency barrier in this in-process
-// realization — the factor fold reads every replica's partials directly.
+// arriveOptBarrier joins the op's step-commit barrier. The last OptStep of
+// the step to arrive commits it (commitStep) while every other device is
+// parked here and no next-step op can have started — the commit runs with
+// exclusive access to all parameters. Waiters unblock either on the commit
+// or on a round abort (a peer failed and its OptStep will never arrive).
+func (st *runState) arriveOptBarrier(op *pipeline.Op) error {
+	j := op.Step
+	st.optMu.Lock()
+	st.optLeft[j]--
+	last := st.optLeft[j] == 0
+	st.optMu.Unlock()
+	if last {
+		st.optErr[j] = st.commitStep(j)
+		close(st.optDone[j])
+		return st.optErr[j]
+	}
+	select {
+	case <-st.optDone[j]:
+		return st.optErr[j]
+	case <-st.abortC:
+		return errRoundAborted
+	}
+}
+
+// commitStep finishes step j inside the round: it fires the caller's
+// optimizer callback (the real parameter update — all folds and
+// preconditions of the step are complete, because every device's OptStep
+// has arrived), then prepares step j+1 exactly the way the round prologue
+// prepared step 0 — primary gradient accumulators zeroed and captured as
+// the next carried base, replica accumulators zeroed, and the updated
+// primary parameters re-broadcast to every replica.
+func (st *runState) commitStep(j int) error {
+	e := st.e
+	if e.optApply != nil {
+		if err := e.optApply(e.stepIndex + j); err != nil {
+			return fmt.Errorf("optimizer callback at step %d: %w", e.stepIndex+j, err)
+		}
+		// When the engine owns the optimizer it also owns the zeroing half
+		// of the classic ZeroGrads / TrainStep / Step loop — after every
+		// step, including the round's last, so the next round starts from
+		// clean accumulators exactly like the manual loop would.
+		for _, p := range e.reps[0].params {
+			p.Grad.Zero()
+		}
+	}
+	st.committed = j + 1
+	if j == len(st.micro)-1 {
+		return nil // round over; post-round cleanup happens after the join
+	}
+	st.captureStepBase(j + 1)
+	return e.broadcastParams()
+}
+
+// exec dispatches one op. SyncCurvature is a pure dependency barrier in
+// this in-process realization — the factor fold reads every replica's
+// partials directly. OptStep is where a step commits: it anchors the
+// step's gradient collective and then rendezvouses with the step's other
+// OptStep ops so the optimizer fires exactly once per step, inside the
+// round.
 func (st *runState) exec(d int, op *pipeline.Op) error {
 	if hook := st.e.failOp; hook != nil {
 		if err := hook(op); err != nil {
@@ -273,21 +458,25 @@ func (st *runState) exec(d int, op *pipeline.Op) error {
 		st.record(d, op, t0)
 		return nil
 	case pipeline.OptStep:
-		// The last anchor of the stage's tail: on W = 1 non-K-FAC
+		// The last anchor of the stage's step tail: on W = 1 non-K-FAC
 		// schedules (no SyncGrad, no Precondition) it is where the
-		// gradient reduction lands. The optimizer itself stays with the
-		// caller; the recorded event measures the fold (or the wait for
-		// a peer performing it), keeping executed timelines honest about
-		// the reduction cost at every W.
+		// gradient reduction lands; on every schedule it is where the
+		// step's commit barrier sits. The recorded event measures the
+		// fold, the rendezvous wait, and (on the committing device) the
+		// optimizer callback and broadcast, keeping executed timelines
+		// honest about where step-boundary time goes.
 		t0 := time.Since(st.start)
 		if err := st.foldStages(op); err != nil {
+			return err
+		}
+		if err := st.arriveOptBarrier(op); err != nil {
 			return err
 		}
 		st.record(d, op, t0)
 		return nil
 	case pipeline.SyncCurvature:
-		// Like Curvature/Inversion, only refresh steps perform (and
-		// record) the curvature exchange; on stale steps the op is a
+		// Like Curvature/Inversion, only refresh rounds perform (and
+		// record) the curvature exchange; on stale rounds the op is a
 		// silent no-op so the executed timeline matches the work done.
 		if st.refresh {
 			st.record(d, op, time.Since(st.start))
@@ -299,14 +488,15 @@ func (st *runState) exec(d int, op *pipeline.Op) error {
 
 // forward embeds (stage 0) or receives the upstream activation, runs the
 // replica's stage blocks, evaluates the loss on the last stage, and
-// publishes the output for the next stage. On refresh steps it snapshots
-// each dense layer's input activations — the A-factor statistics that rule
-// 1 makes schedulable from this point on.
+// publishes the output for the next stage. On the first step of a refresh
+// round it snapshots each dense layer's input activations — the A-factor
+// statistics that rule 1 makes schedulable from this point on, for the
+// whole window.
 func (st *runState) forward(d int, op *pipeline.Op) error {
-	s, m := op.Stage, st.gmicro(op)
+	s, m := op.Stage, st.flat(op)
 	rep := st.e.reps[op.Replica]
 	stg := rep.stages[s]
-	mb := st.micro[m]
+	mb := st.micro[op.Step][st.gmicro(op)]
 	st.e.stageMu[op.Replica][s].Lock()
 	defer st.e.stageMu[op.Replica][s].Unlock()
 	t0 := time.Since(st.start)
@@ -317,30 +507,31 @@ func (st *runState) forward(d int, op *pipeline.Op) error {
 	} else {
 		x = st.stageOut[s-1][m]
 		if x == nil {
-			return fmt.Errorf("no activation from stage %d for micro-batch %d", s-1, m)
+			return fmt.Errorf("no activation from stage %d for micro-batch slot %d", s-1, m)
 		}
 		st.stageIn[s][m] = x
 	}
 	y := stg.runBlocks(x, mb.BatchSize, mb.SeqLen)
 	if stg.last {
-		loss, err := rep.model.HeadLoss(mb, y, st.totals)
+		loss, err := rep.model.HeadLoss(mb, y, st.totals[op.Step])
 		if err != nil {
 			return err
 		}
-		st.lossParts[m] = loss
+		st.lossParts[op.Step][st.gmicro(op)] = loss
 	} else {
 		// The stage output is a module-retained buffer that the next
 		// forward through this stage will overwrite; hand the consumer
 		// stage a pooled copy (returned to the pool after its backward).
 		st.stageOut[s][m] = tensor.GetClone(y)
 	}
-	if st.refresh {
+	if st.refresh && op.Step == 0 {
 		// Snapshot the A-factor statistics into pooled buffers: the
 		// layer-retained capture buffers are only valid until this
 		// stage's next op, but the scheduled Curvature ops consume the
-		// snapshots later, in the pipeline bubbles.
+		// snapshots later — in the pipeline bubbles of whichever step of
+		// the window the packer chose.
 		for li, l := range stg.layers {
-			st.actsSnap[s][m][li] = tensor.GetClone(l.CapturedInput())
+			st.actsSnap[s][st.gmicro(op)][li] = tensor.GetClone(l.CapturedInput())
 		}
 	}
 	st.record(d, op, t0)
@@ -352,15 +543,15 @@ func (st *runState) forward(d int, op *pipeline.Op) error {
 // backpropagates: the last stage seeds the chain with the head's
 // globally-scaled loss gradient, other stages consume the error signal of
 // the stage after them, and stage 0 finishes into the embedding tables. On
-// refresh steps it snapshots each dense layer's output gradients — the
-// B-factor statistics of rule 1. Finally the micro-batch's accumulated
-// parameter gradients move into their pooled collective delta buffers
-// (zeroing the replica's accumulators for the next micro-batch).
+// the first step of a refresh round it snapshots each dense layer's output
+// gradients — the B-factor statistics of rule 1. Finally the micro-batch's
+// accumulated parameter gradients move into their pooled collective delta
+// buffers (zeroing the replica's accumulators for the next micro-batch).
 func (st *runState) backward(d int, op *pipeline.Op) error {
-	s, m := op.Stage, st.gmicro(op)
+	s, m := op.Stage, st.flat(op)
 	rep := st.e.reps[op.Replica]
 	stg := rep.stages[s]
-	mb := st.micro[m]
+	mb := st.micro[op.Step][st.gmicro(op)]
 	st.e.stageMu[op.Replica][s].Lock()
 	defer st.e.stageMu[op.Replica][s].Unlock()
 	t0 := time.Since(st.start)
@@ -371,7 +562,7 @@ func (st *runState) backward(d int, op *pipeline.Op) error {
 	} else {
 		x = st.stageIn[s][m]
 		if x == nil {
-			return fmt.Errorf("no saved input for micro-batch %d", m)
+			return fmt.Errorf("no saved input for micro-batch slot %d", m)
 		}
 	}
 	y := stg.runBlocks(x, mb.BatchSize, mb.SeqLen)
@@ -381,22 +572,22 @@ func (st *runState) backward(d int, op *pipeline.Op) error {
 	var grad *tensor.Matrix
 	if stg.last {
 		var err error
-		grad, err = rep.model.HeadGradient(mb, y, st.totals)
+		grad, err = rep.model.HeadGradient(mb, y, st.totals[op.Step])
 		if err != nil {
 			return err
 		}
 	} else {
 		grad = st.gradOut[s+1][m]
 		if grad == nil {
-			return fmt.Errorf("no error signal from stage %d for micro-batch %d", s+1, m)
+			return fmt.Errorf("no error signal from stage %d for micro-batch slot %d", s+1, m)
 		}
 	}
 	grad = stg.backBlocks(grad)
-	if st.refresh {
+	if st.refresh && op.Step == 0 {
 		// Snapshot the B-factor statistics into pooled buffers (see the
 		// A-factor snapshot in forward).
 		for li, l := range stg.layers {
-			st.gradsSnap[s][m][li] = tensor.GetClone(l.CapturedOutputGrad())
+			st.gradsSnap[s][st.gmicro(op)][li] = tensor.GetClone(l.CapturedOutputGrad())
 		}
 	}
 	if stg.first {
@@ -408,7 +599,7 @@ func (st *runState) backward(d int, op *pipeline.Op) error {
 	}
 	// The micro-batch finished accumulating on this (replica, stage):
 	// move its gradient contribution into the collective's delta slot.
-	snapshotGradDeltas(rep.stageParams[s], st.deltas[s][m])
+	snapshotGradDeltas(rep.stageParams[s], st.deltas[op.Step][s][st.gmicro(op)])
 	// Recycle the pooled buffers the micro-batch consumed — the
 	// activation received from the previous stage (kept for
 	// recomputation) and the error signal from the next stage.
@@ -426,9 +617,10 @@ func (st *runState) backward(d int, op *pipeline.Op) error {
 }
 
 // curvature computes one micro-batch's partial Kronecker-factor product
-// (U^T U) from the snapshotted statistics — the bubble-filling work of
-// rule 1, at the factor granularity the packer scheduled. Partials land in
-// global micro-batch slots, so the later factor fold reduces every
+// (U^T U) from the statistics snapshotted in the window's first step — the
+// bubble-filling work of rule 1, at the factor granularity the packer
+// scheduled, in whichever step's bubble the packer placed it. Partials
+// land in global micro-batch slots, so the later factor fold reduces every
 // replica's contributions in the same fixed order as the gradient
 // collective.
 func (st *runState) curvature(d int, op *pipeline.Op) error {
@@ -476,7 +668,10 @@ func (st *runState) curvature(d int, op *pipeline.Op) error {
 // of the op's factor — rule 2's unit of inversion work. The per-layer lock
 // (instead of a stage-wide one) is what lets InversionParallel's
 // round-robin sharding run different layers' inversions concurrently on
-// different devices of the replica group.
+// different devices of the replica group. In a multi-step round the op may
+// execute in a later step's bubble; the factor fold and inverse swap are
+// step-agnostic, and the per-step precondition edges guarantee that a
+// step's precondition never races a later step's inversion.
 func (st *runState) inversion(d int, op *pipeline.Op) error {
 	s := op.Stage
 	stg := st.e.reps[op.Replica].stages[s]
@@ -492,7 +687,9 @@ func (st *runState) inversion(d int, op *pipeline.Op) error {
 		if err != nil {
 			return fmt.Errorf("factor A of layer %d: %w", li, err)
 		}
-		scale := st.e.reps[0].model.KFACLossScale(st.totals)
+		// The statistics — and therefore the loss scale — come from the
+		// window's first step.
+		scale := st.e.reps[0].model.KFACLossScale(st.totals[0])
 		newB, err := sumFactor(st.curvB[s][li], st.rowsB[s][li], scale*scale)
 		if err != nil {
 			return fmt.Errorf("factor B of layer %d: %w", li, err)
@@ -542,14 +739,18 @@ func sumFactor(parts []*tensor.Matrix, rows []int, scale float64) (*tensor.Matri
 	return sum, nil
 }
 
-// precondition rewrites the stage's gradients with the cached (possibly
-// stale) K-FAC inverses — the per-step Precondition op, "the only
-// computational overhead of PipeFisher" (Figure 1). Only the primary
-// replica's op does the work: the collective already reduced the group's
-// gradients into the primary's accumulators, which are the only ones the
-// caller's optimizer consumes. It first joins the stage's gradient
-// collective, which on W = 1 schedules without SyncGrad ops (gpipe/1f1b)
-// is where the reduction lands.
+// precondition rewrites the stage's gradients with the cached K-FAC
+// inverses — the per-step Precondition op, "the only computational
+// overhead of PipeFisher" (Figure 1). In a multi-step round each step
+// preconditions with the freshest inverses whose inversions the packer
+// placed in steps up to its own (the dependency edges enforce it), and
+// with the previous refresh's stale inverses for factors still in flight —
+// the paper's stale-but-cheap discipline. Only the primary replica's op
+// does the work: the collective already reduced the group's gradients into
+// the primary's accumulators, which are the only ones the optimizer
+// consumes. It first joins the step's gradient collective, which on W = 1
+// schedules without SyncGrad ops (gpipe/1f1b) is where the reduction
+// lands.
 func (st *runState) precondition(d int, op *pipeline.Op) error {
 	// t0 is taken before the fold so the recorded event covers the
 	// gradient reduction this op anchors on W = 1 schedules, not only the
@@ -592,15 +793,19 @@ func (st *runState) recordKind(d int, kind pipeline.WorkKind, op *pipeline.Op, t
 	st.events[d] = append(st.events[d], pipeline.Event{Op: ev, Start: start, End: end})
 }
 
-// timeline assembles the executed step's measured timeline, recording the
-// intra-op parallelism the kernels ran with so the executed trace can be
-// compared against simulated ones on equal terms.
+// timeline assembles the executed round's measured timeline — Steps =
+// RefreshSteps, with per-step boundaries so traces can draw the round's
+// internal step structure — recording the intra-op parallelism the kernels
+// ran with so the executed trace can be compared against simulated ones on
+// equal terms.
 func (st *runState) timeline() *pipeline.Timeline {
+	r := len(st.micro)
 	tl := &pipeline.Timeline{
 		Name:          st.e.sched.Name + " (executed)",
 		Devices:       st.e.sched.Devices,
-		Steps:         1,
+		Steps:         r,
 		Events:        st.events,
+		StepEnd:       make([]hardware.Microseconds, r),
 		Parallelism:   st.e.workers,
 		OpParallelism: st.e.opShare,
 	}
@@ -609,9 +814,16 @@ func (st *runState) timeline() *pipeline.Timeline {
 			if ev.End > tl.Makespan {
 				tl.Makespan = ev.End
 			}
+			if j := ev.Op.Step; j >= 0 && j < r && ev.End > tl.StepEnd[j] {
+				tl.StepEnd[j] = ev.End
+			}
 		}
 	}
-	tl.StepEnd = []hardware.Microseconds{tl.Makespan}
+	for j := 1; j < r; j++ {
+		if tl.StepEnd[j] < tl.StepEnd[j-1] {
+			tl.StepEnd[j] = tl.StepEnd[j-1]
+		}
+	}
 	return tl
 }
 

@@ -83,7 +83,13 @@ type Op struct {
 	// order), or -1 when the op is not factor-granular. Only the Curvature
 	// and Inversion ops emitted by the schedule package carry a factor.
 	Factor int
-	// Step is the training-step index the op belongs to (0-based).
+	// Step is the training-step index the op belongs to (0-based). In a
+	// multi-step executable refresh round every op carries the step whose
+	// slot it occupies: forwards/backwards/tails their own training step,
+	// and K-FAC curvature/inversion ops the step of the refresh window
+	// whose bubbles the packer assigned them to — which is how a step's
+	// Precondition knows exactly which inversions precede it, and how
+	// executed timelines render round-internal step boundaries.
 	Step int
 	// Pipeline is 0 for the down pipeline, 1 for Chimera's up pipeline.
 	Pipeline int

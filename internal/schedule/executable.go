@@ -8,40 +8,52 @@ import (
 	"repro/internal/pipeline"
 )
 
-// Executable builds a one-step *executable* schedule: the base pipeline
-// schedule (including the per-step precondition and optimizer tail) with
-// the K-FAC curvature and inversion work inserted into each device's op
-// order at the bubble positions the PipeFisher packing chose, and with real
-// dependency edges wired so the op list can be *executed* — by the timing
-// simulator and by internal/engine's real training executor alike. This is
-// the single schedule form the simulator and the execution engine share.
+// Executable builds the *executable* form of one K-FAC refresh round: the
+// base pipeline schedule laid out over Config.RefreshSteps consecutive
+// pipeline steps (each with its own per-step precondition and optimizer
+// tail) with the curvature and inversion work of ONE refresh inserted into
+// the devices' op orders at the bubble positions the PipeFisher packing
+// chose — across all of the round's steps, exactly the paper's 2-4-step
+// refresh windows — and with real dependency edges wired so the op list can
+// be *executed*: by the timing simulator and by internal/engine's real
+// training executor alike. This is the single schedule form the simulator
+// and the execution engine share; RefreshSteps = 1 is the degenerate
+// one-step round (the historical form).
 //
 // Dependency edges follow the paper's rules, tightened where real math
 // needs it:
 //
 //   - Curvature of (stage, micro, factor) depends on the forward (A
 //     factors) or backward (B factors) of that micro-batch on the owning
-//     device (rule 1).
+//     device in the round's FIRST step (rule 1): a round folds the
+//     statistics of the window's first batch, and spills the compute into
+//     whichever later bubbles the packer found.
 //   - Inversion of a factor depends on every curvature op of its *layer
 //     pair* (A and B of the same layer, across all owning devices): the
 //     factored Tikhonov damping couples the pair through their traces, so
 //     real inversion needs both factors final (a strict superset of rule 2).
 //   - Sync-curvature (when present) depends on all curvature of its stage;
 //     inversions additionally depend on their stage's sync ops.
-//   - The per-step Precondition op additionally depends on its stage's
-//     inversion ops, so a refresh step deterministically preconditions with
-//     the freshly inverted factors.
+//   - The Precondition op of step j additionally depends on the inversion
+//     ops of its stage that the packer assigned to steps <= j, so each step
+//     deterministically preconditions with the freshest inverses that have
+//     completed by that step — and with the previous refresh's (stale)
+//     inverses for factors whose inversion lands in a later bubble of the
+//     window, the staleness discipline of §3.1. The round's LAST step
+//     depends on every inversion of the stage, so one round always
+//     completes one full refresh.
 //
-// Work that does not fit the step's bubbles is appended at the end of the
-// device's pre-tail order (execution can always complete; only the timing
-// degrades), and inversion work whose curvature spilled is deferred the
-// same way so cross-device waits can never cycle.
+// Work that does not fit the round's bubbles is appended at the end of the
+// last step's pre-tail order (execution can always complete; only the
+// timing degrades), and inversion work whose curvature spilled is deferred
+// the same way so cross-device waits can never cycle.
 func Executable(cfg Config) (*pipeline.Schedule, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
 	}
-	base, err := buildBase(cfg, 1, true)
+	k := cfg.RefreshSteps
+	base, err := buildBase(cfg, k, true)
 	if err != nil {
 		return nil, err
 	}
@@ -51,21 +63,23 @@ func Executable(cfg Config) (*pipeline.Schedule, error) {
 	}
 	items := buildWorkQueue(cfg, base, tl)
 	packForExec(items, tl, cfg)
+	assignWindowSteps(items, tl, cfg)
 
 	s := &pipeline.Schedule{
 		Name:         base.Name + "+PipeFisher",
 		Devices:      base.Devices,
 		Stages:       base.Stages,
 		MicroBatches: base.MicroBatches,
-		Steps:        1,
+		Steps:        k,
 		Ops:          append([]*pipeline.Op(nil), base.Ops...),
 		Order:        make([][]int, base.Devices),
 	}
 
-	// Lookup of base forward/backward ops by (kind, stage, micro, device).
+	// Lookup of the FIRST step's forward/backward ops by (kind, stage,
+	// micro, device) — the statistics sources of the round's curvature.
 	baseID := make(map[[4]int]int, len(base.Ops))
 	for _, op := range base.Ops {
-		if op.Kind == pipeline.Forward || op.Kind == pipeline.Backward {
+		if op.Step == 0 && (op.Kind == pipeline.Forward || op.Kind == pipeline.Backward) {
 			baseID[[4]int{int(op.Kind), op.Stage, op.MicroBatch, op.Device}] = op.ID
 		}
 	}
@@ -76,11 +90,11 @@ func Executable(cfg Config) (*pipeline.Schedule, error) {
 	curvIDs := make(map[[2]int][]int) // (stage, factor) -> curvature op ids
 	stageCurvIDs := make(map[int][]int)
 	syncIDs := make(map[int][]int)
-	invIDs := make(map[int][]int)
+	invOps := make(map[int][]*pipeline.Op) // stage -> inversion ops
 	newOp := func(it *workItem) *pipeline.Op {
 		op := &pipeline.Op{
 			ID: len(s.Ops), Kind: it.kind, Device: it.device, Stage: it.stage,
-			Replica: it.replica, MicroBatch: it.micro, Factor: it.factor, Step: 0,
+			Replica: it.replica, MicroBatch: it.micro, Factor: it.factor, Step: it.wstep,
 			Duration: maxDur(it.duration, 1),
 		}
 		s.Ops = append(s.Ops, op)
@@ -122,12 +136,19 @@ func Executable(cfg Config) (*pipeline.Schedule, error) {
 		op.Deps = append(op.Deps, curvIDs[[2]int{it.stage, pairFactor(it.factor)}]...)
 		op.Deps = append(op.Deps, syncIDs[it.stage]...)
 		op.Deps = dedup(op.Deps)
-		invIDs[it.stage] = append(invIDs[it.stage], op.ID)
+		invOps[op.Stage] = append(invOps[op.Stage], op)
 	}
-	// Precondition deterministically uses this step's fresh inverses.
+	// Each step's Precondition uses the freshest inverses completed by that
+	// step: it depends on the stage's inversions packed into steps <= its
+	// own. The last step depends on all of them (wstep is clamped to the
+	// round), closing the refresh within the round.
 	for _, op := range s.Ops {
 		if op.Kind == pipeline.Precondition {
-			op.Deps = append(op.Deps, invIDs[op.Stage]...)
+			for _, inv := range invOps[op.Stage] {
+				if inv.Step <= op.Step {
+					op.Deps = append(op.Deps, inv.ID)
+				}
+			}
 		}
 	}
 
@@ -162,11 +183,13 @@ func dedup(ids []int) []int {
 }
 
 // packForExec places the work items into the base timeline's bubbles the
-// same way Assign's packer does, but with execution-consistent readiness:
-// an inversion is ready only once *both* factors of its layer have complete
-// curvature on every owning device (and the stage's sync-curvature, when
-// present, has run) — matching the dependency edges Executable wires, so
-// the packed per-device positions can never contradict the deps.
+// same way Assign's packer does — the round's bubbles span all
+// RefreshSteps steps of the window — but with execution-consistent
+// readiness: an inversion is ready only once *both* factors of its layer
+// have complete curvature on every owning device (and the stage's
+// sync-curvature, when present, has run) — matching the dependency edges
+// Executable wires, so the packed per-device positions can never contradict
+// the deps.
 func packForExec(items []*workItem, base *pipeline.Timeline, cfg Config) {
 	free := make([]*freeList, base.Devices)
 	for d := 0; d < base.Devices; d++ {
@@ -255,7 +278,7 @@ func packForExec(items []*workItem, base *pipeline.Timeline, cfg Config) {
 	for _, it := range invs {
 		if !allPlaced(it.stage) {
 			// Curvature spilled out of the bubbles: defer the inversion to
-			// the end-of-head position too, so waits can't cycle.
+			// the end-of-round position too, so waits can't cycle.
 			it.placed = false
 			continue
 		}
@@ -273,11 +296,110 @@ func packForExec(items []*workItem, base *pipeline.Timeline, cfg Config) {
 	}
 }
 
-// assembleExecOrders builds each device's execution order: the base
-// schedule's forward/backward ops merged with the packed K-FAC ops by start
-// time, followed by the step tail (sync-grad, precondition, optimizer) —
-// K-FAC work that did not pack goes right before the tail, preserving every
-// dependency edge.
+// assignWindowSteps maps every packed work item to the step of the refresh
+// window it executes in (workItem.wstep): the step era its placed start
+// falls into *on its own device*, where the era boundary of step j is the
+// start of the device's earliest step-j tail op (sync-grad / precondition /
+// opt-step) in the base timeline — items at or past a boundary belong to
+// the next step's bubbles. Unplaced items go to the last step. Two
+// monotonic clamps keep the assignment consistent with the dependency
+// edges across devices (a dependent op can never be assigned an earlier
+// step than its dependencies, which is what makes the per-step precondition
+// edges acyclic): sync-curvature is clamped to its stage's curvature,
+// inversion to its factor pair's curvature and its stage's syncs.
+func assignWindowSteps(items []*workItem, base *pipeline.Timeline, cfg Config) {
+	if cfg.FrontLoadRefresh {
+		// Skip-cadence placement: the whole refresh belongs to the window's
+		// first step (ordered ahead of its tail), steps 1..K-1 run stale.
+		for _, it := range items {
+			it.wstep = 0
+		}
+		return
+	}
+	k := cfg.RefreshSteps
+	last := k - 1
+	// tailStart[d][j]: start of device d's earliest step-j tail op.
+	const never = hardware.Microseconds(1) << 62
+	tailStart := make([][]hardware.Microseconds, base.Devices)
+	for d := range tailStart {
+		tailStart[d] = make([]hardware.Microseconds, k)
+		for j := range tailStart[d] {
+			tailStart[d][j] = never
+		}
+		for _, e := range base.Events[d] {
+			switch e.Op.Kind {
+			case pipeline.SyncGrad, pipeline.Precondition, pipeline.OptStep:
+				if j := e.Op.Step; j >= 0 && j < k && e.Start < tailStart[d][j] {
+					tailStart[d][j] = e.Start
+				}
+			}
+		}
+	}
+	eraOf := func(it *workItem) int {
+		if !it.placed {
+			return last
+		}
+		era := 0
+		for j := 0; j < last; j++ {
+			if it.placedStart >= tailStart[it.device][j] {
+				era = j + 1
+			}
+		}
+		return era
+	}
+	curvStep := make(map[[2]int]int) // (stage, factor) -> max curvature wstep
+	for _, it := range items {
+		if it.kind != pipeline.Curvature {
+			continue
+		}
+		it.wstep = eraOf(it)
+		key := [2]int{it.stage, it.factor}
+		if it.wstep > curvStep[key] {
+			curvStep[key] = it.wstep
+		}
+	}
+	stageCurvStep := make(map[int]int)
+	for key, w := range curvStep {
+		if w > stageCurvStep[key[0]] {
+			stageCurvStep[key[0]] = w
+		}
+	}
+	syncStep := make(map[int]int) // stage -> max sync wstep
+	for _, it := range items {
+		if it.kind != pipeline.SyncCurvature {
+			continue
+		}
+		it.wstep = eraOf(it)
+		if w := stageCurvStep[it.stage]; w > it.wstep {
+			it.wstep = w
+		}
+		if it.wstep > syncStep[it.stage] {
+			syncStep[it.stage] = it.wstep
+		}
+	}
+	for _, it := range items {
+		if it.kind != pipeline.Inversion {
+			continue
+		}
+		it.wstep = eraOf(it)
+		for _, f := range []int{it.factor, pairFactor(it.factor)} {
+			if w := curvStep[[2]int{it.stage, f}]; w > it.wstep {
+				it.wstep = w
+			}
+		}
+		if w := syncStep[it.stage]; w > it.wstep {
+			it.wstep = w
+		}
+	}
+}
+
+// assembleExecOrders builds each device's execution order, step by step of
+// the round: the step's base forward/backward ops merged with the K-FAC
+// items the packer assigned to that step by start time, followed by the
+// step's tail (sync-grad, precondition, optimizer). K-FAC work that did not
+// pack goes right before the last step's tail, preserving every dependency
+// edge — and items assigned to step j always order before step j's tail,
+// which is exactly what the per-step precondition edges assume.
 func assembleExecOrders(s *pipeline.Schedule, tl *pipeline.Timeline, items []*workItem, itemOp map[*workItem]*pipeline.Op) {
 	type entry struct {
 		start hardware.Microseconds
@@ -285,15 +407,28 @@ func assembleExecOrders(s *pipeline.Schedule, tl *pipeline.Timeline, items []*wo
 		opID  int
 	}
 	const never = hardware.Microseconds(1) << 62
+	k := s.Steps
 	for d := 0; d < s.Devices; d++ {
-		var head []entry
-		var tail []int
+		heads := make([][]entry, k)
+		tails := make([][]int, k)
+		seq := 0
+		clamp := func(j int) int {
+			if j < 0 {
+				return 0
+			}
+			if j >= k {
+				return k - 1
+			}
+			return j
+		}
 		for _, e := range tl.Events[d] {
+			j := clamp(e.Op.Step)
 			switch e.Op.Kind {
 			case pipeline.SyncGrad, pipeline.Precondition, pipeline.OptStep:
-				tail = append(tail, e.Op.ID)
+				tails[j] = append(tails[j], e.Op.ID)
 			default:
-				head = append(head, entry{start: e.Start, seq: len(head), opID: e.Op.ID})
+				heads[j] = append(heads[j], entry{start: e.Start, seq: seq, opID: e.Op.ID})
+				seq++
 			}
 		}
 		for _, it := range items {
@@ -308,17 +443,22 @@ func assembleExecOrders(s *pipeline.Schedule, tl *pipeline.Timeline, items []*wo
 			if it.placed {
 				start = it.placedStart
 			}
-			head = append(head, entry{start: start, seq: len(head), opID: op.ID})
+			j := clamp(it.wstep)
+			heads[j] = append(heads[j], entry{start: start, seq: seq, opID: op.ID})
+			seq++
 		}
-		sort.SliceStable(head, func(i, j int) bool {
-			if head[i].start != head[j].start {
-				return head[i].start < head[j].start
+		for j := 0; j < k; j++ {
+			h := heads[j]
+			sort.SliceStable(h, func(a, b int) bool {
+				if h[a].start != h[b].start {
+					return h[a].start < h[b].start
+				}
+				return h[a].seq < h[b].seq
+			})
+			for _, en := range h {
+				s.Order[d] = append(s.Order[d], en.opID)
 			}
-			return head[i].seq < head[j].seq
-		})
-		for _, en := range head {
-			s.Order[d] = append(s.Order[d], en.opID)
+			s.Order[d] = append(s.Order[d], tails[j]...)
 		}
-		s.Order[d] = append(s.Order[d], tail...)
 	}
 }

@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/hardware"
@@ -164,6 +165,122 @@ func TestExecutablePacksIntoBubbles(t *testing.T) {
 	}
 	if !inside {
 		t.Fatal("no curvature work packed inside the pipeline's forward/backward span (bubbles unused)")
+	}
+}
+
+// A K > 1 round lays out K pipeline steps and packs exactly ONE refresh
+// into the whole window: per-step tails (precondition + optimizer) repeat K
+// times, the K-FAC op population does not grow with K, every K-FAC op is
+// assigned a step inside the window, and each step's precondition depends
+// only on the inversions the packer assigned to steps up to its own — the
+// last step's on all of them (one round = one complete refresh).
+func TestExecutableRoundSpansSteps(t *testing.T) {
+	for _, method := range []string{"gpipe", "1f1b", "chimera"} {
+		for _, k := range []int{2, 4} {
+			t.Run(fmt.Sprintf("%s/K%d", method, k), func(t *testing.T) {
+				cfg := execTestConfig(method)
+				cfg.RefreshSteps = k
+				s, err := Executable(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s.Steps != k {
+					t.Fatalf("executable round has %d steps, want %d", s.Steps, k)
+				}
+				if _, err := pipeline.Run(s); err != nil {
+					t.Fatalf("executable round stalls: %v", err)
+				}
+				nFactors := len(cfg.Costs.InversionUnits)
+				var curv, inv, prec, opt int
+				invByStage := map[int][]*pipeline.Op{}
+				for _, op := range s.Ops {
+					switch op.Kind {
+					case pipeline.Curvature:
+						curv++
+					case pipeline.Inversion:
+						inv++
+						invByStage[op.Stage] = append(invByStage[op.Stage], op)
+					case pipeline.Precondition:
+						prec++
+					case pipeline.OptStep:
+						opt++
+					}
+					if op.Kind == pipeline.Curvature || op.Kind == pipeline.Inversion {
+						if op.Step < 0 || op.Step >= k {
+							t.Fatalf("%v op %d assigned step %d outside round [0,%d)", op.Kind, op.ID, op.Step, k)
+						}
+					}
+				}
+				if want := cfg.Stages * cfg.MicroBatches * nFactors; curv != want {
+					t.Fatalf("round has %d curvature ops, want %d (one refresh, not %d per step)", curv, want, want)
+				}
+				if want := cfg.Stages * nFactors; inv != want {
+					t.Fatalf("round has %d inversion ops, want %d", inv, want)
+				}
+				if want := k * s.Devices; prec != want || opt != want {
+					t.Fatalf("round has %d precondition / %d opt ops, want %d each (one per device per step)", prec, opt, want)
+				}
+				for _, op := range s.Ops {
+					if op.Kind != pipeline.Precondition {
+						continue
+					}
+					deps := map[int]bool{}
+					for _, dep := range op.Deps {
+						deps[dep] = true
+					}
+					for _, iv := range invByStage[op.Stage] {
+						if iv.Step <= op.Step && !deps[iv.ID] {
+							t.Fatalf("step-%d precondition of stage %d misses inversion %d assigned to step %d",
+								op.Step, op.Stage, iv.ID, iv.Step)
+						}
+						if iv.Step > op.Step && deps[iv.ID] {
+							t.Fatalf("step-%d precondition of stage %d depends on inversion %d of LATER step %d",
+								op.Step, op.Stage, iv.ID, iv.Step)
+						}
+					}
+					if op.Step == k-1 {
+						for _, iv := range invByStage[op.Stage] {
+							if !deps[iv.ID] {
+								t.Fatalf("last-step precondition of stage %d misses inversion %d: round would not complete the refresh",
+									op.Stage, iv.ID)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// When one step's bubbles cannot hold a whole refresh, a K = 2 round must
+// spread the work across both steps' bubbles — the paper's multi-step
+// refresh window, executed rather than merely modeled.
+func TestExecutableRoundDistributesWork(t *testing.T) {
+	cfg := execTestConfig("gpipe")
+	// GPipe with 4 stages / F=100 / B=200 idles each device for roughly
+	// (D-1)*(F+B) = 900us per step; 4 factors x 4 micros x 60us = 960us of
+	// curvature (plus inversions) cannot fit one step's bubbles.
+	for i := range cfg.Costs.CurvatureUnits {
+		cfg.Costs.CurvatureUnits[i] = 60
+		cfg.Costs.InversionUnits[i] = 80
+	}
+	cfg.Costs.CurvaturePerMicroBatch = 4 * 60
+	cfg.RefreshSteps = 2
+	s, err := Executable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.Run(s); err != nil {
+		t.Fatalf("distributed round stalls: %v", err)
+	}
+	perStep := map[int]int{}
+	for _, op := range s.Ops {
+		if op.Kind == pipeline.Curvature || op.Kind == pipeline.Inversion {
+			perStep[op.Step]++
+		}
+	}
+	if perStep[0] == 0 || perStep[1] == 0 {
+		t.Fatalf("refresh work not distributed across the window: per-step K-FAC op counts %v", perStep)
 	}
 }
 

@@ -63,6 +63,25 @@ type Config struct {
 	// Cholesky inversion of the same matrix; the packer splits such long
 	// items across multiple bubbles automatically.
 	InversionCostMultiplier float64
+	// RefreshSteps is the round length K of the *executable* form: Executable
+	// lays out K consecutive pipeline steps and packs one curvature/inversion
+	// refresh into the bubbles of the whole window, the paper's multi-step
+	// refresh rounds (§3.1 reports 1-4 steps per refresh). 0 or 1 yields the
+	// degenerate one-step round. Assign ignores it: Assign *measures* how
+	// many steps a refresh needs, Executable *takes* the round length as
+	// given.
+	RefreshSteps int
+	// FrontLoadRefresh pins every item of the refresh to the window's first
+	// step: packed into that step's bubbles where they fit, spilled right
+	// before its tail otherwise — the legacy skip-cadence placement
+	// expressed as a round (steps 1..K-1 of the window run fully stale with
+	// the just-refreshed inverses). The default (false) spreads the refresh
+	// across the whole window's bubbles, the paper's multi-step schedule
+	// shape, in which each step preconditions with the freshest inverses
+	// completed by that step. Front-loaded rounds are bit-identical to the
+	// skip cadence at the same refresh interval, which the engine's
+	// round-vs-skip identity tests exploit.
+	FrontLoadRefresh bool
 	// MaxSteps bounds the number of pipeline steps one refresh round may
 	// span (a safety net; realistic configurations need 1-10).
 	MaxSteps int
@@ -81,6 +100,12 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.MaxSteps <= 0 {
 		c.MaxSteps = 32
+	}
+	if c.RefreshSteps <= 0 {
+		c.RefreshSteps = 1
+	}
+	if c.RefreshSteps > c.MaxSteps {
+		return c, fmt.Errorf("schedule: RefreshSteps %d exceeds MaxSteps %d", c.RefreshSteps, c.MaxSteps)
 	}
 	if c.DataParallelWidth <= 0 {
 		c.DataParallelWidth = 1
@@ -144,6 +169,9 @@ type workItem struct {
 	placedEnd   hardware.Microseconds
 	placedStart hardware.Microseconds
 	placed      bool
+	// wstep is the step of the refresh window the item executes in
+	// (0-based; set by assignWindowSteps for the executable form).
+	wstep int
 }
 
 // Assign builds the base schedule, inserts the per-step precondition work,

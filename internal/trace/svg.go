@@ -74,6 +74,18 @@ func RenderSVG(w io.Writer, tl *pipeline.Timeline, width int) error {
 				x, y, wPx, rowHeight, kindColor(e.Op.Kind), e.Op.Kind, e.Start, e.End)
 		}
 	}
+	// Step boundaries: one dashed vertical marker per step end, so the
+	// round's internal step structure shows on multi-step timelines.
+	if len(tl.StepEnd) > 1 {
+		y0 := topPad - 4
+		y1 := topPad + tl.Devices*(rowHeight+rowGap) - rowGap + 4
+		for k, end := range tl.StepEnd {
+			x := leftPad + int(float64(end)*scale)
+			fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#555" stroke-dasharray="4,3"><title>end of step %d</title></line>`,
+				x, y0, x, y1, k)
+			fmt.Fprintf(w, `<text x="%d" y="%d" fill="#555">s%d</text>`, x-22, y0+10, k)
+		}
+	}
 	// Legend.
 	lx := leftPad
 	ly := topPad + tl.Devices*(rowHeight+rowGap) + 6

@@ -40,9 +40,12 @@ func kindRune(k pipeline.WorkKind) byte {
 }
 
 // RenderASCII draws the timeline as one text row per device, width columns
-// wide. Idle time renders as '.', work as the kind's letter. The output
-// mirrors the layout of the paper's profile figures closely enough to
-// eyeball bubble filling.
+// wide. Idle time renders as '.', work as the kind's letter. Multi-step
+// timelines (refresh rounds, multi-step simulations) get a ruler row with a
+// vertical marker at every step boundary, so the round's internal step
+// structure — and which step's bubbles hold which refresh work — reads off
+// the trace directly. The output mirrors the layout of the paper's profile
+// figures closely enough to eyeball bubble filling.
 func RenderASCII(w io.Writer, tl *pipeline.Timeline, width int) error {
 	if width <= 0 {
 		width = 100
@@ -72,6 +75,32 @@ func RenderASCII(w io.Writer, tl *pipeline.Timeline, width int) error {
 				replicated = true
 			}
 			break
+		}
+	}
+	if len(tl.StepEnd) > 1 {
+		ruler := make([]byte, width)
+		for i := range ruler {
+			ruler[i] = ' '
+		}
+		prev := 0
+		for k, end := range tl.StepEnd {
+			col := int(float64(end) * scale)
+			if col >= width {
+				col = width - 1
+			}
+			label := fmt.Sprintf("s%d", k)
+			if col-prev > len(label) {
+				copy(ruler[prev:], label)
+			}
+			ruler[col] = '|'
+			prev = col + 1
+		}
+		prefix := "GPU 0  "
+		if replicated {
+			prefix = "GPU 0  r0 "
+		}
+		if _, err := fmt.Fprintf(w, "%-*s|%s|\n", len(prefix), "steps", ruler); err != nil {
+			return err
 		}
 	}
 	for d := 0; d < tl.Devices; d++ {

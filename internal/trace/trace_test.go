@@ -53,6 +53,75 @@ func TestRenderASCII(t *testing.T) {
 	}
 }
 
+// Multi-step timelines (refresh rounds) render a ruler row with a vertical
+// marker at every step boundary, and the CSV step column carries each op's
+// step so round structure survives export.
+func TestRenderStepBoundaries(t *testing.T) {
+	costs := pipeline.StageCosts{Forward: 10, Backward: 20, OptStep: 2}
+	s, err := pipeline.BuildGPipe(pipeline.BuildConfig{
+		Stages: 2, MicroBatches: 2, Steps: 3, Costs: costs, IncludeOptimizerWork: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := pipeline.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderASCII(&sb, tl, 90); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + ruler + 2 devices + legend.
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines (with step ruler), got %d:\n%s", len(lines), out)
+	}
+	ruler := lines[1]
+	if !strings.HasPrefix(ruler, "steps") {
+		t.Fatalf("second line must be the step ruler, got %q", ruler)
+	}
+	if got := strings.Count(ruler, "|"); got != 2+len(tl.StepEnd) {
+		t.Fatalf("ruler has %d markers, want %d (frame + one per step boundary)", got, 2+len(tl.StepEnd))
+	}
+	if !strings.Contains(ruler, "s0") || !strings.Contains(ruler, "s1") {
+		t.Fatalf("ruler missing step labels: %q", ruler)
+	}
+	// Device rows keep their layout (same prefix width as the ruler).
+	if idx := strings.Index(lines[2], "|"); idx != strings.Index(ruler, "|") {
+		t.Fatalf("ruler not aligned with device rows: %q vs %q", ruler, lines[2])
+	}
+
+	// CSV: every step index appears in the step column.
+	sb.Reset()
+	if err := WriteCSV(&sb, tl); err != nil {
+		t.Fatal(err)
+	}
+	steps := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n")[1:] {
+		cols := strings.Split(line, ",")
+		if len(cols) != 8 {
+			t.Fatalf("CSV row has %d columns, want 8: %q", len(cols), line)
+		}
+		steps[cols[5]] = true
+	}
+	for _, want := range []string{"0", "1", "2"} {
+		if !steps[want] {
+			t.Fatalf("CSV step column missing step %s (got %v)", want, steps)
+		}
+	}
+
+	// SVG: dashed step-boundary markers present.
+	sb.Reset()
+	if err := RenderSVG(&sb, tl, 600); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "stroke-dasharray"); got != len(tl.StepEnd) {
+		t.Fatalf("SVG has %d step-boundary lines, want %d", got, len(tl.StepEnd))
+	}
+}
+
 func TestRenderASCIIEmptyAndDefaults(t *testing.T) {
 	var sb strings.Builder
 	empty := &pipeline.Timeline{Name: "empty", Devices: 0}
