@@ -56,7 +56,8 @@ func main() {
 		execSteps    = flag.Int("execsteps", 5, "training steps to execute with -execute (rounded up to whole refresh rounds)")
 		workers      = flag.Int("workers", 0, "intra-op kernel worker budget for real execution (0 = GOMAXPROCS); device goroutines share it")
 		replicas     = flag.Int("replicas", 1, "data-parallel width W for real execution with -execute (replicated stage parameters, in-process sync-grad collectives)")
-		refreshSteps = flag.Int("refresh-steps", 1, "round length K for real execution with -execute: one K-FAC refresh spreads over the bubbles of K consecutive steps (1 = classic skip cadence)")
+		refreshSteps = flag.Int("refresh-steps", 1, "round length K for real execution with -execute: one K-FAC refresh spreads over the bubbles of K consecutive steps (1 = classic skip cadence, 0 = adaptive: derive K from the measured refresh work at EnableKFAC time)")
+		overlap      = flag.Bool("overlap", false, "overlap consecutive refresh windows with -execute: refresh work that spills out of its window carries into the next round's bubbles as generation-lagged ops")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -65,12 +66,16 @@ func main() {
 	if *replicas < 1 {
 		*replicas = 1
 	}
-	if *refreshSteps < 1 {
-		*refreshSteps = 1
+	if *refreshSteps < 0 {
+		*refreshSteps = 0 // negative means "adaptive", like 0
 	}
 	tensor.SetParallelism(*workers)
-	fmt.Printf("%s on %s: %d stages x %d micro-batches, simulated W=%d, executed replicas=%d, refresh round K=%d, intra-op workers %d\n",
-		*archName, *gpuName, *stages, *nmicro, *dp, *replicas, *refreshSteps, tensor.Parallelism())
+	kDesc := fmt.Sprint(*refreshSteps)
+	if *refreshSteps == 0 {
+		kDesc = "adaptive"
+	}
+	fmt.Printf("%s on %s: %d stages x %d micro-batches, simulated W=%d, executed replicas=%d, refresh round K=%s, overlap=%v, intra-op workers %d\n",
+		*archName, *gpuName, *stages, *nmicro, *dp, *replicas, kDesc, *overlap, tensor.Parallelism())
 
 	a, err := arch.ByName(*archName)
 	if err != nil {
@@ -140,17 +145,19 @@ func main() {
 	}
 
 	if *execute {
-		executeSchedule(*method, *stages, *nmicro, *replicas, *invParallel, *execSteps, *refreshSteps, *width, *workers, *svgPath)
+		executeSchedule(*method, *stages, *nmicro, *replicas, *invParallel, *execSteps, *refreshSteps, *width, *workers, *overlap, *svgPath)
 	}
 }
 
 // executeSchedule trains a small BERT (one block per stage) for real under
 // the selected schedule with K-FAC packed into the bubbles — replicated
 // W-fold when -replicas is set, with the in-process gradient and curvature
-// collectives, and in K-step refresh rounds when -refresh-steps asks for
-// multi-step windows — then renders the executed timeline of the last
-// round (step boundaries marked on the ruler).
-func executeSchedule(method string, stages, nmicro, replicas int, invParallel bool, steps, refreshSteps, width, workers int, svgPath string) {
+// collectives, in K-step refresh rounds when -refresh-steps asks for
+// multi-step windows (or sizes them adaptively with 0), and with
+// overlapped windows when -overlap is set — then renders the executed
+// timeline of the last round (step boundaries marked on the ruler) and its
+// bubble-utilization summary.
+func executeSchedule(method string, stages, nmicro, replicas int, invParallel bool, steps, refreshSteps, width, workers int, overlap bool, svgPath string) {
 	cfg := bert.TinyConfig()
 	cfg.Blocks = stages
 	model, err := bert.New(cfg, 7)
@@ -161,22 +168,31 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 	if err != nil {
 		log.Fatal(err)
 	}
+	adaptive := refreshSteps == 0
+	if adaptive {
+		refreshSteps = engine.AdaptiveRefreshSteps
+	}
 	eng, err := engine.NewWithConfig(model, engine.Config{
 		Method: method, Stages: stages, MicroBatches: nmicro,
 		Replicas: replicas, InversionParallel: invParallel, Workers: workers,
-		RefreshSteps: refreshSteps,
+		RefreshSteps: refreshSteps, OverlapRounds: overlap,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// With one-step rounds keep the classic every-2-steps skip cadence;
-	// with multi-step rounds the window is the cadence.
-	every := 2
-	if refreshSteps > 1 {
-		every = refreshSteps
+	// With explicit one-step rounds keep the classic every-2-steps skip
+	// cadence; multi-step (or adaptively sized) windows ARE the cadence.
+	every := 0
+	if refreshSteps == 1 {
+		every = 2
 	}
 	if err := eng.EnableKFAC(kfac.Options{Damping: 1e-2, StatDecay: 0.95, UsePiDamping: true}, every); err != nil {
 		log.Fatal(err)
+	}
+	k := eng.RoundSteps()
+	kDesc := fmt.Sprintf("K=%d", k)
+	if adaptive {
+		kDesc = fmt.Sprintf("K=%d (adaptive, from measured refresh work)", k)
 	}
 	params := model.Params()
 	opt := optim.NewLAMB(params, 0.01)
@@ -184,11 +200,11 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 		opt.Step(3e-3)
 		return nil
 	})
-	fmt.Printf("\n--- real execution: %s, %d stages, %d micro-batches, %d replica(s), refresh round K=%d, %d intra-op workers ---\n",
-		method, stages, nmicro, replicas, refreshSteps, tensor.Parallelism())
-	rounds := (steps + refreshSteps - 1) / refreshSteps
+	fmt.Printf("\n--- real execution: %s, %d stages, %d micro-batches, %d replica(s), refresh round %s, overlap=%v, %d intra-op workers ---\n",
+		method, stages, nmicro, replicas, kDesc, overlap, tensor.Parallelism())
+	rounds := (steps + k - 1) / k
 	for round := 0; round < rounds; round++ {
-		batches := make([]*data.Batch, refreshSteps)
+		batches := make([]*data.Batch, k)
 		for j := range batches {
 			batches[j] = corpus.MakeBatch(4*nmicro*replicas, data.DefaultBatchConfig(cfg.SeqLen))
 		}
@@ -197,12 +213,15 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 			log.Fatal(err)
 		}
 		for j, r := range res {
-			fmt.Printf("step %d  loss %.4f  refreshed=%v\n", round*refreshSteps+j, r.Loss.Total, r.Refreshed)
+			fmt.Printf("step %d  loss %.4f  refreshed=%v\n", round*k+j, r.Loss.Total, r.Refreshed)
 		}
 	}
 	fmt.Println()
 	real := eng.LastTimeline()
 	if err := trace.RenderASCII(os.Stdout, real, width); err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.RenderBubbleSummary(os.Stdout, real); err != nil {
 		log.Fatal(err)
 	}
 	if svgPath != "" {

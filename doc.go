@@ -149,9 +149,53 @@
 //     state rolls back, and the step counter advances only past the
 //     committed steps.
 //
+// # Overlapped rounds and generations
+//
+// Serialized rounds leave a gap at window boundaries: refresh work that
+// does not fit a window's bubbles executes before the window's tail while
+// the NEXT window's early bubbles — unusable for its own refresh, whose
+// statistics do not exist yet — go idle. Overlapped rounds
+// (engine.Config.OverlapRounds / schedule.Config.Overlap) close the gap by
+// giving every refresh op a *generation*:
+//
+//   - Op.Generation 0 is the window's own statistics generation; 1 marks
+//     work *carried* from the previous window — the spill, recomputed as a
+//     fixed point so the steady-state window is self-consistent (what
+//     spills out of a window is exactly what the next window absorbs).
+//     Carried ops are ready the moment the round starts and pack FIRST,
+//     into the early bubbles; the window's own curvature collection fills
+//     what is left. When everything fits, the overlap schedule — and the
+//     executed math — is identical to the serialized one.
+//   - The engine double-buffers generation-tagged statistics pools
+//     (kfacGenPool): a collect round snapshots and reduces into one pool
+//     while the carried generation folds and inverts out of the other, so
+//     a new window's snapshots never clobber factors still in flight. The
+//     fold happens at first inversion touch of a layer per generation,
+//     under the per-layer lock, scaled by the generation's own statistics
+//     batch; cross-generation dependency edges order a layer's carried
+//     fold before the newer generation's, keeping the EMA sequential.
+//   - Preconditions keep §3.1's freshest-completed rule across the window
+//     boundary: step j depends on the inversions of BOTH generations
+//     assigned to steps <= j, so a factor whose inversion carried is
+//     served stale for at most one extra window. An abort discards any
+//     half-collected or half-delivered generation and forces the next
+//     round to refresh from scratch.
+//
+// Adaptive round length: engine.Config.RefreshSteps =
+// engine.AdaptiveRefreshSteps derives K at EnableKFAC time from measured
+// work (schedule.AdaptiveRoundLength = Assign's refresh window) instead of
+// a hand-picked flag. trace.BubbleUtilization / RenderBubbleSummary /
+// WriteBubbleCSV quantify the result: per-device busy, refresh-filled and
+// idle fractions (per step of the round in the CSV), with the
+// refresh-filled share of the bubble budget as the headline number.
+//
 // The benchmark harness in bench_test.go regenerates the paper's tables
 // and figures, and cmd/ plus examples/ provide runnable entry points
 // (cmd/pipefisher -execute runs the sim/exec comparison end to end;
 // -replicas executes the hybrid pipeline x data-parallel configuration,
-// -refresh-steps the multi-step refresh rounds).
+// -refresh-steps the multi-step refresh rounds — 0 sizes them adaptively —
+// and -overlap the overlapped windows). The committed BENCH_tensor.json /
+// BENCH_engine.json files are the perf-trajectory baseline;
+// scripts/bench_compare.go reports benchstat-style deltas against them and
+// CI fails on steady-state throughput regressions beyond 10%.
 package repro

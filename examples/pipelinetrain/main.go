@@ -12,13 +12,19 @@
 // refresh windows for real: one K-FAC refresh spreads over the bubbles of
 // K consecutive steps (one executable round), the optimizer fires at the
 // round-internal step barriers, and each step preconditions with the
-// freshest inverses completed by that step.
+// freshest inverses completed by that step. -refresh-steps 0 sizes the
+// window adaptively from the measured refresh work (the default stays at
+// K = 2 so the loss trace is comparable across schedule methods), and
+// -overlap lets consecutive windows overlap: refresh work that spills out
+// of its window carries into the next round's bubbles as generation-lagged
+// ops.
 //
 // After training it renders the *executed* timeline of the last round next
 // to a *simulated* timeline calibrated with the measured op durations —
-// the sim/exec comparison the shared schedule form makes possible.
+// the sim/exec comparison the shared schedule form makes possible — plus
+// the round's bubble-utilization summary.
 //
-// Run: go run ./examples/pipelinetrain [-method gpipe|1f1b|chimera] [-refresh-steps K]
+// Run: go run ./examples/pipelinetrain [-method gpipe|1f1b|chimera] [-refresh-steps K] [-overlap]
 package main
 
 import (
@@ -42,7 +48,8 @@ func main() {
 	method := flag.String("method", "1f1b", "pipeline schedule: gpipe, 1f1b, chimera")
 	workers := flag.Int("workers", 0, "intra-op kernel worker budget (0 = GOMAXPROCS); device goroutines share it")
 	replicas := flag.Int("replicas", 1, "data-parallel width W (replicated stage parameters, in-process sync collectives)")
-	refreshSteps := flag.Int("refresh-steps", 2, "round length K: one K-FAC refresh spreads over the bubbles of K consecutive steps")
+	refreshSteps := flag.Int("refresh-steps", 2, "round length K: one K-FAC refresh spreads over the bubbles of K consecutive steps (0 = adaptive: derive K from the measured refresh work)")
+	overlap := flag.Bool("overlap", false, "overlap consecutive refresh windows: spilled refresh work carries into the next round's bubbles as generation-lagged ops")
 	flag.Parse()
 	if *workers < 0 {
 		*workers = 0 // negative means "default", like 0
@@ -50,19 +57,11 @@ func main() {
 	if *replicas < 1 {
 		*replicas = 1
 	}
-	if *refreshSteps < 1 {
-		*refreshSteps = 1
+	if *refreshSteps < 0 {
+		*refreshSteps = 0 // negative means "adaptive", like 0
 	}
-	// Refresh cadence: with multi-step rounds the window IS the cadence
-	// (refresh every round); the one-step engine keeps the classic
-	// skip-based every-2-steps interval.
-	every := 2
-	if *refreshSteps > 1 {
-		every = *refreshSteps
-	}
+	adaptive := *refreshSteps == 0
 	tensor.SetParallelism(*workers)
-	fmt.Printf("pipelinetrain: %s schedule, %d replica(s), refresh round K=%d (refresh every %d steps), %d intra-op workers\n",
-		*method, *replicas, *refreshSteps, every, tensor.Parallelism())
 
 	model, err := bert.New(bert.TinyConfig(), 7)
 	if err != nil {
@@ -75,20 +74,37 @@ func main() {
 	// 2 stages (1 transformer block each), 4 micro-batches per replica per
 	// step; W > 1 replicates the stages and all-reduces gradients (and
 	// K-FAC inversion work shards round-robin across the replica group).
+	engRefresh := *refreshSteps
+	if adaptive {
+		engRefresh = engine.AdaptiveRefreshSteps
+	}
 	eng, err := engine.NewWithConfig(model, engine.Config{
 		Method: *method, Stages: 2, MicroBatches: 4,
 		Replicas: *replicas, InversionParallel: *replicas > 1, Workers: *workers,
-		RefreshSteps: *refreshSteps,
+		RefreshSteps: engRefresh, OverlapRounds: *overlap,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	// PipeFisher cadence: curvature+inverse ops execute in the bubbles of
 	// each refresh window; preconditioning runs every step with the cached
-	// inverses.
+	// inverses. Explicit one-step rounds keep the classic skip-based
+	// every-2-steps interval; multi-step (or adaptive) windows ARE the
+	// cadence (refreshEvery 0 = every round).
+	every := 0
+	if *refreshSteps == 1 {
+		every = 2
+	}
 	if err := eng.EnableKFAC(kfac.Options{Damping: 1e-2, StatDecay: 0.95, UsePiDamping: true}, every); err != nil {
 		log.Fatal(err)
 	}
+	k := eng.RoundSteps()
+	kDesc := fmt.Sprintf("K=%d", k)
+	if adaptive {
+		kDesc = fmt.Sprintf("K=%d (adaptive, from measured refresh work)", k)
+	}
+	fmt.Printf("pipelinetrain: %s schedule, %d replica(s), refresh round %s, overlap=%v, %d intra-op workers\n",
+		*method, *replicas, kDesc, *overlap, tensor.Parallelism())
 
 	params := model.Params()
 	opt := optim.NewLAMB(params, 0.01)
@@ -101,8 +117,8 @@ func main() {
 	})
 
 	const steps = 100
-	for start := 0; start < steps; start += *refreshSteps {
-		batches := make([]*data.Batch, *refreshSteps)
+	for start := 0; start < steps; start += k {
+		batches := make([]*data.Batch, k)
 		for j := range batches {
 			batches[j] = corpus.MakeBatch(8**replicas, data.DefaultBatchConfig(model.Config.SeqLen))
 		}
@@ -134,12 +150,18 @@ func main() {
 	if err := trace.RenderASCII(os.Stdout, real, 110); err != nil {
 		log.Fatal(err)
 	}
+	// Bubble-utilization accounting of the executed round: how much of the
+	// bubble budget the refresh work actually absorbed (the refresh-filled
+	// fraction rises when -overlap carries spilled work into the round).
+	if err := trace.RenderBubbleSummary(os.Stdout, real); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
 	costs := engine.MeasuredCosts(real, 2*len(eng.StageLayers(0)))
 	simSched, err := schedule.Executable(schedule.Config{
 		Method: *method, Stages: 2, MicroBatches: 4, Costs: costs,
 		DataParallelWidth: *replicas, InversionParallel: *replicas > 1,
-		RefreshSteps: *refreshSteps,
+		RefreshSteps: k, Overlap: *overlap,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -55,6 +55,14 @@ import (
 	"repro/internal/tensor"
 )
 
+// AdaptiveRefreshSteps, assigned to Config.RefreshSteps, asks the engine to
+// derive the round length K at EnableKFAC time from measured work — the
+// number of pipeline steps one refresh actually needs under the PipeFisher
+// packing rules (schedule.AdaptiveRoundLength) — instead of requiring a
+// hand-picked value. Until K-FAC is enabled the engine runs one-step
+// rounds; query RoundSteps after EnableKFAC for the chosen K.
+const AdaptiveRefreshSteps = -1
+
 // Config selects the pipeline schedule the engine executes.
 type Config struct {
 	// Method is the schedule family: "gpipe" (default), "1f1b", "chimera".
@@ -84,8 +92,21 @@ type Config struct {
 	// optimizer callback (SetOptimizer) once per step at the round-internal
 	// step barriers, and each step preconditions with the freshest inverses
 	// completed by that step. 0 or 1 is the degenerate one-step round
-	// (TrainStep's historical behavior).
+	// (TrainStep's historical behavior); AdaptiveRefreshSteps derives K from
+	// the measured refresh work at EnableKFAC time.
 	RefreshSteps int
+	// OverlapRounds lets consecutive refresh windows overlap: refresh work
+	// that does not fit its own window's bubbles is *carried* into the next
+	// round's early bubbles as generation-lagged ops (schedule.Config.
+	// Overlap) instead of serializing before the window's tail. The engine
+	// executes carried ops against double-buffered, generation-tagged
+	// statistics pools, so a new window's snapshots never clobber factors
+	// of the previous generation still being folded or inverted; each
+	// step's precondition keeps the §3.1 freshest-completed rule across the
+	// window boundary. When the refresh fits its window, overlapped
+	// execution is bit-identical to serialized rounds. Incompatible with
+	// FrontLoadRefresh.
+	OverlapRounds bool
 	// FrontLoadRefresh pins the refresh work of a RefreshSteps > 1 round to
 	// the window's first step instead of spreading it across the window's
 	// bubbles: the skip-cadence semantics expressed as a round, bit-identical
@@ -129,11 +150,14 @@ func (c Config) normalize() (Config, error) {
 	if c.Workers < 0 {
 		return c, fmt.Errorf("engine: Workers must be non-negative, got %d", c.Workers)
 	}
-	if c.RefreshSteps < 0 {
-		return c, fmt.Errorf("engine: RefreshSteps must be non-negative, got %d", c.RefreshSteps)
+	if c.RefreshSteps < 0 && c.RefreshSteps != AdaptiveRefreshSteps {
+		return c, fmt.Errorf("engine: RefreshSteps must be non-negative or AdaptiveRefreshSteps, got %d", c.RefreshSteps)
 	}
 	if c.RefreshSteps == 0 {
 		c.RefreshSteps = 1
+	}
+	if c.OverlapRounds && c.FrontLoadRefresh {
+		return c, fmt.Errorf("engine: OverlapRounds and FrontLoadRefresh are mutually exclusive")
 	}
 	if c.Method == "chimera" {
 		if c.Stages%2 != 0 {
@@ -186,6 +210,11 @@ type Engine struct {
 	workers int
 	opShare int
 
+	// roundLen is the resolved round length K: Config.RefreshSteps, or —
+	// with AdaptiveRefreshSteps — the measured refresh window derived at
+	// EnableKFAC time (1 until then).
+	roundLen int
+
 	kfacPre      []*kfac.Preconditioner // per stage, nil until EnableKFAC
 	kfacOpts     kfac.Options
 	refreshEvery int
@@ -197,6 +226,18 @@ type Engine struct {
 	// refresh instead of preconditioning on mixed-generation state until
 	// the cadence comes around again.
 	refreshPending bool
+
+	// kfacPools double-buffers the statistics generations of the refresh
+	// pipeline (allocated at EnableKFAC): a collect round writes pool
+	// kfacGen%2 while carried ops of the previous generation — overlapped
+	// rounds only — drain the other. carryPool points at the pool of a
+	// collected generation whose carried ops have not executed yet (nil
+	// when nothing is pending), and hasCarryOps records whether the
+	// executable schedule contains Generation = 1 ops at all.
+	kfacPools   [2]*kfacGenPool
+	carryPool   *kfacGenPool
+	kfacGen     int
+	hasCarryOps bool
 
 	// optApply, when set (SetOptimizer), is the caller's parameter update,
 	// fired exactly once per training step at the round-internal step
@@ -234,7 +275,10 @@ func NewWithConfig(model pipemodel.Model, cfg Config) (*Engine, error) {
 	if len(model.PipelineBlocks()) == 0 {
 		return nil, fmt.Errorf("engine: model has no pipeline blocks")
 	}
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, roundLen: cfg.RefreshSteps}
+	if cfg.RefreshSteps == AdaptiveRefreshSteps {
+		e.roundLen = 1 // resolved from measured work at EnableKFAC
+	}
 	prim, err := buildReplica(model, cfg)
 	if err != nil {
 		return nil, err
@@ -321,14 +365,15 @@ func (e *Engine) rebuildSchedule() error {
 			Costs:             costs,
 			DataParallelWidth: e.cfg.Replicas,
 			InversionParallel: e.cfg.InversionParallel,
-			RefreshSteps:      e.cfg.RefreshSteps,
+			RefreshSteps:      e.roundLen,
 			FrontLoadRefresh:  e.cfg.FrontLoadRefresh,
+			Overlap:           e.cfg.OverlapRounds,
 		})
 	} else {
 		bc := pipeline.BuildConfig{
 			Stages:               e.cfg.Stages,
 			MicroBatches:         e.cfg.MicroBatches,
-			Steps:                e.cfg.RefreshSteps,
+			Steps:                e.roundLen,
 			Costs:                costs,
 			DataParallelWidth:    e.cfg.Replicas,
 			IncludeOptimizerWork: true,
@@ -401,9 +446,10 @@ func (e *Engine) execCosts() pipeline.StageCosts {
 func (e *Engine) Stages() int { return e.cfg.Stages }
 
 // RoundSteps returns the round length K (the number of training steps one
-// TrainRound executes; 1 unless Config.RefreshSteps asked for multi-step
-// refresh windows).
-func (e *Engine) RoundSteps() int { return e.cfg.RefreshSteps }
+// TrainRound executes): Config.RefreshSteps, or — under AdaptiveRefreshSteps
+// — the measured window derived at EnableKFAC time (1 before K-FAC is
+// enabled).
+func (e *Engine) RoundSteps() int { return e.roundLen }
 
 // SetOptimizer registers the caller's parameter update, fired exactly once
 // per training step at the round-internal step barrier: all of the step's
@@ -465,14 +511,40 @@ func (e *Engine) LastTimeline() *pipeline.Timeline { return e.lastTimeline }
 // schedule — by round shape instead of by skipping — and refreshEvery = nK
 // skips whole rounds between refreshes. refreshEvery must be a multiple of
 // K (a refresh window cannot straddle a round boundary); 0 defaults to K.
+// With Config.RefreshSteps = AdaptiveRefreshSteps the round length K is
+// resolved here, from measured work: schedule.AdaptiveRoundLength reports
+// how many steps' bubbles one refresh needs under the engine's cost shape,
+// and that window becomes the executable round (RoundSteps reports it).
 func (e *Engine) EnableKFAC(opts kfac.Options, refreshEvery int) error {
+	k := e.cfg.RefreshSteps
+	adaptive := k == AdaptiveRefreshSteps
+	if adaptive {
+		var err error
+		k, err = schedule.AdaptiveRoundLength(schedule.Config{
+			Method:            e.cfg.Method,
+			Stages:            e.cfg.Stages,
+			MicroBatches:      e.cfg.MicroBatches,
+			Costs:             e.execCosts(),
+			DataParallelWidth: e.cfg.Replicas,
+			InversionParallel: e.cfg.InversionParallel,
+		})
+		if err != nil {
+			return fmt.Errorf("engine: deriving adaptive round length: %w", err)
+		}
+	}
 	if refreshEvery <= 0 {
-		refreshEvery = e.cfg.RefreshSteps
+		refreshEvery = k
 	}
-	if refreshEvery%e.cfg.RefreshSteps != 0 {
+	if refreshEvery%k != 0 {
+		if adaptive {
+			return fmt.Errorf("engine: refreshEvery %d must be a multiple of the round length K=%d, which was derived adaptively from the measured refresh work (Config.RefreshSteps = AdaptiveRefreshSteps) — pass refreshEvery 0 to refresh every round, or query RoundSteps after EnableKFAC",
+				refreshEvery, k)
+		}
 		return fmt.Errorf("engine: refreshEvery %d must be a multiple of the round length RefreshSteps %d",
-			refreshEvery, e.cfg.RefreshSteps)
+			refreshEvery, k)
 	}
+	prevLen := e.roundLen
+	e.roundLen = k
 	e.kfacPre = make([]*kfac.Preconditioner, e.cfg.Stages)
 	e.layerMu = make([][]sync.Mutex, e.cfg.Stages)
 	for s, st := range e.reps[0].stages {
@@ -494,7 +566,26 @@ func (e *Engine) EnableKFAC(opts kfac.Options, refreshEvery int) error {
 	e.roundIndex = 0
 	if err := e.rebuildSchedule(); err != nil {
 		e.kfacPre = nil
+		e.roundLen = prevLen
 		return err
+	}
+	// Generation pools for the refresh pipeline (see kfacGenPool): two
+	// buffers so overlapped rounds can collect one generation while the
+	// carried ops of the previous one drain.
+	perStep := e.cfg.MicroBatches * e.cfg.Replicas
+	nLayers := len(e.reps[0].stages[0].layers)
+	for i := range e.kfacPools {
+		e.kfacPools[i] = newKFACGenPool(e.cfg.Stages, perStep, nLayers)
+	}
+	e.carryPool = nil
+	e.kfacGen = 0
+	e.refreshPending = false
+	e.hasCarryOps = false
+	for _, op := range e.sched.Ops {
+		if op.Generation == 1 {
+			e.hasCarryOps = true
+			break
+		}
 	}
 	return nil
 }
@@ -519,9 +610,11 @@ type StepResult struct {
 	// so values are only meaningful comparatively).
 	DeviceBusy []float64
 	// Refreshed reports whether this step belonged to a refresh window:
-	// its round executed the packed curvature/inversion ops (spread over
-	// the window's bubbles for RefreshSteps > 1). Steps of non-refresh
-	// rounds precondition with stale inverses and report false.
+	// its round collected the refresh's statistics and executed the packed
+	// curvature/inversion ops (spread over the window's bubbles for
+	// RefreshSteps > 1). Steps of non-refresh rounds precondition with
+	// stale inverses and report false — including, under OverlapRounds, a
+	// round that only drains the previous window's carried refresh work.
 	Refreshed bool
 }
 
@@ -532,9 +625,9 @@ type StepResult struct {
 // into the primary model's parameters; unless SetOptimizer was called, the
 // caller zeroes them and applies the optimizer between steps.
 func (e *Engine) TrainStep(batch *data.Batch) (*StepResult, error) {
-	if e.cfg.RefreshSteps > 1 {
+	if e.roundLen > 1 {
 		return nil, fmt.Errorf("engine: RefreshSteps=%d executes multi-step rounds; call TrainRound with %d batches",
-			e.cfg.RefreshSteps, e.cfg.RefreshSteps)
+			e.roundLen, e.roundLen)
 	}
 	res, err := e.TrainRound([]*data.Batch{batch})
 	if err != nil {
@@ -556,11 +649,17 @@ func (e *Engine) TrainStep(batch *data.Batch) (*StepResult, error) {
 // bit-identical ascending-global-micro order). On an error the round
 // aborts; steps whose optimizer already fired stay committed — their
 // StepResults are returned alongside the error and the engine's step
-// counter advances past them only — and an aborted *refresh* round forces
-// the next round to refresh again rather than serving half-delivered
-// factors as a stale generation.
+// counter advances past them only — and an aborted *refresh* round (or one
+// with a carried generation in flight) forces the next round to refresh
+// again rather than serving half-delivered factors as a stale generation.
+//
+// With OverlapRounds, a collect round whose refresh spills keeps its
+// statistics generation pending and the NEXT round executes the carried
+// ops — filling its early bubbles with the queued inversions — whatever
+// that round's own refresh status; preconditions see each factor's
+// freshest completed inverse across the window boundary.
 func (e *Engine) TrainRound(batches []*data.Batch) ([]*StepResult, error) {
-	r := e.cfg.RefreshSteps
+	r := e.roundLen
 	if len(batches) != r {
 		return nil, fmt.Errorf("engine: a round is %d steps (RefreshSteps), got %d batches", r, len(batches))
 	}
@@ -593,6 +692,18 @@ func (e *Engine) TrainRound(batches []*data.Batch) ([]*StepResult, error) {
 	// and again right away after an aborted refresh round, whose
 	// half-delivered factor state must not serve as a stale generation.
 	refresh := e.kfacPre != nil && (e.refreshPending || e.roundIndex%(e.refreshEvery/r) == 0)
+	// Generation pools: a collect round writes kfacGen's parity buffer; a
+	// pending carried generation (overlapped rounds) drains out of the
+	// other. Both can be live in the same round — that is the overlap.
+	var cur, prev *kfacGenPool
+	if refresh {
+		cur = e.kfacPools[e.kfacGen%2]
+		cur.reset()
+		cur.totals = totals[0]
+	}
+	if e.kfacPre != nil {
+		prev = e.carryPool
+	}
 
 	// Broadcast the primary's parameters to every replica: the round's
 	// first step starts from identical weights (later steps re-broadcast
@@ -611,13 +722,42 @@ func (e *Engine) TrainRound(batches []*data.Batch) ([]*StepResult, error) {
 	prevCap := tensor.OpParallelism()
 	tensor.SetOpParallelism(e.opShare)
 	defer tensor.SetOpParallelism(prevCap)
-	res, committed, err := e.runRound(micro, totals, refresh)
+	res, committed, err := e.runRound(micro, totals, refresh, cur, prev)
 	e.stepIndex += committed
 	if committed > 0 {
 		e.roundIndex++
 	}
+	if err != nil {
+		// A half-collected generation (this round's) or a half-delivered
+		// one (the carried) must not survive the abort: scrub both pools
+		// and force the next round to run a full refresh.
+		if refresh || prev != nil {
+			e.refreshPending = true
+		}
+		for _, p := range e.kfacPools {
+			if p != nil {
+				p.reset()
+			}
+		}
+		e.carryPool = nil
+		return res, err
+	}
+	if prev != nil {
+		// The carried generation finished folding and inverting this round;
+		// its pool is empty (reset is a cheap invariant scrub).
+		prev.reset()
+		e.carryPool = nil
+	}
 	if refresh {
-		e.refreshPending = err != nil
+		e.refreshPending = false
+		e.kfacGen++
+		if e.hasCarryOps {
+			// The spilled part of this generation executes next round as
+			// the carried ops: keep its snapshots/partials pending.
+			e.carryPool = cur
+		} else {
+			cur.reset()
+		}
 	}
 	return res, err
 }

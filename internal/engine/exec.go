@@ -34,13 +34,19 @@ var errRoundAborted = errors.New("round aborted by another device's failure")
 // every reduction walks its step's slots in ascending global order — the
 // fixed collective order that makes gradients bit-identical across W. The
 // round's K-FAC statistics come from the window's FIRST step (the batch
-// whose curvature the round folds), so the snapshot and curvature arrays
-// are one step wide regardless of K.
+// whose curvature the round folds) and live in engine-owned generation
+// pools (kfacGenPool), one step wide regardless of K: cur is the
+// generation this round collects, prev a generation carried from the
+// previous round whose Generation = 1 ops — overlapped rounds — fold and
+// invert here. Either may be nil (stale round, nothing pending);
+// serialized rounds never set prev.
 type runState struct {
 	e       *Engine
 	micro   [][]*data.Batch    // [step][gmicro], perStep = Replicas*MicroBatches each
 	totals  []pipemodel.Totals // per step: that step's loss denominators
-	refresh bool               // whether this round executes its packed refresh
+	refresh bool               // whether this round collects its packed refresh generation
+	cur     *kfacGenPool       // the generation being collected (nil unless refresh)
+	prev    *kfacGenPool       // the carried previous generation (nil unless pending)
 
 	done []chan struct{} // per op, closed on completion (or skip)
 
@@ -74,18 +80,6 @@ type runState struct {
 	optErr    []error         // per step, written by the committing device
 	committed int             // steps whose optimizer callback completed
 
-	// K-FAC dataflow (refresh rounds only): per-micro-batch statistics
-	// snapshots taken at the window's first-step op boundaries (rule 1),
-	// and the partial factor products the scheduled Curvature ops compute
-	// in the bubbles — of whichever step of the window the packer chose.
-	actsSnap  [][][]*tensor.Matrix // [stage][gmicro][layer]
-	gradsSnap [][][]*tensor.Matrix // [stage][gmicro][layer]
-	curvA     [][][]*tensor.Matrix // [stage][layer][gmicro]
-	curvB     [][][]*tensor.Matrix // [stage][layer][gmicro]
-	rowsA     [][][]int
-	rowsB     [][][]int
-	finalized [][]bool // [stage][layer]: factors folded into the EMA this round
-
 	errs      []error // per device
 	failed    atomic.Bool
 	abortC    chan struct{} // closed on first failure: unparks barrier waiters
@@ -104,6 +98,22 @@ func (st *runState) gmicro(op *pipeline.Op) int {
 // error signals of different steps must not collide).
 func (st *runState) flat(op *pipeline.Op) int {
 	return op.Step*len(st.micro[0]) + st.gmicro(op)
+}
+
+// genPool resolves the statistics pool a refresh op works on: the round's
+// own collection pool for Generation-0 ops (nil when this round does not
+// refresh — the op no-ops, the stale-round discipline), the carried
+// previous generation's pool for Generation-1 ops (nil when no generation
+// is pending from the previous round). The double buffer is what keeps a
+// new window's snapshots from clobbering factors still being folded.
+func (st *runState) genPool(op *pipeline.Op) *kfacGenPool {
+	if op.Generation == 1 {
+		return st.prev
+	}
+	if st.refresh {
+		return st.cur
+	}
+	return nil
 }
 
 // fail records a device failure exactly once per device and aborts the
@@ -127,14 +137,13 @@ func (st *runState) fail(d int, err error) {
 // arrive, the gradient state is rolled back to the first uncommitted
 // step's pre-step accumulators, and the error is surfaced after all
 // devices joined, along with how many steps had already committed.
-func (e *Engine) runRound(micro [][]*data.Batch, totals []pipemodel.Totals, refresh bool) ([]*StepResult, int, error) {
+func (e *Engine) runRound(micro [][]*data.Batch, totals []pipemodel.Totals, refresh bool, cur, prev *kfacGenPool) ([]*StepResult, int, error) {
 	nStages := e.cfg.Stages
 	r := len(micro)
 	perStep := len(micro[0])
 	nFlat := r * perStep
-	nLayers := len(e.reps[0].stages[0].layers)
 	st := &runState{
-		e: e, micro: micro, totals: totals, refresh: refresh,
+		e: e, micro: micro, totals: totals, refresh: refresh, cur: cur, prev: prev,
 		done:      make([]chan struct{}, len(e.sched.Ops)),
 		stageIn:   mat2(nStages, nFlat),
 		stageOut:  mat2(nStages, nFlat),
@@ -182,18 +191,6 @@ func (e *Engine) runRound(micro [][]*data.Batch, totals []pipemodel.Totals, refr
 	// exactly its micro-batch's contribution. Later steps get the same
 	// treatment at the previous step's commit barrier.
 	st.captureStepBase(0)
-	if refresh {
-		st.actsSnap = mat3(nStages, perStep, nLayers)
-		st.gradsSnap = mat3(nStages, perStep, nLayers)
-		st.curvA = mat3(nStages, nLayers, perStep)
-		st.curvB = mat3(nStages, nLayers, perStep)
-		st.rowsA = int3(nStages, nLayers, perStep)
-		st.rowsB = int3(nStages, nLayers, perStep)
-		st.finalized = make([][]bool, nStages)
-		for s := range st.finalized {
-			st.finalized[s] = make([]bool, nLayers)
-		}
-	}
 
 	var wg sync.WaitGroup
 	for d := 0; d < e.sched.Devices; d++ {
@@ -439,13 +436,13 @@ func (st *runState) exec(d int, op *pipeline.Op) error {
 	case pipeline.Backward:
 		return st.backward(d, op)
 	case pipeline.Curvature:
-		if st.refresh {
-			return st.curvature(d, op)
+		if pool := st.genPool(op); pool != nil {
+			return st.curvature(d, op, pool)
 		}
 		return nil
 	case pipeline.Inversion:
-		if st.refresh {
-			return st.inversion(d, op)
+		if pool := st.genPool(op); pool != nil {
+			return st.inversion(d, op, pool)
 		}
 		return nil
 	case pipeline.Precondition:
@@ -475,10 +472,11 @@ func (st *runState) exec(d int, op *pipeline.Op) error {
 		st.record(d, op, t0)
 		return nil
 	case pipeline.SyncCurvature:
-		// Like Curvature/Inversion, only refresh rounds perform (and
-		// record) the curvature exchange; on stale rounds the op is a
-		// silent no-op so the executed timeline matches the work done.
-		if st.refresh {
+		// Like Curvature/Inversion, the exchange only happens for a live
+		// generation (the round's own, or — Generation = 1 — a carried
+		// one); otherwise the op is a silent no-op so the executed timeline
+		// matches the work done.
+		if st.genPool(op) != nil {
 			st.record(d, op, time.Since(st.start))
 		}
 		return nil
@@ -525,13 +523,14 @@ func (st *runState) forward(d int, op *pipeline.Op) error {
 		st.stageOut[s][m] = tensor.GetClone(y)
 	}
 	if st.refresh && op.Step == 0 {
-		// Snapshot the A-factor statistics into pooled buffers: the
-		// layer-retained capture buffers are only valid until this
-		// stage's next op, but the scheduled Curvature ops consume the
-		// snapshots later — in the pipeline bubbles of whichever step of
-		// the window the packer chose.
+		// Snapshot the A-factor statistics into the collecting
+		// generation's pool: the layer-retained capture buffers are only
+		// valid until this stage's next op, but the scheduled Curvature
+		// ops consume the snapshots later — in the bubbles of whichever
+		// step the packer chose, possibly the NEXT round's (carried ops
+		// under overlap), which is why the pool is engine-owned.
 		for li, l := range stg.layers {
-			st.actsSnap[s][st.gmicro(op)][li] = tensor.GetClone(l.CapturedInput())
+			st.cur.actsSnap[s][st.gmicro(op)][li] = tensor.GetClone(l.CapturedInput())
 		}
 	}
 	st.record(d, op, t0)
@@ -584,10 +583,10 @@ func (st *runState) backward(d int, op *pipeline.Op) error {
 	}
 	grad = stg.backBlocks(grad)
 	if st.refresh && op.Step == 0 {
-		// Snapshot the B-factor statistics into pooled buffers (see the
-		// A-factor snapshot in forward).
+		// Snapshot the B-factor statistics into the collecting
+		// generation's pool (see the A-factor snapshot in forward).
 		for li, l := range stg.layers {
-			st.gradsSnap[s][st.gmicro(op)][li] = tensor.GetClone(l.CapturedOutputGrad())
+			st.cur.gradsSnap[s][st.gmicro(op)][li] = tensor.GetClone(l.CapturedOutputGrad())
 		}
 	}
 	if stg.first {
@@ -617,13 +616,14 @@ func (st *runState) backward(d int, op *pipeline.Op) error {
 }
 
 // curvature computes one micro-batch's partial Kronecker-factor product
-// (U^T U) from the statistics snapshotted in the window's first step — the
-// bubble-filling work of rule 1, at the factor granularity the packer
-// scheduled, in whichever step's bubble the packer placed it. Partials
+// (U^T U) from the statistics snapshotted in its generation's first step —
+// the bubble-filling work of rule 1, at the factor granularity the packer
+// scheduled, in whichever step's bubble the packer placed it (a carried op
+// runs one window later, against the previous generation's pool). Partials
 // land in global micro-batch slots, so the later factor fold reduces every
 // replica's contributions in the same fixed order as the gradient
 // collective.
-func (st *runState) curvature(d int, op *pipeline.Op) error {
+func (st *runState) curvature(d int, op *pipeline.Op, pool *kfacGenPool) error {
 	s, m := op.Stage, st.gmicro(op)
 	stg := st.e.reps[op.Replica].stages[s]
 	li, factorB, err := stg.layerOf(op.Factor)
@@ -635,9 +635,9 @@ func (st *runState) curvature(d int, op *pipeline.Op) error {
 	t0 := time.Since(st.start)
 	var stat *tensor.Matrix
 	if factorB {
-		stat = st.gradsSnap[s][m][li]
+		stat = pool.gradsSnap[s][m][li]
 	} else {
-		stat = st.actsSnap[s][m][li]
+		stat = pool.actsSnap[s][m][li]
 	}
 	if stat == nil {
 		return fmt.Errorf("no captured statistics for layer %d factor %d micro-batch %d", li, op.Factor, m)
@@ -648,31 +648,34 @@ func (st *runState) curvature(d int, op *pipeline.Op) error {
 	part := tensor.Get(stat.Cols, stat.Cols)
 	tensor.TMatMulInto(part, stat, stat)
 	if factorB {
-		st.curvB[s][li][m] = part
-		st.rowsB[s][li][m] = stat.Rows
-		st.gradsSnap[s][m][li] = nil
+		pool.curvB[s][li][m] = part
+		pool.rowsB[s][li][m] = stat.Rows
+		pool.gradsSnap[s][m][li] = nil
 	} else {
-		st.curvA[s][li][m] = part
-		st.rowsA[s][li][m] = stat.Rows
-		st.actsSnap[s][m][li] = nil
+		pool.curvA[s][li][m] = part
+		pool.rowsA[s][li][m] = stat.Rows
+		pool.actsSnap[s][m][li] = nil
 	}
 	tensor.Put(stat)
 	st.record(d, op, t0)
 	return nil
 }
 
-// inversion finalizes the layer's factors on first touch (folding the
-// accumulated per-micro-batch products of every replica into the shared
-// preconditioner's EMA, in ascending global micro-batch order — the
-// distributed K-FAC factor exchange) and then refreshes the cached inverse
-// of the op's factor — rule 2's unit of inversion work. The per-layer lock
-// (instead of a stage-wide one) is what lets InversionParallel's
-// round-robin sharding run different layers' inversions concurrently on
-// different devices of the replica group. In a multi-step round the op may
-// execute in a later step's bubble; the factor fold and inverse swap are
-// step-agnostic, and the per-step precondition edges guarantee that a
-// step's precondition never races a later step's inversion.
-func (st *runState) inversion(d int, op *pipeline.Op) error {
+// inversion finalizes the layer's factors on first touch of its generation
+// (folding the accumulated per-micro-batch products of every replica into
+// the shared preconditioner's EMA, in ascending global micro-batch order —
+// the distributed K-FAC factor exchange) and then refreshes the cached
+// inverse of the op's factor — rule 2's unit of inversion work. The
+// per-layer lock (instead of a stage-wide one) is what lets
+// InversionParallel's round-robin sharding run different layers' inversions
+// concurrently on different devices of the replica group. In a multi-step
+// round the op may execute in a later step's bubble — or, carried under
+// overlapped rounds, in the NEXT round's bubbles — and the generation pool
+// keeps the fold exact either way: the fold marker and the loss scale
+// belong to the pool, so a carried fold uses its own generation's
+// statistics batch, and the cross-generation dependency edges order a
+// layer's carried fold before the newer generation folds on top.
+func (st *runState) inversion(d int, op *pipeline.Op, pool *kfacGenPool) error {
 	s := op.Stage
 	stg := st.e.reps[op.Replica].stages[s]
 	li, factorB, err := stg.layerOf(op.Factor)
@@ -682,31 +685,32 @@ func (st *runState) inversion(d int, op *pipeline.Op) error {
 	st.e.layerMu[s][li].Lock()
 	defer st.e.layerMu[s][li].Unlock()
 	t0 := time.Since(st.start)
-	if !st.finalized[s][li] {
-		newA, err := sumFactor(st.curvA[s][li], st.rowsA[s][li], 1)
+	if !pool.folded[s][li] {
+		newA, err := sumFactor(pool.curvA[s][li], pool.rowsA[s][li], 1)
 		if err != nil {
 			return fmt.Errorf("factor A of layer %d: %w", li, err)
 		}
 		// The statistics — and therefore the loss scale — come from the
-		// window's first step.
-		scale := st.e.reps[0].model.KFACLossScale(st.totals[0])
-		newB, err := sumFactor(st.curvB[s][li], st.rowsB[s][li], scale*scale)
+		// generation's own statistics batch (its collect round's first
+		// step), not the folding round's.
+		scale := st.e.reps[0].model.KFACLossScale(pool.totals)
+		newB, err := sumFactor(pool.curvB[s][li], pool.rowsB[s][li], scale*scale)
 		if err != nil {
 			return fmt.Errorf("factor B of layer %d: %w", li, err)
 		}
 		if err := st.e.kfacPre[s].SetFactors(li, newA, newB); err != nil {
 			return err
 		}
-		st.finalized[s][li] = true
+		pool.folded[s][li] = true
 		// The per-micro-batch partial products are folded in; recycle
 		// their pooled buffers.
-		for i, part := range st.curvA[s][li] {
+		for i, part := range pool.curvA[s][li] {
 			tensor.Put(part)
-			st.curvA[s][li][i] = nil
+			pool.curvA[s][li][i] = nil
 		}
-		for i, part := range st.curvB[s][li] {
+		for i, part := range pool.curvB[s][li] {
 			tensor.Put(part)
-			st.curvB[s][li][i] = nil
+			pool.curvB[s][li][i] = nil
 		}
 	}
 	if err := st.e.kfacPre[s].InvertFactor(li, factorB); err != nil {

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"repro/internal/pipemodel"
+	"repro/internal/tensor"
+)
+
+// kfacGenPool holds one statistics *generation* of the K-FAC refresh
+// pipeline: the per-micro-batch activation/gradient snapshots taken in the
+// generation's collect round, the partial Kronecker-factor products the
+// scheduled Curvature ops derive from them, and the per-layer fold markers.
+// The engine double-buffers two pools so overlapped refresh windows
+// (Config.OverlapRounds) can have two generations in flight at once — the
+// round's own collection writing one pool while the previous generation's
+// carried ops (pipeline.Op.Generation = 1) fold and invert out of the
+// other — without a new window's snapshots ever clobbering factors still
+// being folded. Serialized rounds use the same pools with at most one live
+// generation, so the two modes share one execution path.
+//
+// All matrices cycle through the tensor workspace pool: snapshots are
+// consumed (Put) by the curvature op that reduces them, partials by the
+// inversion op that folds the layer, and reset scrubs whatever an aborted
+// round left behind. The slice structure itself is allocated once at
+// EnableKFAC and reused every round.
+type kfacGenPool struct {
+	actsSnap  [][][]*tensor.Matrix // [stage][gmicro][layer]
+	gradsSnap [][][]*tensor.Matrix // [stage][gmicro][layer]
+	curvA     [][][]*tensor.Matrix // [stage][layer][gmicro]
+	curvB     [][][]*tensor.Matrix // [stage][layer][gmicro]
+	rowsA     [][][]int
+	rowsB     [][][]int
+	// folded marks layers whose factors this generation already folded into
+	// the preconditioner's EMA (first inversion touch, under the layer
+	// lock) — the guard that makes one generation fold exactly once even
+	// when its two factor inversions execute in different rounds.
+	folded [][]bool
+	// totals carries the loss denominators of the generation's statistics
+	// batch (the collect round's first step), so a carried fold scales the
+	// B factors with the generation's own batch, not the folding round's.
+	totals pipemodel.Totals
+}
+
+func newKFACGenPool(stages, perStep, layers int) *kfacGenPool {
+	p := &kfacGenPool{
+		actsSnap:  mat3(stages, perStep, layers),
+		gradsSnap: mat3(stages, perStep, layers),
+		curvA:     mat3(stages, layers, perStep),
+		curvB:     mat3(stages, layers, perStep),
+		rowsA:     int3(stages, layers, perStep),
+		rowsB:     int3(stages, layers, perStep),
+		folded:    make([][]bool, stages),
+	}
+	for s := range p.folded {
+		p.folded[s] = make([]bool, layers)
+	}
+	return p
+}
+
+// reset scrubs the pool for its next generation: matrices still held
+// (snapshots never reduced, partials never folded — the residue of an
+// aborted round) return to the workspace pool, and the fold markers clear.
+func (p *kfacGenPool) reset() {
+	scrub := func(m [][][]*tensor.Matrix) {
+		for i := range m {
+			for j := range m[i] {
+				for k, v := range m[i][j] {
+					if v != nil {
+						tensor.Put(v)
+						m[i][j][k] = nil
+					}
+				}
+			}
+		}
+	}
+	scrub(p.actsSnap)
+	scrub(p.gradsSnap)
+	scrub(p.curvA)
+	scrub(p.curvB)
+	for s := range p.folded {
+		for l := range p.folded[s] {
+			p.folded[s][l] = false
+		}
+	}
+	p.totals = pipemodel.Totals{}
+}

@@ -352,8 +352,16 @@ func TestRoundSkipCadenceAcrossRounds(t *testing.T) {
 // malformed rounds, and the refresh interval must align with the round.
 func TestRoundValidation(t *testing.T) {
 	m, c := newModelAndCorpus(t)
-	if _, err := NewWithConfig(m, Config{Stages: 2, MicroBatches: 2, RefreshSteps: -1}); err == nil {
-		t.Fatal("negative RefreshSteps must be rejected")
+	if _, err := NewWithConfig(m, Config{Stages: 2, MicroBatches: 2, RefreshSteps: -2}); err == nil {
+		t.Fatal("negative RefreshSteps (other than AdaptiveRefreshSteps) must be rejected")
+	}
+	if e, err := NewWithConfig(m, Config{Stages: 2, MicroBatches: 2, RefreshSteps: AdaptiveRefreshSteps}); err != nil {
+		t.Fatalf("AdaptiveRefreshSteps must be accepted: %v", err)
+	} else if e.RoundSteps() != 1 {
+		t.Fatalf("adaptive engine runs one-step rounds before EnableKFAC, got K=%d", e.RoundSteps())
+	}
+	if _, err := NewWithConfig(m, Config{Stages: 2, MicroBatches: 2, OverlapRounds: true, FrontLoadRefresh: true}); err == nil {
+		t.Fatal("OverlapRounds + FrontLoadRefresh must be rejected")
 	}
 	e, err := NewWithConfig(m, Config{Stages: 2, MicroBatches: 2, RefreshSteps: 2})
 	if err != nil {

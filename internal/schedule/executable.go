@@ -47,6 +47,19 @@ import (
 // last step's pre-tail order (execution can always complete; only the
 // timing degrades), and inversion work whose curvature spilled is deferred
 // the same way so cross-device waits can never cycle.
+//
+// With Config.Overlap the spill is not serialized but *carried*: the
+// schedule describes the steady state of overlapping windows, in which the
+// refresh work that cannot fit its own window executes in the NEXT window's
+// early bubbles as generation-lagged ops (Op.Generation = 1) operating on
+// the previous window's statistics. Carried ops are packed FIRST (they are
+// ready the moment the window starts — their inputs completed last window),
+// then the window's own curvature collection fills what is left — so the
+// early bubbles that a serialized round must leave idle (the window's own
+// statistics do not exist yet) absorb the queued refresh work instead.
+// Generation-0 inversions of a layer additionally depend on that layer's
+// carried inversions, keeping the per-layer EMA fold order sequential
+// across generations.
 func Executable(cfg Config) (*pipeline.Schedule, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
@@ -62,7 +75,11 @@ func Executable(cfg Config) (*pipeline.Schedule, error) {
 		return nil, err
 	}
 	items := buildWorkQueue(cfg, base, tl)
-	packForExec(items, tl, cfg)
+	if cfg.Overlap {
+		packOverlapped(items, tl, cfg)
+	} else {
+		packForExec(items, tl, cfg)
+	}
 	assignWindowSteps(items, tl, cfg)
 
 	s := &pipeline.Schedule{
@@ -85,17 +102,21 @@ func Executable(cfg Config) (*pipeline.Schedule, error) {
 	}
 
 	// Create the K-FAC ops. Curvature first so inversion/sync deps can
-	// reference them.
+	// reference them. All data-dependency maps are keyed by generation:
+	// edges only bind ops of the same generation (a carried op's same-
+	// generation peers that already ran did so in the previous window), plus
+	// the explicit cross-generation fold-order edges on inversions.
 	itemOp := make(map[*workItem]*pipeline.Op, len(items))
-	curvIDs := make(map[[2]int][]int) // (stage, factor) -> curvature op ids
-	stageCurvIDs := make(map[int][]int)
-	syncIDs := make(map[int][]int)
-	invOps := make(map[int][]*pipeline.Op) // stage -> inversion ops
+	curvIDs := make(map[[3]int][]int)            // (gen, stage, factor) -> curvature op ids
+	stageCurvIDs := make(map[[2]int][]int)       // (gen, stage)
+	syncIDs := make(map[[2]int][]int)            // (gen, stage)
+	invOps := make(map[int][]*pipeline.Op)       // stage -> inversion ops, both generations
+	invGenOps := make(map[[3]int][]*pipeline.Op) // (gen, stage, factor)
 	newOp := func(it *workItem) *pipeline.Op {
 		op := &pipeline.Op{
 			ID: len(s.Ops), Kind: it.kind, Device: it.device, Stage: it.stage,
 			Replica: it.replica, MicroBatch: it.micro, Factor: it.factor, Step: it.wstep,
-			Duration: maxDur(it.duration, 1),
+			Generation: it.gen, Duration: maxDur(it.duration, 1),
 		}
 		s.Ops = append(s.Ops, op)
 		itemOp[it] = op
@@ -106,37 +127,56 @@ func Executable(cfg Config) (*pipeline.Schedule, error) {
 			continue
 		}
 		op := newOp(it)
-		depKind := pipeline.Forward
-		if factorKindOf(it.factor) == FactorB {
-			depKind = pipeline.Backward
+		if it.gen == 0 {
+			depKind := pipeline.Forward
+			if factorKindOf(it.factor) == FactorB {
+				depKind = pipeline.Backward
+			}
+			if id, ok := baseID[[4]int{int(depKind), it.stage, it.micro, it.device}]; ok {
+				op.Deps = append(op.Deps, id)
+			} else {
+				return nil, fmt.Errorf("schedule: no %v op for stage %d micro %d device %d",
+					depKind, it.stage, it.micro, it.device)
+			}
 		}
-		if id, ok := baseID[[4]int{int(depKind), it.stage, it.micro, it.device}]; ok {
-			op.Deps = append(op.Deps, id)
-		} else {
-			return nil, fmt.Errorf("schedule: no %v op for stage %d micro %d device %d",
-				depKind, it.stage, it.micro, it.device)
-		}
-		curvIDs[[2]int{it.stage, it.factor}] = append(curvIDs[[2]int{it.stage, it.factor}], op.ID)
-		stageCurvIDs[it.stage] = append(stageCurvIDs[it.stage], op.ID)
+		// Carried curvature (gen 1) reads the previous window's pooled
+		// statistics snapshots, complete before this window began: no
+		// in-window data dependency, schedulable from the first bubble.
+		curvIDs[[3]int{it.gen, it.stage, it.factor}] = append(curvIDs[[3]int{it.gen, it.stage, it.factor}], op.ID)
+		stageCurvIDs[[2]int{it.gen, it.stage}] = append(stageCurvIDs[[2]int{it.gen, it.stage}], op.ID)
 	}
 	for _, it := range items {
 		if it.kind != pipeline.SyncCurvature {
 			continue
 		}
 		op := newOp(it)
-		op.Deps = append(op.Deps, stageCurvIDs[it.stage]...)
-		syncIDs[it.stage] = append(syncIDs[it.stage], op.ID)
+		op.Deps = append(op.Deps, stageCurvIDs[[2]int{it.gen, it.stage}]...)
+		syncIDs[[2]int{it.gen, it.stage}] = append(syncIDs[[2]int{it.gen, it.stage}], op.ID)
 	}
-	for _, it := range items {
-		if it.kind != pipeline.Inversion {
-			continue
+	// Carried inversions first: the window's own inversions take
+	// cross-generation edges on them (per-layer EMA fold order: the carried
+	// generation folds and swaps before this window's generation folds on
+	// top — §3.1's freshest-completed rule stays monotone in generations).
+	for _, gen := range []int{1, 0} {
+		for _, it := range items {
+			if it.kind != pipeline.Inversion || it.gen != gen {
+				continue
+			}
+			op := newOp(it)
+			op.Deps = append(op.Deps, curvIDs[[3]int{gen, it.stage, it.factor}]...)
+			op.Deps = append(op.Deps, curvIDs[[3]int{gen, it.stage, pairFactor(it.factor)}]...)
+			op.Deps = append(op.Deps, syncIDs[[2]int{gen, it.stage}]...)
+			if gen == 0 {
+				for _, f := range []int{it.factor, pairFactor(it.factor)} {
+					for _, prev := range invGenOps[[3]int{1, it.stage, f}] {
+						op.Deps = append(op.Deps, prev.ID)
+					}
+				}
+			}
+			op.Deps = dedup(op.Deps)
+			invOps[op.Stage] = append(invOps[op.Stage], op)
+			invGenOps[[3]int{gen, it.stage, it.factor}] = append(invGenOps[[3]int{gen, it.stage, it.factor}], op)
 		}
-		op := newOp(it)
-		op.Deps = append(op.Deps, curvIDs[[2]int{it.stage, it.factor}]...)
-		op.Deps = append(op.Deps, curvIDs[[2]int{it.stage, pairFactor(it.factor)}]...)
-		op.Deps = append(op.Deps, syncIDs[it.stage]...)
-		op.Deps = dedup(op.Deps)
-		invOps[op.Stage] = append(invOps[op.Stage], op)
 	}
 	// Each step's Precondition uses the freshest inverses completed by that
 	// step: it depends on the stage's inversions packed into steps <= its
@@ -191,12 +231,32 @@ func dedup(ids []int) []int {
 // Executable wires, so the packed per-device positions can never contradict
 // the deps.
 func packForExec(items []*workItem, base *pipeline.Timeline, cfg Config) {
+	packOwnWindow(items, freshFree(base), cfg, nil, nil, nil)
+}
+
+// freshFree builds per-device free lists over the base timeline's bubbles.
+func freshFree(base *pipeline.Timeline) []*freeList {
 	free := make([]*freeList, base.Devices)
 	for d := 0; d < base.Devices; d++ {
 		free[d] = &freeList{gaps: base.Gaps(d, 0, base.Makespan)}
 	}
+	return free
+}
+
+// packOwnWindow packs the window's own-generation work items into the free
+// bubbles. carried items (nil-safe) are skipped — the overlap path placed
+// them already — and carryInvEnd/carryInvBlocked feed the cross-generation
+// inversion constraint: an own-generation inversion must start after (or,
+// when the carried one found no bubble at all, be deferred behind) the
+// carried inversions of its layer pair, so the per-layer fold order the
+// dependency edges prescribe is realizable on every device order.
+func packOwnWindow(items []*workItem, free []*freeList, cfg Config,
+	carried map[*workItem]bool, carryInvEnd map[[2]int]hardware.Microseconds, carryInvBlocked map[[2]int]bool) {
 	var curv, syncs, invs []*workItem
 	for _, it := range items {
+		if carried[it] {
+			continue
+		}
 		switch it.kind {
 		case pipeline.Curvature:
 			curv = append(curv, it)
@@ -282,6 +342,13 @@ func packForExec(items []*workItem, base *pipeline.Timeline, cfg Config) {
 			it.placed = false
 			continue
 		}
+		if carryInvBlocked[[2]int{it.stage, it.factor}] || carryInvBlocked[[2]int{it.stage, pairFactor(it.factor)}] {
+			// A carried inversion of the layer pair found no bubble: this
+			// inversion must order after it, i.e. in the end-of-round
+			// deferred block too.
+			it.placed = false
+			continue
+		}
 		for _, ow := range stageOwners(cfg, it.stage) {
 			for _, f := range []int{it.factor, pairFactor(it.factor)} {
 				if t := curvDone[[3]int{ow.device, it.stage, f}]; t > it.readyAt {
@@ -292,8 +359,190 @@ func packForExec(items []*workItem, base *pipeline.Timeline, cfg Config) {
 		if t := syncStageDone[it.stage]; t > it.readyAt {
 			it.readyAt = t
 		}
+		for _, f := range []int{it.factor, pairFactor(it.factor)} {
+			if t := carryInvEnd[[2]int{it.stage, f}]; t > it.readyAt {
+				it.readyAt = t
+			}
+		}
 		place(it)
 	}
+}
+
+// packOverlapped computes the overlapped-window steady state: the carry set
+// — the refresh work that executes one window late, in the next window's
+// early bubbles — is grown to a fixed point so the schedule is
+// self-consistent (what spills out of the window is exactly what the window
+// absorbs as carried work from its predecessor; every window of the steady
+// state is identical). Each iteration places the current carry set first
+// (ready at window start) and the window's own work into the remaining
+// bubbles; whatever still does not fit joins the carry set, closed over the
+// same-generation dependency chains. The loop terminates because the carry
+// set only grows and is bounded by the item count; when nothing spills on
+// the first iteration, the result is identical to the serialized packing.
+func packOverlapped(items []*workItem, base *pipeline.Timeline, cfg Config) {
+	carried := make(map[*workItem]bool)
+	for {
+		placeOverlapRound(items, base, cfg, carried)
+		grew := false
+		for _, it := range items {
+			if !it.placed && !carried[it] {
+				carried[it] = true
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+		carryClosure(items, carried)
+	}
+	for _, it := range items {
+		if carried[it] {
+			it.gen = 1
+		}
+	}
+}
+
+// carryClosure extends the carry set along same-generation dependency
+// chains: a stage with carried curvature cannot run its sync-curvature (it
+// depends on ALL the stage's curvature) or inversions in their own window,
+// and a carried sync drags the stage's inversions with it. Inversions may
+// carry individually without forcing anything else.
+func carryClosure(items []*workItem, carried map[*workItem]bool) {
+	curvCarried := make(map[int]bool)
+	syncCarried := make(map[int]bool)
+	for _, it := range items {
+		if !carried[it] {
+			continue
+		}
+		switch it.kind {
+		case pipeline.Curvature:
+			curvCarried[it.stage] = true
+		case pipeline.SyncCurvature:
+			syncCarried[it.stage] = true
+		}
+	}
+	for _, it := range items {
+		if it.kind == pipeline.SyncCurvature && curvCarried[it.stage] && !carried[it] {
+			carried[it] = true
+			syncCarried[it.stage] = true
+		}
+	}
+	for _, it := range items {
+		if it.kind == pipeline.Inversion && (curvCarried[it.stage] || syncCarried[it.stage]) {
+			carried[it] = true
+		}
+	}
+}
+
+// placeOverlapRound performs one placement pass of the overlapped steady
+// state: carried items first — all ready at window start, since their
+// inputs (the previous window's statistics pools, and for inversions the
+// previous window's curvature partials) completed before the window began —
+// in the same curvature / sync / inversion phase order as the serialized
+// packer, then the window's own generation into the remaining bubbles.
+func placeOverlapRound(items []*workItem, base *pipeline.Timeline, cfg Config, carried map[*workItem]bool) {
+	free := freshFree(base)
+	for _, it := range items {
+		it.placed = false
+		it.placedStart = 0
+		it.placedEnd = 0
+		// Sync and inversion readiness is derived during packing; carried
+		// curvature is ready at window start (its statistics are the
+		// previous window's pooled snapshots). Own-window curvature keeps
+		// its buildWorkQueue readiness. An item, once carried, stays
+		// carried, so overwriting its readiness is safe across iterations.
+		if it.kind != pipeline.Curvature || carried[it] {
+			it.readyAt = 0
+		}
+	}
+	place := func(it *workItem) {
+		pieces, end, ok := free[it.device].place(it.readyAt, it.duration)
+		if !ok {
+			it.placed = false
+			return
+		}
+		it.placed = true
+		it.placedStart = pieces[0].Start
+		it.placedEnd = end
+	}
+	carriedCurvDone := make(map[[2]int]hardware.Microseconds) // (device, stage)
+	carriedPairDone := make(map[[3]int]hardware.Microseconds) // (device, stage, factor)
+	carriedCurvUnplaced := make(map[int]bool)                 // stage
+	for _, it := range items {
+		if !carried[it] || it.kind != pipeline.Curvature {
+			continue
+		}
+		place(it)
+		if !it.placed {
+			carriedCurvUnplaced[it.stage] = true
+			continue
+		}
+		key := [3]int{it.device, it.stage, it.factor}
+		if it.placedEnd > carriedPairDone[key] {
+			carriedPairDone[key] = it.placedEnd
+		}
+		skey := [2]int{it.device, it.stage}
+		if it.placedEnd > carriedCurvDone[skey] {
+			carriedCurvDone[skey] = it.placedEnd
+		}
+	}
+	carriedSyncDone := make(map[int]hardware.Microseconds)
+	carriedSyncUnplaced := make(map[int]bool)
+	for _, it := range items {
+		if !carried[it] || it.kind != pipeline.SyncCurvature {
+			continue
+		}
+		if carriedCurvUnplaced[it.stage] {
+			it.placed = false
+			carriedSyncUnplaced[it.stage] = true
+			continue
+		}
+		for _, ow := range stageOwners(cfg, it.stage) {
+			if t := carriedCurvDone[[2]int{ow.device, it.stage}]; t > it.readyAt {
+				it.readyAt = t
+			}
+		}
+		place(it)
+		if !it.placed {
+			carriedSyncUnplaced[it.stage] = true
+			continue
+		}
+		if it.placedEnd > carriedSyncDone[it.stage] {
+			carriedSyncDone[it.stage] = it.placedEnd
+		}
+	}
+	carryInvEnd := make(map[[2]int]hardware.Microseconds) // (stage, factor)
+	carryInvBlocked := make(map[[2]int]bool)
+	for _, it := range items {
+		if !carried[it] || it.kind != pipeline.Inversion {
+			continue
+		}
+		key := [2]int{it.stage, it.factor}
+		if carriedCurvUnplaced[it.stage] || carriedSyncUnplaced[it.stage] {
+			it.placed = false
+			carryInvBlocked[key] = true
+			continue
+		}
+		for _, ow := range stageOwners(cfg, it.stage) {
+			for _, f := range []int{it.factor, pairFactor(it.factor)} {
+				if t := carriedPairDone[[3]int{ow.device, it.stage, f}]; t > it.readyAt {
+					it.readyAt = t
+				}
+			}
+		}
+		if t := carriedSyncDone[it.stage]; t > it.readyAt {
+			it.readyAt = t
+		}
+		place(it)
+		if !it.placed {
+			carryInvBlocked[key] = true
+			continue
+		}
+		if it.placedEnd > carryInvEnd[key] {
+			carryInvEnd[key] = it.placedEnd
+		}
+	}
+	packOwnWindow(items, free, cfg, carried, carryInvEnd, carryInvBlocked)
 }
 
 // assignWindowSteps maps every packed work item to the step of the refresh
@@ -347,48 +596,66 @@ func assignWindowSteps(items []*workItem, base *pipeline.Timeline, cfg Config) {
 		}
 		return era
 	}
-	curvStep := make(map[[2]int]int) // (stage, factor) -> max curvature wstep
+	// The clamp maps are keyed by generation: dependency edges only bind
+	// same-generation ops, except the cross-generation fold-order edge from
+	// a layer's carried inversions to the window's own — clamped last.
+	curvStep := make(map[[3]int]int) // (gen, stage, factor) -> max curvature wstep
 	for _, it := range items {
 		if it.kind != pipeline.Curvature {
 			continue
 		}
 		it.wstep = eraOf(it)
-		key := [2]int{it.stage, it.factor}
+		key := [3]int{it.gen, it.stage, it.factor}
 		if it.wstep > curvStep[key] {
 			curvStep[key] = it.wstep
 		}
 	}
-	stageCurvStep := make(map[int]int)
+	stageCurvStep := make(map[[2]int]int) // (gen, stage)
 	for key, w := range curvStep {
-		if w > stageCurvStep[key[0]] {
-			stageCurvStep[key[0]] = w
+		skey := [2]int{key[0], key[1]}
+		if w > stageCurvStep[skey] {
+			stageCurvStep[skey] = w
 		}
 	}
-	syncStep := make(map[int]int) // stage -> max sync wstep
+	syncStep := make(map[[2]int]int) // (gen, stage) -> max sync wstep
 	for _, it := range items {
 		if it.kind != pipeline.SyncCurvature {
 			continue
 		}
 		it.wstep = eraOf(it)
-		if w := stageCurvStep[it.stage]; w > it.wstep {
+		if w := stageCurvStep[[2]int{it.gen, it.stage}]; w > it.wstep {
 			it.wstep = w
 		}
-		if it.wstep > syncStep[it.stage] {
-			syncStep[it.stage] = it.wstep
+		if it.wstep > syncStep[[2]int{it.gen, it.stage}] {
+			syncStep[[2]int{it.gen, it.stage}] = it.wstep
 		}
 	}
-	for _, it := range items {
-		if it.kind != pipeline.Inversion {
-			continue
-		}
-		it.wstep = eraOf(it)
-		for _, f := range []int{it.factor, pairFactor(it.factor)} {
-			if w := curvStep[[2]int{it.stage, f}]; w > it.wstep {
+	invStep := make(map[[3]int]int) // (gen, stage, factor) -> max inversion wstep
+	for _, gen := range []int{1, 0} {
+		for _, it := range items {
+			if it.kind != pipeline.Inversion || it.gen != gen {
+				continue
+			}
+			it.wstep = eraOf(it)
+			for _, f := range []int{it.factor, pairFactor(it.factor)} {
+				if w := curvStep[[3]int{gen, it.stage, f}]; w > it.wstep {
+					it.wstep = w
+				}
+				if gen == 0 {
+					// Fold order: the window's own inversion of a layer runs
+					// after the layer's carried inversions.
+					if w := invStep[[3]int{1, it.stage, f}]; w > it.wstep {
+						it.wstep = w
+					}
+				}
+			}
+			if w := syncStep[[2]int{gen, it.stage}]; w > it.wstep {
 				it.wstep = w
 			}
-		}
-		if w := syncStep[it.stage]; w > it.wstep {
-			it.wstep = w
+			key := [3]int{gen, it.stage, it.factor}
+			if it.wstep > invStep[key] {
+				invStep[key] = it.wstep
+			}
 		}
 	}
 }
@@ -431,21 +698,27 @@ func assembleExecOrders(s *pipeline.Schedule, tl *pipeline.Timeline, items []*wo
 				seq++
 			}
 		}
-		for _, it := range items {
-			if it.device != d {
-				continue
+		// Carried (gen 1) items take earlier sequence numbers than the
+		// window's own: among deferred items sharing the end-of-round
+		// position, a layer's carried inversion must order before the own-
+		// generation inversion that depends on it.
+		for _, gen := range []int{1, 0} {
+			for _, it := range items {
+				if it.device != d || it.gen != gen {
+					continue
+				}
+				op := itemOp[it]
+				if op == nil {
+					continue
+				}
+				start := never
+				if it.placed {
+					start = it.placedStart
+				}
+				j := clamp(it.wstep)
+				heads[j] = append(heads[j], entry{start: start, seq: seq, opID: op.ID})
+				seq++
 			}
-			op := itemOp[it]
-			if op == nil {
-				continue
-			}
-			start := never
-			if it.placed {
-				start = it.placedStart
-			}
-			j := clamp(it.wstep)
-			heads[j] = append(heads[j], entry{start: start, seq: seq, opID: op.ID})
-			seq++
 		}
 		for j := 0; j < k; j++ {
 			h := heads[j]

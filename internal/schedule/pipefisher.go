@@ -82,6 +82,19 @@ type Config struct {
 	// skip cadence at the same refresh interval, which the engine's
 	// round-vs-skip identity tests exploit.
 	FrontLoadRefresh bool
+	// Overlap lets consecutive refresh windows overlap (Executable only):
+	// refresh work that does not fit its own window's bubbles is not
+	// serialized before the window's tail but *carried* — emitted as
+	// generation-lagged ops (pipeline.Op.Generation = 1) that execute in
+	// the early bubbles of the window, operating on the PREVIOUS window's
+	// statistics generation, exactly where a serialized round would idle
+	// (the first steps' bubbles open before the window's own statistics
+	// exist). The carry set is computed as a fixed point so the steady-state
+	// window is self-consistent: what spills out of this window is what the
+	// next window's early bubbles absorb. When everything fits, the overlap
+	// schedule is identical to the serialized one. Incompatible with
+	// FrontLoadRefresh.
+	Overlap bool
 	// MaxSteps bounds the number of pipeline steps one refresh round may
 	// span (a safety net; realistic configurations need 1-10).
 	MaxSteps int
@@ -106,6 +119,9 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.RefreshSteps > c.MaxSteps {
 		return c, fmt.Errorf("schedule: RefreshSteps %d exceeds MaxSteps %d", c.RefreshSteps, c.MaxSteps)
+	}
+	if c.Overlap && c.FrontLoadRefresh {
+		return c, fmt.Errorf("schedule: Overlap and FrontLoadRefresh are mutually exclusive (front-loading pins the whole refresh to the window's first step; overlap carries spill into the next window)")
 	}
 	if c.DataParallelWidth <= 0 {
 		c.DataParallelWidth = 1
@@ -172,6 +188,12 @@ type workItem struct {
 	// wstep is the step of the refresh window the item executes in
 	// (0-based; set by assignWindowSteps for the executable form).
 	wstep int
+	// gen is the item's generation lag in the overlapped executable form:
+	// 0 = the window's own statistics generation; 1 = carried from the
+	// previous window (the item spilled out of its own window's bubbles and
+	// executes in the next window's early bubbles instead). Always 0 for
+	// Assign and for serialized rounds.
+	gen int
 }
 
 // Assign builds the base schedule, inserts the per-step precondition work,
