@@ -58,6 +58,8 @@ func main() {
 		replicas     = flag.Int("replicas", 1, "data-parallel width W for real execution with -execute (replicated stage parameters, in-process sync-grad collectives)")
 		refreshSteps = flag.Int("refresh-steps", 1, "round length K for real execution with -execute: one K-FAC refresh spreads over the bubbles of K consecutive steps (1 = classic skip cadence, 0 = adaptive: derive K from the measured refresh work at EnableKFAC time)")
 		overlap      = flag.Bool("overlap", false, "overlap consecutive refresh windows with -execute: refresh work that spills out of its window carries into the next round's bubbles as generation-lagged ops")
+		kernelName   = flag.String("kernel", "", "matmul kernel variant: scalar, tiled, or fma (default: best available)")
+		f32          = flag.Bool("f32", false, "float32 compute mode: packed matmul panels and K-FAC statistics snapshots narrow to float32 (inverses and optimizer state stay float64)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -70,12 +72,22 @@ func main() {
 		*refreshSteps = 0 // negative means "adaptive", like 0
 	}
 	tensor.SetParallelism(*workers)
+	if *kernelName != "" {
+		k, err := tensor.ParseKernel(*kernelName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tensor.SetKernel(k); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tensor.SetF32(*f32)
 	kDesc := fmt.Sprint(*refreshSteps)
 	if *refreshSteps == 0 {
 		kDesc = "adaptive"
 	}
-	fmt.Printf("%s on %s: %d stages x %d micro-batches, simulated W=%d, executed replicas=%d, refresh round K=%s, overlap=%v, intra-op workers %d\n",
-		*archName, *gpuName, *stages, *nmicro, *dp, *replicas, kDesc, *overlap, tensor.Parallelism())
+	fmt.Printf("%s on %s: %d stages x %d micro-batches, simulated W=%d, executed replicas=%d, refresh round K=%s, overlap=%v, intra-op workers %d, kernel %s, f32=%v\n",
+		*archName, *gpuName, *stages, *nmicro, *dp, *replicas, kDesc, *overlap, tensor.Parallelism(), tensor.ActiveKernel(), tensor.F32())
 
 	a, err := arch.ByName(*archName)
 	if err != nil {

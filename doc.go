@@ -8,7 +8,9 @@
 // training executor share one schedule representation (one op-list form,
 // two interpreters):
 //
-//	tensor    dense float64 matrices: matmul, Cholesky, eigen, RNG
+//	tensor    dense float64 matrices: packed-panel matmul kernels with
+//	          runtime CPU dispatch and a float32 compute mode, Cholesky,
+//	          eigen, RNG
 //	nn        layers and autograd: Dense (with K-FAC stat capture),
 //	          LayerNorm, attention, TransformerBlock, losses
 //	models    internal/bert (encoder, MLM+NSP) and internal/gpt
@@ -50,17 +52,51 @@
 //
 // # Kernel layer
 //
-// The tensor kernels under the executor are cache-blocked and
-// goroutine-parallel behind a shared worker pool: tensor.SetParallelism
-// sizes the process-wide intra-op worker budget (default GOMAXPROCS, the
-// -workers flag on cmd/pipefisher and examples/pipelinetrain), and the
-// engine caps each device goroutine's kernels to its fair share of that
-// budget (engine.Config.Workers / devices) via tensor.SetOpParallelism, so
-// concurrent stages split the cores instead of oversubscribing them. The
-// executed Timeline records both values for honest real-vs-simulated
-// comparisons. Every kernel reduces each output element in the same serial
-// order regardless of worker count, so results — and therefore gradients —
-// are bit-identical across parallelism settings.
+// The matmul family dispatches at runtime across three kernel variants
+// (tensor.SetKernel / ActiveKernel, the -kernel flag on both CLIs):
+//
+//   - scalar — the cache-blocked scalar loops, kept as the parity
+//     reference every other variant is tested against.
+//   - tiled — GotoBLAS-style packed panels (A packed into mr-row panels,
+//     B into nr-column panels, MC x KC cache blocking) driven through 4x2
+//     register-tiled pure-Go micro-kernels. Portable to every GOARCH and
+//     bit-identical to scalar on float64: both reduce each output element
+//     with one multiply-rounding and one add-rounding per k step,
+//     ascending k.
+//   - fma — the same packed driver calling hand-written amd64 AVX2
+//     assembly micro-kernels (8x4 float64, 8x8 float32) with fused
+//     multiply-add, selected only when CPUID reports AVX2+FMA with OS
+//     XSAVE support (never under the purego build tag). Fusing collapses
+//     the two roundings into one, so fma results differ from scalar/tiled
+//     by the fused-rounding delta — but within the variant every
+//     bit-identity contract below still holds, because the per-element
+//     reduction order stays fixed ascending k.
+//
+// The default is the best available variant. Float32 compute mode
+// (tensor.SetF32, the -f32 flag) is orthogonal: float64 stays the API
+// currency, but the packed driver narrows its panels to float32,
+// accumulates in float32 and widens on write-back — halving panel memory
+// traffic — and the engine's K-FAC statistics snapshots narrow at capture
+// (tensor.Snap), halving the paper's Msave_err resident cost. Accumulating
+// entry points (TMatMulAddInto) add the widened float32 product to the
+// float64 accumulator rather than narrowing it, and
+// factorization-sensitive code (Cholesky, eigen, damping) never routes
+// through GEMM and stays float64 in either mode.
+//
+// The kernels are goroutine-parallel behind a shared worker pool:
+// tensor.SetParallelism sizes the process-wide intra-op worker budget
+// (default GOMAXPROCS, the -workers flag on cmd/pipefisher and
+// examples/pipelinetrain), and the engine caps each device goroutine's
+// kernels to its fair share of that budget (engine.Config.Workers /
+// devices) via tensor.SetOpParallelism, so concurrent stages split the
+// cores instead of oversubscribing them. The packed driver splits work at
+// micro-panel granularity on a grid that depends only on the operand
+// shapes, and the executed Timeline records both parallelism values for
+// honest real-vs-simulated comparisons. Every kernel variant reduces each
+// output element in the same serial order regardless of worker count, so
+// results — and therefore gradients — are bit-identical across parallelism
+// settings within a variant (and across W, schedules and decompositions,
+// per the collectives contract below).
 //
 // Hot paths are allocation-free in steady state: layers hold retained
 // output/gradient buffers (tensor.Reuse), gradient accumulation is fused

@@ -50,6 +50,8 @@ func main() {
 	replicas := flag.Int("replicas", 1, "data-parallel width W (replicated stage parameters, in-process sync collectives)")
 	refreshSteps := flag.Int("refresh-steps", 2, "round length K: one K-FAC refresh spreads over the bubbles of K consecutive steps (0 = adaptive: derive K from the measured refresh work)")
 	overlap := flag.Bool("overlap", false, "overlap consecutive refresh windows: spilled refresh work carries into the next round's bubbles as generation-lagged ops")
+	kernelName := flag.String("kernel", "", "matmul kernel variant: scalar, tiled, or fma (default: best available)")
+	f32 := flag.Bool("f32", false, "float32 compute mode: packed matmul panels and K-FAC statistics snapshots narrow to float32 (inverses and optimizer state stay float64)")
 	flag.Parse()
 	if *workers < 0 {
 		*workers = 0 // negative means "default", like 0
@@ -62,6 +64,16 @@ func main() {
 	}
 	adaptive := *refreshSteps == 0
 	tensor.SetParallelism(*workers)
+	if *kernelName != "" {
+		k, err := tensor.ParseKernel(*kernelName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tensor.SetKernel(k); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tensor.SetF32(*f32)
 
 	model, err := bert.New(bert.TinyConfig(), 7)
 	if err != nil {
@@ -103,8 +115,8 @@ func main() {
 	if adaptive {
 		kDesc = fmt.Sprintf("K=%d (adaptive, from measured refresh work)", k)
 	}
-	fmt.Printf("pipelinetrain: %s schedule, %d replica(s), refresh round %s, overlap=%v, %d intra-op workers\n",
-		*method, *replicas, kDesc, *overlap, tensor.Parallelism())
+	fmt.Printf("pipelinetrain: %s schedule, %d replica(s), refresh round %s, overlap=%v, %d intra-op workers, kernel %s, f32=%v\n",
+		*method, *replicas, kDesc, *overlap, tensor.Parallelism(), tensor.ActiveKernel(), tensor.F32())
 
 	params := model.Params()
 	opt := optim.NewLAMB(params, 0.01)

@@ -1,0 +1,38 @@
+package bert
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Float32 compute mode through the single-device K-FAC loop: the packed
+// matmul kernels narrow their panels, Dense captures its output-gradient
+// statistics in a float32 buffer, and KFACStats widens on demand for the
+// float64 factor EMA — training must still converge.
+func TestPretrainKFACFloat32Mode(t *testing.T) {
+	tensor.SetF32(true)
+	defer tensor.SetF32(false)
+	m := tinyModel(t, 9)
+	c := tinyCorpus(t, 10)
+	res, err := Pretrain(m, c, TrainConfig{
+		Optimizer: OptKFAC, Steps: 40, BatchSize: 8,
+		CurvatureEvery: 2, InversionEvery: 4, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CurvatureRefreshes == 0 || res.InverseRefreshes == 0 {
+		t.Fatalf("K-FAC work not performed: %d curvature, %d inverse",
+			res.CurvatureRefreshes, res.InverseRefreshes)
+	}
+	if math.IsNaN(res.FinalLoss) {
+		t.Fatal("NaN final loss")
+	}
+	first := mean(res.Losses[:5])
+	last := mean(res.Losses[35:])
+	if last >= first {
+		t.Fatalf("float32-mode K-FAC loss did not decrease: %.3f -> %.3f", first, last)
+	}
+}

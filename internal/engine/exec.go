@@ -529,8 +529,11 @@ func (st *runState) forward(d int, op *pipeline.Op) error {
 		// ops consume the snapshots later — in the bubbles of whichever
 		// step the packer chose, possibly the NEXT round's (carried ops
 		// under overlap), which is why the pool is engine-owned.
+		// SnapClone narrows to float32 when the compute mode asks for it:
+		// the snapshots dominate Msave_err, and the Gram reduction widens
+		// exactly, so narrowing here is the float32 mode's memory win.
 		for li, l := range stg.layers {
-			st.cur.actsSnap[s][st.gmicro(op)][li] = tensor.GetClone(l.CapturedInput())
+			st.cur.actsSnap[s][st.gmicro(op)][li] = tensor.SnapClone(l.CapturedInput())
 		}
 	}
 	st.record(d, op, t0)
@@ -585,8 +588,10 @@ func (st *runState) backward(d int, op *pipeline.Op) error {
 	if st.refresh && op.Step == 0 {
 		// Snapshot the B-factor statistics into the collecting
 		// generation's pool (see the A-factor snapshot in forward).
+		// In float32 mode the layer's capture already lives in a narrow
+		// buffer; Snap.Clone copies it without a widen/narrow round trip.
 		for li, l := range stg.layers {
-			st.cur.gradsSnap[s][st.gmicro(op)][li] = tensor.GetClone(l.CapturedOutputGrad())
+			st.cur.gradsSnap[s][st.gmicro(op)][li] = l.CapturedOutputGradSnap().Clone()
 		}
 	}
 	if stg.first {
@@ -633,30 +638,33 @@ func (st *runState) curvature(d int, op *pipeline.Op, pool *kfacGenPool) error {
 	st.e.stageMu[op.Replica][s].Lock()
 	defer st.e.stageMu[op.Replica][s].Unlock()
 	t0 := time.Since(st.start)
-	var stat *tensor.Matrix
+	var stat tensor.Snap
 	if factorB {
 		stat = pool.gradsSnap[s][m][li]
 	} else {
 		stat = pool.actsSnap[s][m][li]
 	}
-	if stat == nil {
+	if !stat.Valid() {
 		return fmt.Errorf("no captured statistics for layer %d factor %d micro-batch %d", li, op.Factor, m)
 	}
 	// The partial Gram product U^T U goes into a pooled buffer (released
 	// by the inversion op once it is folded into the factor sum), and the
-	// statistics snapshot is recycled here — its only consumer.
-	part := tensor.Get(stat.Cols, stat.Cols)
-	tensor.TMatMulInto(part, stat, stat)
+	// statistics snapshot is recycled here — its only consumer. The partial
+	// stays float64 even when the snapshot is a float32 Snap: factor sums
+	// and EMAs accumulate across micro-batches and rounds, where narrow
+	// accumulation would compound.
+	part := tensor.Get(stat.Cols(), stat.Cols())
+	stat.GramInto(part)
 	if factorB {
 		pool.curvB[s][li][m] = part
-		pool.rowsB[s][li][m] = stat.Rows
-		pool.gradsSnap[s][m][li] = nil
+		pool.rowsB[s][li][m] = stat.Rows()
+		pool.gradsSnap[s][m][li] = tensor.Snap{}
 	} else {
 		pool.curvA[s][li][m] = part
-		pool.rowsA[s][li][m] = stat.Rows
-		pool.actsSnap[s][m][li] = nil
+		pool.rowsA[s][li][m] = stat.Rows()
+		pool.actsSnap[s][m][li] = tensor.Snap{}
 	}
-	tensor.Put(stat)
+	stat.Release()
 	st.record(d, op, t0)
 	return nil
 }
@@ -701,6 +709,11 @@ func (st *runState) inversion(d int, op *pipeline.Op, pool *kfacGenPool) error {
 		if err := st.e.kfacPre[s].SetFactors(li, newA, newB); err != nil {
 			return err
 		}
+		// SetFactors copies into the preconditioner's own state (it never
+		// retains the arguments), so the fold's pooled sums go straight
+		// back to the workspace pool.
+		tensor.Put(newA)
+		tensor.Put(newB)
 		pool.folded[s][li] = true
 		// The per-micro-batch partial products are folded in; recycle
 		// their pooled buffers.
@@ -722,7 +735,8 @@ func (st *runState) inversion(d int, op *pipeline.Op, pool *kfacGenPool) error {
 
 // sumFactor folds per-micro-batch partial products into one factor:
 // scale/N · Σ_m U_m^T U_m, summed in ascending global micro-batch order
-// for determinism across replica counts and schedules.
+// for determinism across replica counts and schedules. The returned matrix
+// is pooled; the caller Puts it after SetFactors copies it out.
 func sumFactor(parts []*tensor.Matrix, rows []int, scale float64) (*tensor.Matrix, error) {
 	var sum *tensor.Matrix
 	var n int
@@ -731,7 +745,8 @@ func sumFactor(parts []*tensor.Matrix, rows []int, scale float64) (*tensor.Matri
 			return nil, fmt.Errorf("missing curvature contribution of micro-batch %d", m)
 		}
 		if sum == nil {
-			sum = tensor.Zeros(p.Rows, p.Cols)
+			sum = tensor.Get(p.Rows, p.Cols)
+			sum.Zero()
 		}
 		sum.AddInPlace(p)
 		n += rows[m]
@@ -843,6 +858,17 @@ func mat3(a, b, c int) [][][]*tensor.Matrix {
 	out := make([][][]*tensor.Matrix, a)
 	for i := range out {
 		out[i] = mat2(b, c)
+	}
+	return out
+}
+
+func snap3(a, b, c int) [][][]tensor.Snap {
+	out := make([][][]tensor.Snap, a)
+	for i := range out {
+		out[i] = make([][]tensor.Snap, b)
+		for j := range out[i] {
+			out[i][j] = make([]tensor.Snap, c)
+		}
 	}
 	return out
 }

@@ -17,14 +17,17 @@ import (
 // being folded. Serialized rounds use the same pools with at most one live
 // generation, so the two modes share one execution path.
 //
-// All matrices cycle through the tensor workspace pool: snapshots are
-// consumed (Put) by the curvature op that reduces them, partials by the
-// inversion op that folds the layer, and reset scrubs whatever an aborted
-// round left behind. The slice structure itself is allocated once at
-// EnableKFAC and reused every round.
+// All matrices cycle through the tensor workspace pools: snapshots are
+// consumed (Release) by the curvature op that reduces them, partials (Put)
+// by the inversion op that folds the layer, and reset scrubs whatever an
+// aborted round left behind. The slice structure itself is allocated once
+// at EnableKFAC and reused every round. Snapshots are precision-tagged
+// Snaps so float32 compute mode halves their resident footprint — they are
+// the dominant term of the paper's Msave_err memory cost — while the
+// curvature partials and folded factors stay float64.
 type kfacGenPool struct {
-	actsSnap  [][][]*tensor.Matrix // [stage][gmicro][layer]
-	gradsSnap [][][]*tensor.Matrix // [stage][gmicro][layer]
+	actsSnap  [][][]tensor.Snap    // [stage][gmicro][layer]
+	gradsSnap [][][]tensor.Snap    // [stage][gmicro][layer]
 	curvA     [][][]*tensor.Matrix // [stage][layer][gmicro]
 	curvB     [][][]*tensor.Matrix // [stage][layer][gmicro]
 	rowsA     [][][]int
@@ -42,8 +45,8 @@ type kfacGenPool struct {
 
 func newKFACGenPool(stages, perStep, layers int) *kfacGenPool {
 	p := &kfacGenPool{
-		actsSnap:  mat3(stages, perStep, layers),
-		gradsSnap: mat3(stages, perStep, layers),
+		actsSnap:  snap3(stages, perStep, layers),
+		gradsSnap: snap3(stages, perStep, layers),
 		curvA:     mat3(stages, layers, perStep),
 		curvB:     mat3(stages, layers, perStep),
 		rowsA:     int3(stages, layers, perStep),
@@ -60,6 +63,18 @@ func newKFACGenPool(stages, perStep, layers int) *kfacGenPool {
 // (snapshots never reduced, partials never folded — the residue of an
 // aborted round) return to the workspace pool, and the fold markers clear.
 func (p *kfacGenPool) reset() {
+	scrubSnaps := func(m [][][]tensor.Snap) {
+		for i := range m {
+			for j := range m[i] {
+				for k, v := range m[i][j] {
+					if v.Valid() {
+						v.Release()
+						m[i][j][k] = tensor.Snap{}
+					}
+				}
+			}
+		}
+	}
 	scrub := func(m [][][]*tensor.Matrix) {
 		for i := range m {
 			for j := range m[i] {
@@ -72,8 +87,8 @@ func (p *kfacGenPool) reset() {
 			}
 		}
 	}
-	scrub(p.actsSnap)
-	scrub(p.gradsSnap)
+	scrubSnaps(p.actsSnap)
+	scrubSnaps(p.gradsSnap)
 	scrub(p.curvA)
 	scrub(p.curvB)
 	for s := range p.folded {

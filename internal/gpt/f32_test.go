@@ -1,0 +1,25 @@
+package gpt
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// Float32 compute mode through the decoder's K-FAC loop — the narrow
+// capture/widen-on-demand path must hold up on the causal-attention
+// adapter too.
+func TestPretrainKFACFloat32Mode(t *testing.T) {
+	tensor.SetF32(true)
+	defer tensor.SetF32(false)
+	m, c := newModelAndCorpus(t, 5)
+	losses, err := Pretrain(m, c, TrainConfig{UseKFAC: true, Steps: 60, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := mean(losses[:10])
+	last := mean(losses[50:])
+	if last >= first-0.2 {
+		t.Fatalf("float32-mode K-FAC decoder training did not converge: %.3f -> %.3f", first, last)
+	}
+}

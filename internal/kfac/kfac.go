@@ -134,12 +134,16 @@ func (p *Preconditioner) updateLayerCurvature(s *LayerState, lossScale float64) 
 	if n == 0 {
 		return ErrNoStats
 	}
-	// A = (1/N) X^T X ; B = (M²/N) Ḡ^T Ḡ  (see UpdateCurvature).
+	// A = (1/N) X^T X ; B = (M²/N) Ḡ^T Ḡ  (see UpdateCurvature). The
+	// products are pooled temporaries: foldFactors copies them into the
+	// retained EMA state, so they go straight back to the workspace pool.
 	newA := tensor.TMatMul(acts, acts)
 	newA.ScaleInPlace(1 / n)
 	newB := tensor.TMatMul(grads, grads)
 	newB.ScaleInPlace(lossScale * lossScale / n)
 	p.foldFactors(s, newA, newB)
+	tensor.Put(newA)
+	tensor.Put(newB)
 	return nil
 }
 
@@ -147,12 +151,18 @@ func (p *Preconditioner) updateLayerCurvature(s *LayerState, lossScale float64) 
 // factors are replaced outright on the first refresh (or with zero decay)
 // and decay-blended otherwise. Both curvature entry points —
 // UpdateCurvature's capture-buffer path and the executor's SetFactors —
-// fold through here so their semantics cannot diverge.
+// fold through here so their semantics cannot diverge. newA and newB are
+// never retained — they are copied into layer-owned EMA buffers, so
+// callers passing pooled matrices may Put them immediately after.
 func (p *Preconditioner) foldFactors(s *LayerState, newA, newB *tensor.Matrix) {
 	decay := p.opts.StatDecay
-	if s.A == nil || decay == 0 {
-		s.A, s.B = newA, newB
-	} else {
+	switch {
+	case s.A == nil:
+		s.A, s.B = newA.Clone(), newB.Clone()
+	case decay == 0:
+		s.A.CopyFrom(newA)
+		s.B.CopyFrom(newB)
+	default:
 		s.A.ScaleInPlace(decay)
 		s.A.AddScaledInPlace(1-decay, newA)
 		s.B.ScaleInPlace(decay)
@@ -167,7 +177,8 @@ func (p *Preconditioner) foldFactors(s *LayerState, newA, newB *tensor.Matrix) {
 // the capture buffers. The pipeline execution engine uses this entry point
 // because it accumulates the per-micro-batch partial products inside the
 // scheduled Curvature ops (bubble work) and only folds them into the EMA
-// here, once every micro-batch's contribution is in.
+// here, once every micro-batch's contribution is in. The factors remain
+// owned by the caller (pooled callers may Put them right after).
 func (p *Preconditioner) SetFactors(index int, newA, newB *tensor.Matrix) error {
 	if index < 0 || index >= len(p.states) {
 		return fmt.Errorf("kfac: layer index %d out of range [0,%d)", index, len(p.states))
@@ -327,7 +338,10 @@ func (p *Preconditioner) PreconditionedGradient(index int) (*tensor.Matrix, erro
 	if !s.HasInverses() {
 		return nil, fmt.Errorf("kfac: layer %q has no inverses", s.Layer.Name)
 	}
-	return tensor.MatMul(tensor.MatMul(s.BInv, s.Layer.GW), s.AInv), nil
+	tmp := tensor.MatMul(s.BInv, s.Layer.GW)
+	out := tensor.MatMul(tmp, s.AInv)
+	tensor.Put(tmp)
+	return out, nil
 }
 
 // MaxInverseAge returns the largest staleness among layers that have

@@ -32,7 +32,14 @@ type Dense struct {
 	// Forward/Backward — callers that need them longer must clone.
 	outBuf *tensor.Matrix // Forward result, N x dout
 	dxBuf  *tensor.Matrix // Backward result, N x din
-	capBuf *tensor.Matrix // CaptureKFAC copy of the output gradient
+	// capBuf holds the float64 capture of the output gradient; in float32
+	// storage mode Backward fills capBuf32 instead (half the resident
+	// bytes) and capBuf doubles as the widen-on-demand scratch of
+	// KFACStats/CapturedOutputGrad. cap32 records which one the latest
+	// Backward filled.
+	capBuf   *tensor.Matrix
+	capBuf32 *tensor.Matrix32
+	cap32    bool
 }
 
 // NewDense builds a Dense layer with Xavier-initialized weights and zero
@@ -89,9 +96,17 @@ func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
 			d.Name, grad.Rows, grad.Cols, d.lastInput.Rows, d.W.Rows))
 	}
 	if d.CaptureKFAC {
-		d.capBuf = tensor.Reuse(d.capBuf, grad.Rows, grad.Cols)
-		d.capBuf.CopyFrom(grad)
-		d.lastOutputGrad = d.capBuf
+		if tensor.F32() {
+			d.capBuf32 = tensor.Reuse32(d.capBuf32, grad.Rows, grad.Cols)
+			d.capBuf32.NarrowFrom(grad)
+			d.cap32 = true
+			d.lastOutputGrad = nil
+		} else {
+			d.capBuf = tensor.Reuse(d.capBuf, grad.Rows, grad.Cols)
+			d.capBuf.CopyFrom(grad)
+			d.cap32 = false
+			d.lastOutputGrad = d.capBuf
+		}
 	}
 	tensor.TMatMulAddInto(d.GW, grad, d.lastInput)
 	gb := d.GB.Data
@@ -124,7 +139,19 @@ func (d *Dense) Params() []*Param {
 // backprop values dL/dY; the kfac package rescales them into per-example
 // errors e_l.
 func (d *Dense) KFACStats() (acts, grads *tensor.Matrix, ok bool) {
-	if !d.CaptureKFAC || d.lastInput == nil || d.lastOutputGrad == nil {
+	if !d.CaptureKFAC || d.lastInput == nil {
+		return nil, nil, false
+	}
+	if d.cap32 {
+		if d.capBuf32 == nil {
+			return nil, nil, false
+		}
+		// Float32 storage mode: widen into the float64 scratch on demand.
+		d.capBuf = tensor.Reuse(d.capBuf, d.capBuf32.Rows, d.capBuf32.Cols)
+		d.capBuf32.WidenInto(d.capBuf)
+		return d.lastInput, d.capBuf, true
+	}
+	if d.lastOutputGrad == nil {
 		return nil, nil, false
 	}
 	return d.lastInput, d.lastOutputGrad, true
@@ -139,12 +166,43 @@ func (d *Dense) CapturedInput() *tensor.Matrix { return d.lastInput }
 
 // CapturedOutputGrad returns the raw output gradients cached by the most
 // recent Backward when CaptureKFAC is set (nil otherwise) — the B-factor
-// statistics that become schedulable after the micro-batch's backward.
-func (d *Dense) CapturedOutputGrad() *tensor.Matrix { return d.lastOutputGrad }
+// statistics that become schedulable after the micro-batch's backward. In
+// float32 storage mode the capture widens into the layer's float64 scratch
+// on demand; snapshot consumers should prefer CapturedOutputGradSnap,
+// which hands out the narrow buffer without conversion.
+func (d *Dense) CapturedOutputGrad() *tensor.Matrix {
+	if d.cap32 {
+		if d.capBuf32 == nil {
+			return nil
+		}
+		d.capBuf = tensor.Reuse(d.capBuf, d.capBuf32.Rows, d.capBuf32.Cols)
+		d.capBuf32.WidenInto(d.capBuf)
+		return d.capBuf
+	}
+	return d.lastOutputGrad
+}
+
+// CapturedOutputGradSnap returns the latest output-gradient capture as a
+// precision-tagged Snap borrowing the layer's buffer (invalid Snap when
+// nothing is captured). Like the matrix accessors, the underlying buffer
+// is only valid until the layer's next Backward — clone to retain.
+func (d *Dense) CapturedOutputGradSnap() tensor.Snap {
+	if d.cap32 {
+		if d.capBuf32 == nil {
+			return tensor.Snap{}
+		}
+		return tensor.SnapOf32(d.capBuf32)
+	}
+	if d.lastOutputGrad == nil {
+		return tensor.Snap{}
+	}
+	return tensor.SnapOf(d.lastOutputGrad)
+}
 
 // ClearCapture drops the cached K-FAC statistics (e.g. between curvature
 // refreshes, to release memory — the Msave_err term in the paper's memory
 // model exists precisely because these buffers are retained).
 func (d *Dense) ClearCapture() {
 	d.lastOutputGrad = nil
+	d.cap32 = false
 }

@@ -86,9 +86,13 @@ func (s *Shampoo) Step(lr float64) {
 			continue
 		}
 		g := p.Grad
-		// Accumulate statistics.
-		s.l[i].AddInPlace(tensor.MatMulT(g, g))
-		s.r[i].AddInPlace(tensor.TMatMul(g, g))
+		// Accumulate statistics (the products are pooled temporaries).
+		lg := tensor.MatMulT(g, g)
+		s.l[i].AddInPlace(lg)
+		tensor.Put(lg)
+		rg := tensor.TMatMul(g, g)
+		s.r[i].AddInPlace(rg)
+		tensor.Put(rg)
 		if refresh || s.lRoot[i] == nil {
 			lStat := s.l[i].AddDiagonal(s.Epsilon)
 			rStat := s.r[i].AddDiagonal(s.Epsilon)
@@ -99,7 +103,9 @@ func (s *Shampoo) Step(lr float64) {
 				s.rRoot[i] = rr4
 			}
 		}
-		pre := tensor.MatMul(tensor.MatMul(s.lRoot[i], g), s.rRoot[i])
+		tmp := tensor.MatMul(s.lRoot[i], g)
+		pre := tensor.MatMul(tmp, s.rRoot[i])
+		tensor.Put(tmp)
 		// Graft the step size to the gradient norm so the effective LR is
 		// comparable to SGD's (standard Shampoo practice).
 		gn := g.FrobeniusNorm()
@@ -113,6 +119,7 @@ func (s *Shampoo) Step(lr float64) {
 			v[j] = s.Momentum*v[j] + u
 			p.Value.Data[j] -= lr * v[j]
 		}
+		tensor.Put(pre)
 	}
 }
 

@@ -23,6 +23,11 @@ func BenchmarkMatMul(b *testing.B) {
 
 // BenchmarkMatMulWorkers measures the same 256x256 product under explicit
 // worker budgets — the parallel-speedup trajectory the CI bench job tracks.
+// Besides MB/s it reports poolchunks/op, the number of packed-panel chunks
+// executed by pool workers per op: the effective per-op fan-out. On hosts
+// with few cores the wall-clock rows stay flat, but a kernel that stops
+// splitting (or a pool that stops accepting) still shows up as
+// poolchunks/op collapsing to zero.
 func BenchmarkMatMulWorkers(b *testing.B) {
 	defer SetParallelism(0)
 	for _, w := range []int{1, 2, 4} {
@@ -33,9 +38,55 @@ func BenchmarkMatMulWorkers(b *testing.B) {
 			y := RandN(r, 256, 256, 1)
 			out := Zeros(256, 256)
 			b.ResetTimer()
+			start := PoolTasksExecuted()
 			for i := 0; i < b.N; i++ {
 				MatMulInto(out, x, y)
 			}
+			b.SetBytes(int64(8 * 256 * 256))
+			b.ReportMetric(float64(PoolTasksExecuted()-start)/float64(b.N), "poolchunks/op")
+		})
+	}
+}
+
+// BenchmarkMatMulKernels pins each dispatch variant on the same product so
+// the scalar -> tiled -> fma trajectory is tracked per variant.
+func BenchmarkMatMulKernels(b *testing.B) {
+	def := ActiveKernel()
+	defer SetKernel(def)
+	for _, k := range AvailableKernels() {
+		b.Run(k.String(), func(b *testing.B) {
+			if err := SetKernel(k); err != nil {
+				b.Fatal(err)
+			}
+			r := NewRNG(1)
+			x := RandN(r, 256, 256, 1)
+			y := RandN(r, 256, 256, 1)
+			out := Zeros(256, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(out, x, y)
+			}
+			b.SetBytes(int64(8 * 256 * 256))
+		})
+	}
+}
+
+// BenchmarkMatMulF32 is BenchmarkMatMul under float32 compute mode (same
+// float64 API; packed panels and accumulation narrow to float32).
+func BenchmarkMatMulF32(b *testing.B) {
+	SetF32(true)
+	defer SetF32(false)
+	for _, n := range []int{128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := NewRNG(1)
+			x := RandN(r, n, n, 1)
+			y := RandN(r, n, n, 1)
+			out := Zeros(n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(out, x, y)
+			}
+			b.SetBytes(int64(8 * n * n))
 		})
 	}
 }
@@ -46,7 +97,7 @@ func BenchmarkMatMulT(b *testing.B) {
 	y := RandN(r, 128, 256, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		MatMulT(x, y)
+		Put(MatMulT(x, y)) // pooled result: steady state allocates nothing
 	}
 }
 
@@ -67,7 +118,7 @@ func BenchmarkTMatMul(b *testing.B) {
 	u := RandN(r, 512, 64, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		TMatMul(u, u)
+		Put(TMatMul(u, u)) // pooled result: steady state allocates nothing
 	}
 }
 

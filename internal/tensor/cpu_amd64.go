@@ -1,0 +1,42 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// Runtime CPU-feature detection for the FMA assembly micro-kernels. The
+// checks follow the Intel SDM procedure: AVX2+FMA instructions are safe to
+// execute only when CPUID reports them AND the OS has enabled saving the
+// YMM state via XSETBV (OSXSAVE + XCR0 bits 1:2).
+
+// cpuid executes the CPUID instruction (implemented in cpu_amd64.s).
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register XCR0 (implemented in cpu_amd64.s).
+func xgetbv() (eax, edx uint32)
+
+// haveFMAKernels reports whether the AVX2+FMA assembly micro-kernels can
+// run on this CPU.
+var haveFMAKernels = detectFMA()
+
+func detectFMA() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const (
+		bitFMA     = 1 << 12
+		bitOSXSAVE = 1 << 27
+		bitAVX     = 1 << 28
+	)
+	if ecx1&bitFMA == 0 || ecx1&bitOSXSAVE == 0 || ecx1&bitAVX == 0 {
+		return false
+	}
+	// OS must have enabled XMM (bit 1) and YMM (bit 2) state saving.
+	xcr0, _ := xgetbv()
+	if xcr0&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const bitAVX2 = 1 << 5
+	return ebx7&bitAVX2 != 0
+}

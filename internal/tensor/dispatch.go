@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// This file is the kernel-dispatch layer: a process-wide selection of which
+// matmul implementation the MatMul*/TMatMul* entry points run, plus the
+// float32 compute-mode switch.
+//
+// Three kernel variants exist:
+//
+//   - KernelScalar — the original cache-blocked scalar loops (matmul.go).
+//     Kept as the parity reference: the packed kernels are tested against
+//     it, and it is the only float64 variant compiled under the purego
+//     build tag's assumptions (it uses no assembly either way).
+//   - KernelTiled — GotoBLAS-style packed panels driven through 4x2
+//     register-tiled pure-Go micro-kernels (gemm.go, microkernel.go).
+//     Portable to every GOARCH. Bit-identical to KernelScalar on float64:
+//     both reduce each output element with one multiply-rounding and one
+//     add-rounding per k step, in ascending k order.
+//   - KernelFMA — the same packed driver calling hand-written amd64 AVX2
+//     assembly micro-kernels (8x4 float64, 8x8 float32) that use fused
+//     multiply-add. Selected only when CPUID reports AVX2+FMA with OS
+//     XSAVE support, and never under the purego tag. FMA fuses the
+//     multiply and add into a single rounding, so results differ from the
+//     scalar/tiled variants by at most the fused-rounding delta — but the
+//     reduction order per element is still fixed ascending k, so the
+//     worker-count / replica-count / schedule bit-identity contracts hold
+//     within the variant.
+//
+// The default is the best available variant (FMA where supported, tiled
+// otherwise). SetKernel must not be called while kernels are executing —
+// configure at startup or between training steps, like SetParallelism.
+//
+// Float32 mode (SetF32) is orthogonal: when enabled, the packed driver
+// narrows its panels to float32, accumulates in float32, and widens on
+// write-back — halving packed-panel memory traffic. KernelScalar has no
+// separate float32 loop; in float32 mode it shares the tiled Go
+// micro-kernels, which are themselves bit-identical to a naive ascending-k
+// float32 reduction. Factorization-sensitive code (Cholesky, eigen
+// decomposition, damping) never routes through GEMM and stays float64
+// regardless of the mode.
+
+// Kernel identifies one matmul implementation variant.
+type Kernel int32
+
+const (
+	// KernelScalar is the cache-blocked scalar reference implementation.
+	KernelScalar Kernel = iota
+	// KernelTiled is the packed-panel pure-Go register-tiled implementation.
+	KernelTiled
+	// KernelFMA is the packed-panel amd64 AVX2+FMA assembly implementation.
+	KernelFMA
+)
+
+// String returns the variant's stable lowercase name (used by CLI headers
+// and benchmark row names).
+func (k Kernel) String() string {
+	switch k {
+	case KernelScalar:
+		return "scalar"
+	case KernelTiled:
+		return "tiled"
+	case KernelFMA:
+		return "fma"
+	}
+	return fmt.Sprintf("kernel(%d)", int32(k))
+}
+
+var (
+	activeKernel atomic.Int32
+	f32Mode      atomic.Bool
+)
+
+func init() {
+	k := KernelTiled
+	if haveFMAKernels {
+		k = KernelFMA
+	}
+	activeKernel.Store(int32(k))
+}
+
+// ActiveKernel returns the currently selected kernel variant.
+func ActiveKernel() Kernel { return Kernel(activeKernel.Load()) }
+
+// SetKernel selects the kernel variant used by every subsequent matmul. It
+// returns an error if the variant is not available on this CPU or build
+// (KernelFMA requires amd64 with AVX2+FMA and a non-purego build). Like
+// SetParallelism, it must not be called while kernels are executing.
+func SetKernel(k Kernel) error {
+	switch k {
+	case KernelScalar, KernelTiled:
+	case KernelFMA:
+		if !haveFMAKernels {
+			return fmt.Errorf("tensor: kernel %q not available on this CPU/build", k)
+		}
+	default:
+		return fmt.Errorf("tensor: unknown kernel %d", int32(k))
+	}
+	activeKernel.Store(int32(k))
+	return nil
+}
+
+// ParseKernel maps a variant name ("scalar", "tiled", "fma") to its Kernel
+// — the inverse of String, for CLI -kernel flags.
+func ParseKernel(name string) (Kernel, error) {
+	for _, k := range []Kernel{KernelScalar, KernelTiled, KernelFMA} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("tensor: unknown kernel %q (want scalar, tiled or fma)", name)
+}
+
+// AvailableKernels returns every variant that SetKernel would accept on
+// this CPU and build, in ascending capability order.
+func AvailableKernels() []Kernel {
+	ks := []Kernel{KernelScalar, KernelTiled}
+	if haveFMAKernels {
+		ks = append(ks, KernelFMA)
+	}
+	return ks
+}
+
+// SetF32 toggles float32 compute mode for the packed matmul kernels and
+// float32 storage for new Snap captures. Float64 matrices remain the
+// API currency either way; the mode only changes internal panel precision
+// and snapshot storage. Not safe to flip mid-kernel; set at startup.
+func SetF32(on bool) { f32Mode.Store(on) }
+
+// F32 reports whether float32 compute/storage mode is enabled.
+func F32() bool { return f32Mode.Load() }

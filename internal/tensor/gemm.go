@@ -1,0 +1,293 @@
+package tensor
+
+import "sync"
+
+// The packed-panel GEMM driver: the shared implementation behind the
+// MatMul*/TMatMul* entry points for KernelTiled and KernelFMA (and for
+// every kernel in float32 mode). The structure is GotoBLAS-style:
+//
+//	pack B once per call (nr-column panels, shared read-only)
+//	split M into mr-row panels, fan panel ranges out to pool workers
+//	per worker: MC-row blocks x KC-deep slices of packed A,
+//	            micro-kernel over the tile grid
+//
+// Determinism: the tile grid and block boundaries depend only on the
+// operand shapes and the kernel's (mr, nr) — never on the worker count —
+// and workers own disjoint row-panel ranges, so results are bit-identical
+// across parallelism settings per variant. KC blocking is bit-transparent
+// because the micro-kernels resume each block from the stored C values
+// (one continuous ascending-k reduction per element, no per-block
+// subtotals). All pack, staging and context buffers come from the
+// workspace pools; steady-state calls allocate nothing.
+
+const (
+	// gemmMC is the row-block height: one packed A block is at most
+	// gemmMC x gemmKC (256 KiB float64), sized for L2 residency. It must
+	// be a multiple of every kernel's mr so worker-chunk row panels stay
+	// aligned with the shape-global panel grid.
+	gemmMC = 128
+	// gemmKC is the contraction-block depth: one packed B panel slice is
+	// gemmKC x nr (8 KiB float64 at nr=4), sized for L1 residency.
+	gemmKC = 256
+)
+
+type microF64 func(c []float64, ldc int, ap, bp []float64, kc int)
+type microF32 func(c []float32, ldc int, ap, bp []float32, kc int)
+
+// gemmCtx is the per-call state shared by all workers of one packed GEMM.
+// Contexts are pooled so steady-state calls allocate nothing.
+type gemmCtx struct {
+	dst, a, b *Matrix
+	m, n, k   int
+	aT, bT    bool
+	acc       bool
+	f32       bool
+	mr, nr    int
+	nPanB     int
+	bp        *Matrix   // packed B, float64 path
+	bp32      *Matrix32 // packed B, float32 path
+	k64       microF64
+	k32       microF32
+}
+
+var gemmCtxPool = sync.Pool{New: func() any { return new(gemmCtx) }}
+
+// gemmPacked computes dst = op(a)*op(b) (or dst += with acc) through the
+// packed-panel pipeline. op is transpose when aT/bT is set. kern selects
+// the micro-kernel family; KernelScalar callers only arrive here in
+// float32 mode, where the tiled Go kernel doubles as the scalar
+// reference. dst must not alias a or b (a may alias b).
+func gemmPacked(dst, a, b *Matrix, aT, bT, acc bool, kern Kernel) {
+	m, n := dst.Rows, dst.Cols
+	k := a.Cols
+	if aT {
+		k = a.Rows
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		if !acc {
+			dst.Zero()
+		}
+		return
+	}
+	g := gemmCtxPool.Get().(*gemmCtx)
+	g.dst, g.a, g.b = dst, a, b
+	g.m, g.n, g.k = m, n, k
+	g.aT, g.bT, g.acc = aT, bT, acc
+	g.f32 = F32()
+	if g.f32 {
+		if kern == KernelFMA {
+			g.mr, g.nr, g.k32 = 8, 8, fma8x8f32
+		} else {
+			g.mr, g.nr, g.k32 = 4, 2, mk4x2f32
+		}
+	} else {
+		if kern == KernelFMA {
+			g.mr, g.nr, g.k64 = 8, 4, fma8x4f64
+		} else {
+			g.mr, g.nr, g.k64 = 4, 2, mk4x2f64
+		}
+	}
+	g.nPanB = (n + g.nr - 1) / g.nr
+	if g.f32 {
+		g.bp32 = Get32(1, g.nPanB*g.nr*k)
+		packBF32(g.bp32.Data, b, bT, n, k, g.nr)
+	} else {
+		g.bp = Get(1, g.nPanB*g.nr*k)
+		packBF64(g.bp.Data, b, bT, n, k, g.nr)
+	}
+
+	nPanA := (m + g.mr - 1) / g.mr
+	parRunGemm(g, nPanA, m*n*k)
+
+	if g.f32 {
+		Put32(g.bp32)
+	} else {
+		Put(g.bp)
+	}
+	*g = gemmCtx{}
+	gemmCtxPool.Put(g)
+}
+
+// parRunGemm fans row-panel ranges [0, nPan) out to the worker pool with
+// the same work-conserving handoff as parRun: parked workers take chunks,
+// the caller runs the rest inline. work gates the serial fallback.
+func parRunGemm(g *gemmCtx, nPan, work int) {
+	w := opWorkers()
+	if w > nPan {
+		w = nPan
+	}
+	if w <= 1 || work < serialWorkLimit {
+		gemmRange(g, 0, nPan)
+		return
+	}
+	chunk := (nPan + w - 1) / w
+	wg := wgPool.Get().(*sync.WaitGroup)
+	p := curPool.Load()
+	for lo := chunk; lo < nPan; lo += chunk {
+		hi := lo + chunk
+		if hi > nPan {
+			hi = nPan
+		}
+		wg.Add(1)
+		t := task{g: g, lo: lo, hi: hi, wg: wg}
+		select {
+		case p.ch <- t:
+		default:
+			gemmRange(g, lo, hi)
+			wg.Done()
+		}
+	}
+	gemmRange(g, 0, chunk)
+	wg.Wait()
+	wgPool.Put(wg)
+}
+
+// gemmRange computes the output row panels [p0, p1) of one packed GEMM.
+// Runs on pool workers; each invocation owns its row range exclusively.
+func gemmRange(g *gemmCtx, p0, p1 int) {
+	if g.f32 {
+		gemmRange32(g, p0, p1)
+		return
+	}
+	mr, nr, n := g.mr, g.nr, g.n
+	i0 := p0 * mr
+	iEnd := p1 * mr
+	if iEnd > g.m {
+		iEnd = g.m
+	}
+	kcMax := g.k
+	if kcMax > gemmKC {
+		kcMax = gemmKC
+	}
+	mcMax := iEnd - i0
+	if mcMax > gemmMC {
+		mcMax = gemmMC
+	}
+	mcPad := (mcMax + mr - 1) / mr * mr
+	// One pooled buffer holds the packed A block plus the edge-tile
+	// scratch (its stale contents only ever land in discarded lanes).
+	ap := Get(1, mcPad*kcMax+mr*nr)
+	apData := ap.Data[:mcPad*kcMax]
+	tile := ap.Data[mcPad*kcMax : mcPad*kcMax+mr*nr]
+	for ib := i0; ib < iEnd; ib += gemmMC {
+		ic := iEnd - ib
+		if ic > gemmMC {
+			ic = gemmMC
+		}
+		if !g.acc {
+			z := g.dst.Data[ib*n : (ib+ic)*n]
+			for i := range z {
+				z[i] = 0
+			}
+		}
+		for kk := 0; kk < g.k; kk += gemmKC {
+			kc := g.k - kk
+			if kc > gemmKC {
+				kc = gemmKC
+			}
+			packAF64(apData, g.a, g.aT, ib, ic, kk, kc, mr)
+			nPanA := (ic + mr - 1) / mr
+			for jp := 0; jp < g.nPanB; jp++ {
+				jc := n - jp*nr
+				if jc > nr {
+					jc = nr
+				}
+				bpan := g.bp.Data[jp*nr*g.k+kk*nr : jp*nr*g.k+(kk+kc)*nr]
+				for ip := 0; ip < nPanA; ip++ {
+					row := ib + ip*mr
+					rows := ic - ip*mr
+					if rows > mr {
+						rows = mr
+					}
+					apan := apData[ip*mr*kc : (ip+1)*mr*kc]
+					if rows == mr && jc == nr {
+						g.k64(g.dst.Data[row*n+jp*nr:], n, apan, bpan, kc)
+					} else {
+						for r := 0; r < rows; r++ {
+							copy(tile[r*nr:r*nr+jc], g.dst.Data[(row+r)*n+jp*nr:(row+r)*n+jp*nr+jc])
+						}
+						g.k64(tile, nr, apan, bpan, kc)
+						for r := 0; r < rows; r++ {
+							copy(g.dst.Data[(row+r)*n+jp*nr:(row+r)*n+jp*nr+jc], tile[r*nr:r*nr+jc])
+						}
+					}
+				}
+			}
+		}
+	}
+	Put(ap)
+}
+
+// gemmRange32 is the float32-mode worker body: panels are packed as
+// float32, the product accumulates in a padded float32 staging block
+// (every tile full, so no edge handling), and the valid region widens
+// into the float64 dst on write-back — store for overwrite semantics,
+// add-in-float64 for accumulate semantics, preserving the float64
+// precision of gradient accumulators.
+func gemmRange32(g *gemmCtx, p0, p1 int) {
+	mr, nr, n := g.mr, g.nr, g.n
+	i0 := p0 * mr
+	iEnd := p1 * mr
+	if iEnd > g.m {
+		iEnd = g.m
+	}
+	kcMax := g.k
+	if kcMax > gemmKC {
+		kcMax = gemmKC
+	}
+	mcMax := iEnd - i0
+	if mcMax > gemmMC {
+		mcMax = gemmMC
+	}
+	mcPad := (mcMax + mr - 1) / mr * mr
+	nPad := g.nPanB * nr
+	ap := Get32(1, mcPad*kcMax)
+	stg := Get32(1, mcPad*nPad)
+	for ib := i0; ib < iEnd; ib += gemmMC {
+		ic := iEnd - ib
+		if ic > gemmMC {
+			ic = gemmMC
+		}
+		icPad := (ic + mr - 1) / mr * mr
+		sd := stg.Data[:icPad*nPad]
+		for i := range sd {
+			sd[i] = 0
+		}
+		for kk := 0; kk < g.k; kk += gemmKC {
+			kc := g.k - kk
+			if kc > gemmKC {
+				kc = gemmKC
+			}
+			packAF32(ap.Data, g.a, g.aT, ib, ic, kk, kc, mr)
+			nPanA := icPad / mr
+			for jp := 0; jp < g.nPanB; jp++ {
+				bpan := g.bp32.Data[jp*nr*g.k+kk*nr : jp*nr*g.k+(kk+kc)*nr]
+				for ip := 0; ip < nPanA; ip++ {
+					g.k32(sd[ip*mr*nPad+jp*nr:], nPad, ap.Data[ip*mr*kc:(ip+1)*mr*kc], bpan, kc)
+				}
+			}
+		}
+		if g.acc {
+			for r := 0; r < ic; r++ {
+				srow := sd[r*nPad : r*nPad+n]
+				drow := g.dst.Data[(ib+r)*n : (ib+r)*n+n]
+				for j, v := range srow {
+					drow[j] += float64(v)
+				}
+			}
+		} else {
+			for r := 0; r < ic; r++ {
+				srow := sd[r*nPad : r*nPad+n]
+				drow := g.dst.Data[(ib+r)*n : (ib+r)*n+n]
+				for j, v := range srow {
+					drow[j] = float64(v)
+				}
+			}
+		}
+	}
+	Put32(ap)
+	Put32(stg)
+}

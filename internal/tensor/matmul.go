@@ -5,26 +5,32 @@ import (
 	"math"
 )
 
-// The matrix-product kernels below are cache-blocked and goroutine-parallel:
-// output rows are split into chunks dispatched through the shared worker
-// pool (see parallel.go), with a serial fallback below serialWorkLimit.
-// Every output element is reduced in the same serial order regardless of
-// chunking, so results are bit-for-bit identical across parallelism
-// settings. The *Into variants write into caller-provided buffers and
-// allocate nothing; dst must never alias a or b (a and b may alias each
-// other, as in Gram products).
+// The matmul entry points dispatch on the active kernel variant (see
+// dispatch.go): KernelTiled and KernelFMA — and every variant in float32
+// mode — route through the packed-panel GEMM driver in gemm.go, while
+// KernelScalar runs the cache-blocked scalar chunk loops below, kept as
+// the parity reference. Either way output rows are split across the
+// shared worker pool (parallel.go) with a serial fallback below
+// serialWorkLimit, and every output element is reduced in the same
+// ascending contraction order regardless of chunking, so results are
+// bit-for-bit identical across parallelism settings per variant. The
+// *Into variants write into caller-provided buffers and allocate nothing
+// in steady state; dst must never alias a or b (a and b may alias each
+// other, as in Gram products). The non-Into variants return matrices from
+// the workspace pool — callers may Put them when done.
 
 // kBlock is the panel height of the k-blocked MatMul inner loops: a
 // kBlock x Cols panel of b stays hot in cache while a chunk of output rows
 // sweeps over it.
 const kBlock = 128
 
-// MatMul returns a*b. It panics if the inner dimensions disagree.
+// MatMul returns a*b in a pooled matrix (the caller may Put it). It
+// panics if the inner dimensions disagree.
 func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch: %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := &Matrix{Rows: a.Rows, Cols: b.Cols, Data: make([]float64, a.Rows*b.Cols)}
+	out := Get(a.Rows, b.Cols)
 	MatMulInto(out, a, b)
 	return out
 }
@@ -40,6 +46,10 @@ func MatMulInto(dst, a, b *Matrix) {
 	}
 	if a.Cols == 0 {
 		dst.Zero()
+		return
+	}
+	if kern := ActiveKernel(); kern != KernelScalar || F32() {
+		gemmPacked(dst, a, b, false, false, false, kern)
 		return
 	}
 	parRun(matMulChunk, dst, a, b, a.Rows, a.Rows*a.Cols*b.Cols)
@@ -73,12 +83,13 @@ func matMulChunk(dst, a, b *Matrix, i0, i1 int) {
 	}
 }
 
-// MatMulT returns a * b^T without materializing the transpose.
+// MatMulT returns a * b^T without materializing the transpose, in a
+// pooled matrix (the caller may Put it).
 func MatMulT(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulT dimension mismatch: %dx%d * (%dx%d)^T", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := &Matrix{Rows: a.Rows, Cols: b.Rows, Data: make([]float64, a.Rows*b.Rows)}
+	out := Get(a.Rows, b.Rows)
 	MatMulTInto(out, a, b)
 	return out
 }
@@ -91,6 +102,10 @@ func MatMulTInto(dst, a, b *Matrix) {
 	}
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTInto dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	if kern := ActiveKernel(); kern != KernelScalar || F32() {
+		gemmPacked(dst, a, b, false, true, false, kern)
+		return
 	}
 	parRun(matMulTChunk, dst, a, b, a.Rows, a.Rows*a.Cols*b.Rows)
 }
@@ -129,13 +144,14 @@ func matMulTChunk(dst, a, b *Matrix, i0, i1 int) {
 	}
 }
 
-// TMatMul returns a^T * b without materializing the transpose.
+// TMatMul returns a^T * b without materializing the transpose, in a
+// pooled matrix (the caller may Put it).
 func TMatMul(a, b *Matrix) *Matrix {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: TMatMul dimension mismatch: (%dx%d)^T * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := Zeros(a.Cols, b.Cols)
-	parRun(tMatMulChunk, out, a, b, a.Cols, a.Rows*a.Cols*b.Cols)
+	out := Get(a.Cols, b.Cols)
+	TMatMulInto(out, a, b)
 	return out
 }
 
@@ -148,6 +164,10 @@ func TMatMulInto(dst, a, b *Matrix) {
 		dst.Zero()
 		return
 	}
+	if kern := ActiveKernel(); kern != KernelScalar || F32() {
+		gemmPacked(dst, a, b, true, false, false, kern)
+		return
+	}
 	parRun(tMatMulZeroChunk, dst, a, b, a.Cols, a.Rows*a.Cols*b.Cols)
 }
 
@@ -156,6 +176,13 @@ func TMatMulInto(dst, a, b *Matrix) {
 // temporary. dst must have shape a.Cols x b.Cols and must not alias a or b.
 func TMatMulAddInto(dst, a, b *Matrix) {
 	checkTMatMul(dst, a, b, "TMatMulAddInto")
+	if a.Rows == 0 {
+		return
+	}
+	if kern := ActiveKernel(); kern != KernelScalar || F32() {
+		gemmPacked(dst, a, b, true, false, true, kern)
+		return
+	}
 	parRun(tMatMulChunk, dst, a, b, a.Cols, a.Rows*a.Cols*b.Cols)
 }
 

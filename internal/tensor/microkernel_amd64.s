@@ -1,0 +1,151 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func fma8x4f64(c []float64, ldc int, ap, bp []float64, kc int)
+//
+// 8x4 float64 tile: Y0-Y7 hold one 4-double C row each, loaded up front
+// and stored once at the end. Per k step: one B-panel vector load, eight
+// A-lane broadcasts, eight VFMADD231PD. ap advances 8 doubles per step,
+// bp 4 doubles.
+TEXT ·fma8x4f64(SB), NOSPLIT, $0-88
+	MOVQ c_base+0(FP), CX
+	MOVQ ldc+24(FP), R8
+	SHLQ $3, R8              // row stride in bytes
+	MOVQ ap_base+32(FP), DI
+	MOVQ bp_base+56(FP), SI
+	MOVQ kc+80(FP), R10
+
+	// Load the C tile.
+	MOVQ CX, DX
+	VMOVUPD (DX), Y0
+	ADDQ R8, DX
+	VMOVUPD (DX), Y1
+	ADDQ R8, DX
+	VMOVUPD (DX), Y2
+	ADDQ R8, DX
+	VMOVUPD (DX), Y3
+	ADDQ R8, DX
+	VMOVUPD (DX), Y4
+	ADDQ R8, DX
+	VMOVUPD (DX), Y5
+	ADDQ R8, DX
+	VMOVUPD (DX), Y6
+	ADDQ R8, DX
+	VMOVUPD (DX), Y7
+
+f64loop:
+	VMOVUPD      (SI), Y8
+	VBROADCASTSD (DI), Y9
+	VFMADD231PD  Y8, Y9, Y0
+	VBROADCASTSD 8(DI), Y9
+	VFMADD231PD  Y8, Y9, Y1
+	VBROADCASTSD 16(DI), Y9
+	VFMADD231PD  Y8, Y9, Y2
+	VBROADCASTSD 24(DI), Y9
+	VFMADD231PD  Y8, Y9, Y3
+	VBROADCASTSD 32(DI), Y9
+	VFMADD231PD  Y8, Y9, Y4
+	VBROADCASTSD 40(DI), Y9
+	VFMADD231PD  Y8, Y9, Y5
+	VBROADCASTSD 48(DI), Y9
+	VFMADD231PD  Y8, Y9, Y6
+	VBROADCASTSD 56(DI), Y9
+	VFMADD231PD  Y8, Y9, Y7
+	ADDQ         $64, DI
+	ADDQ         $32, SI
+	DECQ         R10
+	JNE          f64loop
+
+	// Store the C tile.
+	MOVQ CX, DX
+	VMOVUPD Y0, (DX)
+	ADDQ R8, DX
+	VMOVUPD Y1, (DX)
+	ADDQ R8, DX
+	VMOVUPD Y2, (DX)
+	ADDQ R8, DX
+	VMOVUPD Y3, (DX)
+	ADDQ R8, DX
+	VMOVUPD Y4, (DX)
+	ADDQ R8, DX
+	VMOVUPD Y5, (DX)
+	ADDQ R8, DX
+	VMOVUPD Y6, (DX)
+	ADDQ R8, DX
+	VMOVUPD Y7, (DX)
+	VZEROUPPER
+	RET
+
+// func fma8x8f32(c []float32, ldc int, ap, bp []float32, kc int)
+//
+// 8x8 float32 tile: Y0-Y7 hold one 8-float C row each. ap and bp both
+// advance 8 floats (32 bytes) per k step.
+TEXT ·fma8x8f32(SB), NOSPLIT, $0-88
+	MOVQ c_base+0(FP), CX
+	MOVQ ldc+24(FP), R8
+	SHLQ $2, R8              // row stride in bytes
+	MOVQ ap_base+32(FP), DI
+	MOVQ bp_base+56(FP), SI
+	MOVQ kc+80(FP), R10
+
+	// Load the C tile.
+	MOVQ CX, DX
+	VMOVUPS (DX), Y0
+	ADDQ R8, DX
+	VMOVUPS (DX), Y1
+	ADDQ R8, DX
+	VMOVUPS (DX), Y2
+	ADDQ R8, DX
+	VMOVUPS (DX), Y3
+	ADDQ R8, DX
+	VMOVUPS (DX), Y4
+	ADDQ R8, DX
+	VMOVUPS (DX), Y5
+	ADDQ R8, DX
+	VMOVUPS (DX), Y6
+	ADDQ R8, DX
+	VMOVUPS (DX), Y7
+
+f32loop:
+	VMOVUPS      (SI), Y8
+	VBROADCASTSS (DI), Y9
+	VFMADD231PS  Y8, Y9, Y0
+	VBROADCASTSS 4(DI), Y9
+	VFMADD231PS  Y8, Y9, Y1
+	VBROADCASTSS 8(DI), Y9
+	VFMADD231PS  Y8, Y9, Y2
+	VBROADCASTSS 12(DI), Y9
+	VFMADD231PS  Y8, Y9, Y3
+	VBROADCASTSS 16(DI), Y9
+	VFMADD231PS  Y8, Y9, Y4
+	VBROADCASTSS 20(DI), Y9
+	VFMADD231PS  Y8, Y9, Y5
+	VBROADCASTSS 24(DI), Y9
+	VFMADD231PS  Y8, Y9, Y6
+	VBROADCASTSS 28(DI), Y9
+	VFMADD231PS  Y8, Y9, Y7
+	ADDQ         $32, DI
+	ADDQ         $32, SI
+	DECQ         R10
+	JNE          f32loop
+
+	// Store the C tile.
+	MOVQ CX, DX
+	VMOVUPS Y0, (DX)
+	ADDQ R8, DX
+	VMOVUPS Y1, (DX)
+	ADDQ R8, DX
+	VMOVUPS Y2, (DX)
+	ADDQ R8, DX
+	VMOVUPS Y3, (DX)
+	ADDQ R8, DX
+	VMOVUPS Y4, (DX)
+	ADDQ R8, DX
+	VMOVUPS Y5, (DX)
+	ADDQ R8, DX
+	VMOVUPS Y6, (DX)
+	ADDQ R8, DX
+	VMOVUPS Y7, (DX)
+	VZEROUPPER
+	RET

@@ -1,0 +1,15 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// Stubs for the assembly micro-kernels on builds without them. KernelFMA
+// is never selectable when haveFMAKernels is false, so these are
+// unreachable; they exist only to keep gemm.go's dispatch table compiling.
+
+func fma8x4f64(c []float64, ldc int, ap, bp []float64, kc int) {
+	panic("tensor: FMA micro-kernel unavailable in this build")
+}
+
+func fma8x8f32(c []float32, ldc int, ap, bp []float32, kc int) {
+	panic("tensor: FMA micro-kernel unavailable in this build")
+}

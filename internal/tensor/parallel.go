@@ -34,10 +34,12 @@ import (
 // closures) so dispatching them through the pool allocates nothing.
 type kernelFunc func(dst, a, b *Matrix, lo, hi int)
 
-// task is one row-chunk handed to a pool worker.
+// task is one row-chunk handed to a pool worker: either a scalar kernel
+// chunk (fn set) or a packed-GEMM panel range (g set, see gemm.go).
 type task struct {
 	fn        kernelFunc
 	dst, a, b *Matrix
+	g         *gemmCtx
 	lo, hi    int
 	wg        *sync.WaitGroup
 }
@@ -55,8 +57,19 @@ var (
 	budget  atomic.Int64 // total worker budget (including the calling goroutine)
 	opCap   atomic.Int64 // per-invocation cap; 0 means "use the full budget"
 
+	// poolTasks counts chunks executed by pool workers (not the caller) —
+	// the observable record of effective per-op fan-out. Benchmarks report
+	// the per-op delta so a regression to serial execution (a kernel that
+	// stops splitting, a pool that stops accepting) is visible even on
+	// hosts where wall-clock scaling is core-bound.
+	poolTasks atomic.Uint64
+
 	wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
 )
+
+// PoolTasksExecuted returns the cumulative number of kernel chunks
+// executed by pool workers since process start.
+func PoolTasksExecuted() uint64 { return poolTasks.Load() }
 
 // serialWorkLimit is the kernel work size (multiply-adds) below which
 // fanning out to the pool costs more than it saves; smaller products run on
@@ -113,7 +126,12 @@ func worker(p *workerPool) {
 	for {
 		select {
 		case t := <-p.ch:
-			t.fn(t.dst, t.a, t.b, t.lo, t.hi)
+			if t.g != nil {
+				gemmRange(t.g, t.lo, t.hi)
+			} else {
+				t.fn(t.dst, t.a, t.b, t.lo, t.hi)
+			}
+			poolTasks.Add(1)
 			t.wg.Done()
 		case <-p.quit:
 			return

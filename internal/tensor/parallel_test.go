@@ -86,54 +86,45 @@ func withParallelism(t *testing.T, f func(t *testing.T)) {
 }
 
 func TestBlockedKernelsMatchScalarReference(t *testing.T) {
-	withParallelism(t, func(t *testing.T) {
-		for _, sh := range parityShapes {
-			rng := NewRNG(uint64(7*sh.n + 13*sh.k + sh.p))
-			a := RandN(rng, sh.n, sh.k, 1)
-			b := RandN(rng, sh.k, sh.p, 1)
-			bt := RandN(rng, sh.p, sh.k, 1) // for a * bt^T
-			c := RandN(rng, sh.n, sh.p, 1)  // for a^T * c
+	withKernels(t, func(t *testing.T, exact bool) {
+		withParallelism(t, func(t *testing.T) {
+			for _, sh := range parityShapes {
+				rng := NewRNG(uint64(7*sh.n + 13*sh.k + sh.p))
+				a := RandN(rng, sh.n, sh.k, 1)
+				b := RandN(rng, sh.k, sh.p, 1)
+				bt := RandN(rng, sh.p, sh.k, 1) // for a * bt^T
+				c := RandN(rng, sh.n, sh.p, 1)  // for a^T * c
 
-			if got, want := MatMul(a, b), refMatMul(a, b); !got.Equal(want) {
-				t.Fatalf("MatMul %dx%dx%d differs from scalar reference (max %g)",
-					sh.n, sh.k, sh.p, got.Sub(want).MaxAbs())
-			}
-			got := Full(sh.n, sh.p, 42) // stale contents must be overwritten
-			MatMulInto(got, a, b)
-			if want := refMatMul(a, b); !got.Equal(want) {
-				t.Fatalf("MatMulInto %dx%dx%d differs from scalar reference", sh.n, sh.k, sh.p)
-			}
+				checkMat(t, fmt.Sprintf("MatMul %dx%dx%d", sh.n, sh.k, sh.p),
+					MatMul(a, b), refMatMul(a, b), exact)
+				got := Full(sh.n, sh.p, 42) // stale contents must be overwritten
+				MatMulInto(got, a, b)
+				checkMat(t, fmt.Sprintf("MatMulInto %dx%dx%d", sh.n, sh.k, sh.p),
+					got, refMatMul(a, b), exact)
 
-			if got, want := MatMulT(a, bt), refMatMulT(a, bt); !got.Equal(want) {
-				t.Fatalf("MatMulT %dx%dx%d differs from scalar reference (max %g)",
-					sh.n, sh.k, sh.p, got.Sub(want).MaxAbs())
-			}
-			got = Full(sh.n, sh.p, 42)
-			MatMulTInto(got, a, bt)
-			if want := refMatMulT(a, bt); !got.Equal(want) {
-				t.Fatalf("MatMulTInto %dx%dx%d differs from scalar reference", sh.n, sh.k, sh.p)
-			}
+				checkMat(t, fmt.Sprintf("MatMulT %dx%dx%d", sh.n, sh.k, sh.p),
+					MatMulT(a, bt), refMatMulT(a, bt), exact)
+				got = Full(sh.n, sh.p, 42)
+				MatMulTInto(got, a, bt)
+				checkMat(t, fmt.Sprintf("MatMulTInto %dx%dx%d", sh.n, sh.k, sh.p),
+					got, refMatMulT(a, bt), exact)
 
-			if got, want := TMatMul(a, c), refTMatMul(a, c); !got.Equal(want) {
-				t.Fatalf("TMatMul %dx%dx%d differs from scalar reference (max %g)",
-					sh.n, sh.k, sh.p, got.Sub(want).MaxAbs())
-			}
-			got = Full(sh.k, sh.p, 42)
-			TMatMulInto(got, a, c)
-			if want := refTMatMul(a, c); !got.Equal(want) {
-				t.Fatalf("TMatMulInto %dx%dx%d differs from scalar reference", sh.n, sh.k, sh.p)
-			}
+				checkMat(t, fmt.Sprintf("TMatMul %dx%dx%d", sh.n, sh.k, sh.p),
+					TMatMul(a, c), refTMatMul(a, c), exact)
+				got = Full(sh.k, sh.p, 42)
+				TMatMulInto(got, a, c)
+				checkMat(t, fmt.Sprintf("TMatMulInto %dx%dx%d", sh.n, sh.k, sh.p),
+					got, refTMatMul(a, c), exact)
 
-			// Fused accumulation: dst += a^T c on a non-trivial dst.
-			acc := RandN(rng, sh.k, sh.p, 1)
-			want := acc.Clone()
-			refTMatMulAdd(want, a, c)
-			TMatMulAddInto(acc, a, c)
-			if !acc.Equal(want) {
-				t.Fatalf("TMatMulAddInto %dx%dx%d differs from scalar reference (max %g)",
-					sh.n, sh.k, sh.p, acc.Sub(want).MaxAbs())
+				// Fused accumulation: dst += a^T c on a non-trivial dst.
+				acc := RandN(rng, sh.k, sh.p, 1)
+				want := acc.Clone()
+				refTMatMulAdd(want, a, c)
+				TMatMulAddInto(acc, a, c)
+				checkMat(t, fmt.Sprintf("TMatMulAddInto %dx%dx%d", sh.n, sh.k, sh.p),
+					acc, want, exact)
 			}
-		}
+		})
 	})
 }
 
@@ -163,32 +154,36 @@ func TestKernelsZeroInnerDimension(t *testing.T) {
 
 func TestGramProductAliasing(t *testing.T) {
 	// The K-FAC curvature kernel computes U^T U with a aliasing b.
-	withParallelism(t, func(t *testing.T) {
-		rng := NewRNG(5)
-		u := RandN(rng, 37, 19, 1)
-		got := Get(19, 19)
-		defer Put(got)
-		TMatMulInto(got, u, u)
-		if want := refTMatMul(u, u); !got.Equal(want) {
-			t.Fatalf("TMatMulInto(U, U) differs from reference (max %g)", got.Sub(want).MaxAbs())
-		}
+	withKernels(t, func(t *testing.T, exact bool) {
+		withParallelism(t, func(t *testing.T) {
+			rng := NewRNG(5)
+			u := RandN(rng, 37, 19, 1)
+			got := Get(19, 19)
+			defer Put(got)
+			TMatMulInto(got, u, u)
+			checkMat(t, "TMatMulInto(U, U)", got, refTMatMul(u, u), exact)
+		})
 	})
 }
 
 func TestResultsIdenticalAcrossParallelism(t *testing.T) {
-	defer SetParallelism(0)
-	defer SetOpParallelism(0)
-	rng := NewRNG(11)
-	a := RandN(rng, 150, 90, 1)
-	b := RandN(rng, 90, 110, 1)
-	SetParallelism(1)
-	serial := MatMul(a, b)
-	SetParallelism(6)
-	SetOpParallelism(3)
-	parallel := MatMul(a, b)
-	if !serial.Equal(parallel) {
-		t.Fatal("parallel MatMul is not bit-identical to serial")
-	}
+	// Bit-identity across worker counts must hold for every kernel
+	// variant, including FMA (the reduction order is fixed per variant).
+	withKernels(t, func(t *testing.T, exact bool) {
+		defer SetParallelism(0)
+		defer SetOpParallelism(0)
+		rng := NewRNG(11)
+		a := RandN(rng, 150, 90, 1)
+		b := RandN(rng, 90, 110, 1)
+		SetParallelism(1)
+		serial := MatMul(a, b)
+		SetParallelism(6)
+		SetOpParallelism(3)
+		parallel := MatMul(a, b)
+		if !serial.Equal(parallel) {
+			t.Fatal("parallel MatMul is not bit-identical to serial")
+		}
+	})
 }
 
 func TestConcurrentKernelInvocations(t *testing.T) {
@@ -208,7 +203,9 @@ func TestConcurrentKernelInvocations(t *testing.T) {
 			rng := NewRNG(uint64(100 + g))
 			a := RandN(rng, 80, 70, 1)
 			b := RandN(rng, 70, 60, 1)
-			want := refMatMul(a, b)
+			// The active variant is its own reference: concurrent
+			// invocations must reproduce it bit for bit.
+			want := MatMul(a, b)
 			out := Zeros(80, 60)
 			for iter := 0; iter < 10; iter++ {
 				MatMulInto(out, a, b)

@@ -7,15 +7,17 @@
 // Usage:
 //
 //	go run ./scripts -baseline BENCH_engine.json -current /tmp/new.json \
-//	    [-threshold 10] [-gate seqs_per_s]
+//	    [-threshold 10] [-gate seqs_per_s] [-gate-rows '^BenchmarkMatMul']
 //
 // Metrics are compared by direction: ns_per_op, bytes_per_op and
-// allocs_per_op regress when they grow; seqs_per_s and mb_per_s (throughput)
-// regress when they shrink. Only the metrics named by -gate (comma list, or
-// "all") cause a non-zero exit; everything else is reported informationally.
-// The default gate is seqs_per_s — steady-state executor throughput —
-// because wall-clock nanoseconds on shared CI runners are too noisy to gate
-// on by default.
+// allocs_per_op regress when they grow; seqs_per_s, mb_per_s (throughput)
+// and poolchunks_per_op (effective per-op worker fan-out) regress when they
+// shrink. Only the metrics named by -gate (comma list, or "all") cause a
+// non-zero exit, and only on rows whose benchmark name matches -gate-rows
+// (a regexp; default every row); everything else is reported
+// informationally. The default gate is seqs_per_s — steady-state executor
+// throughput — because wall-clock nanoseconds on shared CI runners are too
+// noisy to gate on by default.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -40,6 +43,7 @@ var metrics = []metric{
 	{"allocs_per_op", "allocs/op", false},
 	{"mb_per_s", "MB/s", true},
 	{"seqs_per_s", "seqs/s", true},
+	{"poolchunks_per_op", "poolchunks/op", true},
 }
 
 func loadBench(path string) (map[string]map[string]float64, []string, error) {
@@ -75,6 +79,7 @@ func main() {
 	currentPath := flag.String("current", "", "freshly measured JSON (required)")
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent on gated metrics")
 	gate := flag.String("gate", "seqs_per_s", "comma-separated metrics that fail the run on regression, or \"all\"")
+	gateRows := flag.String("gate-rows", "", "regexp restricting the gate to matching benchmark names (empty = every row)")
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "bench_compare: -baseline and -current are required")
@@ -97,6 +102,14 @@ func main() {
 			gated[g] = true
 		}
 	}
+	rowRe := regexp.MustCompile("")
+	if *gateRows != "" {
+		rowRe, err = regexp.Compile(*gateRows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench_compare: -gate-rows:", err)
+			os.Exit(2)
+		}
+	}
 
 	fmt.Printf("%-55s %-10s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
 	var regressions []string
@@ -115,7 +128,7 @@ func main() {
 			delta := 100 * (nv - ov) / ov
 			mark := ""
 			regressed := (m.higherBetter && delta < -*threshold) || (!m.higherBetter && delta > *threshold)
-			if regressed && (gated["all"] || gated[m.key]) {
+			if regressed && (gated["all"] || gated[m.key]) && rowRe.MatchString(name) {
 				mark = "  REGRESSION"
 				regressions = append(regressions, fmt.Sprintf("%s %s %+.1f%% (threshold %.0f%%)", name, m.label, delta, *threshold))
 			}
@@ -134,6 +147,9 @@ func main() {
 		// A vanished benchmark whose baseline row carried a gated metric
 		// would otherwise disable the gate silently (renamed b.Run names,
 		// a changed -bench regex): treat it as a failure, not a skip.
+		if !rowRe.MatchString(name) {
+			continue
+		}
 		for _, m := range metrics {
 			if _, ok := base[name][m.key]; ok && (gated["all"] || gated[m.key]) {
 				regressions = append(regressions, fmt.Sprintf("%s %s missing from current run (baseline row has a gated metric)", name, m.label))

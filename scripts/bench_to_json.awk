@@ -1,8 +1,9 @@
 # Distills `go test -bench` output into a JSON array for the CI perf
 # artifacts (BENCH_tensor.json, BENCH_engine.json). Standard columns map to
 # ns_per_op/bytes_per_op/allocs_per_op; the custom metrics in use (MB/s
-# from the kernel benchmarks, seqs/s from the engine benchmarks) never
-# co-occur, so one parser serves every benchmark suite.
+# from the kernel benchmarks, seqs/s from the engine benchmarks,
+# poolchunks/op — effective per-op fan-out — from the worker-scaling
+# benchmark) are each keyed independently, so any mix of columns parses.
 BEGIN { print "["; first=1 }
 /^Benchmark/ {
   if (!first) printf ",\n"; first=0
@@ -13,6 +14,7 @@ BEGIN { print "["; first=1 }
     if ($i == "allocs/op") printf ",\"allocs_per_op\":%s", $(i-1)
     if ($i == "MB/s") printf ",\"mb_per_s\":%s", $(i-1)
     if ($i == "seqs/s") printf ",\"seqs_per_s\":%s", $(i-1)
+    if ($i == "poolchunks/op") printf ",\"poolchunks_per_op\":%s", $(i-1)
   }
   printf "}"
 }
