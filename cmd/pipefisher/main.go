@@ -20,11 +20,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/bert"
 	"repro/internal/data"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/hardware"
 	"repro/internal/kfac"
 	"repro/internal/optim"
@@ -60,6 +62,11 @@ func main() {
 		overlap      = flag.Bool("overlap", false, "overlap consecutive refresh windows with -execute: refresh work that spills out of its window carries into the next round's bubbles as generation-lagged ops")
 		kernelName   = flag.String("kernel", "", "matmul kernel variant: scalar, tiled, or fma (default: best available)")
 		f32          = flag.Bool("f32", false, "float32 compute mode: packed matmul panels and K-FAC statistics snapshots narrow to float32 (inverses and optimizer state stay float64)")
+		faultSpec    = flag.String("faults", "", "deterministic fault plan for -execute, e.g. 'fail:step=2,op=curvature;stall:op=forward,delay=5ms,count=1' (kinds: fail, stall, drop, corrupt)")
+		opTimeout    = flag.Duration("op-timeout", 0, "watchdog deadline per executed op with -execute; 0 disables the watchdog")
+		opRetries    = flag.Int("op-retries", 0, "retry budget for failed side-path ops (curvature, inversion, sync-curvature) before degrading, with -execute")
+		retryBackoff = flag.Duration("retry-backoff", 2*time.Millisecond, "base backoff between retries (doubles per attempt)")
+		checkpoint   = flag.Bool("checkpoint", false, "round checkpoint/replay with -execute: snapshot state at every round start and replay aborted rounds (up to 3 attempts)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -157,8 +164,28 @@ func main() {
 	}
 
 	if *execute {
-		executeSchedule(*method, *stages, *nmicro, *replicas, *invParallel, *execSteps, *refreshSteps, *width, *workers, *overlap, *svgPath)
+		var plan *faults.Plan
+		if *faultSpec != "" {
+			plan, err = faults.Parse(*faultSpec)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		ft := faultConfig{
+			plan: plan, opTimeout: *opTimeout, opRetries: *opRetries,
+			retryBackoff: *retryBackoff, checkpoint: *checkpoint,
+		}
+		executeSchedule(*method, *stages, *nmicro, *replicas, *invParallel, *execSteps, *refreshSteps, *width, *workers, *overlap, *svgPath, ft)
 	}
+}
+
+// faultConfig bundles the fault-tolerance flags for real execution.
+type faultConfig struct {
+	plan         *faults.Plan
+	opTimeout    time.Duration
+	opRetries    int
+	retryBackoff time.Duration
+	checkpoint   bool
 }
 
 // executeSchedule trains a small BERT (one block per stage) for real under
@@ -169,7 +196,7 @@ func main() {
 // overlapped windows when -overlap is set — then renders the executed
 // timeline of the last round (step boundaries marked on the ruler) and its
 // bubble-utilization summary.
-func executeSchedule(method string, stages, nmicro, replicas int, invParallel bool, steps, refreshSteps, width, workers int, overlap bool, svgPath string) {
+func executeSchedule(method string, stages, nmicro, replicas int, invParallel bool, steps, refreshSteps, width, workers int, overlap bool, svgPath string, ft faultConfig) {
 	cfg := bert.TinyConfig()
 	cfg.Blocks = stages
 	model, err := bert.New(cfg, 7)
@@ -188,6 +215,9 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 		Method: method, Stages: stages, MicroBatches: nmicro,
 		Replicas: replicas, InversionParallel: invParallel, Workers: workers,
 		RefreshSteps: refreshSteps, OverlapRounds: overlap,
+		FaultPlan: ft.plan, OpTimeout: ft.opTimeout,
+		OpRetries: ft.opRetries, RetryBackoff: ft.retryBackoff,
+		Checkpoint: ft.checkpoint,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -212,8 +242,15 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 		opt.Step(3e-3)
 		return nil
 	})
+	if ft.checkpoint {
+		eng.AttachOptimizerState(opt)
+	}
 	fmt.Printf("\n--- real execution: %s, %d stages, %d micro-batches, %d replica(s), refresh round %s, overlap=%v, %d intra-op workers ---\n",
 		method, stages, nmicro, replicas, kDesc, overlap, tensor.Parallelism())
+	if ft.plan != nil || ft.opTimeout > 0 || ft.opRetries > 0 || ft.checkpoint {
+		fmt.Printf("fault tolerance: plan=%v op-timeout=%v op-retries=%d checkpoint=%v\n",
+			ft.plan, ft.opTimeout, ft.opRetries, ft.checkpoint)
+	}
 	rounds := (steps + k - 1) / k
 	for round := 0; round < rounds; round++ {
 		batches := make([]*data.Batch, k)
@@ -221,11 +258,26 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 			batches[j] = corpus.MakeBatch(4*nmicro*replicas, data.DefaultBatchConfig(cfg.SeqLen))
 		}
 		res, err := eng.TrainRound(batches)
+		// Restore-and-replay: an aborted round rewinds to its start
+		// checkpoint and re-runs the same batches. Count-limited faults
+		// stay consumed across the rewind, so a transient fault's replay
+		// goes through; a persistent one exhausts the attempts and dies.
+		for attempt := 1; err != nil && ft.checkpoint && attempt <= 3; attempt++ {
+			fmt.Printf("round aborted: %v\n  restoring checkpoint and replaying (attempt %d/3)\n", err, attempt)
+			if _, rerr := eng.RestoreCheckpoint(); rerr != nil {
+				log.Fatal(rerr)
+			}
+			res, err = eng.TrainRound(batches)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		for j, r := range res {
-			fmt.Printf("step %d  loss %.4f  refreshed=%v\n", round*k+j, r.Loss.Total, r.Refreshed)
+			deg := ""
+			if r.Degraded && j == 0 {
+				deg = fmt.Sprintf("  DEGRADED (%s)", r.DegradedReason)
+			}
+			fmt.Printf("step %d  loss %.4f  refreshed=%v%s\n", round*k+j, r.Loss.Total, r.Refreshed, deg)
 		}
 	}
 	fmt.Println()

@@ -225,6 +225,70 @@
 // idle fractions (per step of the round in the CSV), with the
 // refresh-filled share of the bubble budget as the headline number.
 //
+// # Fault tolerance contract
+//
+// The executor survives injected and real faults without ever trading
+// away determinism. internal/faults builds seeded, reproducible fault
+// plans — fail / stall / drop / corrupt actions pinned to named
+// (step, device, op-kind, micro, generation) injection points, with
+// optional firing counts (faults.Parse for the CLI spec grammar on the
+// -faults flag, faults.Random for seeded soak plans). The plan hooks into
+// the engine via engine.Config.FaultPlan; together with Config.OpTimeout
+// and Config.OpRetries it switches the device loops onto the resilient
+// dispatch path. When all three are unset the loops branch straight to the
+// plain path — byte-identical behavior to an engine without the fault
+// layer, CI-gated at exactly zero extra allocations and <2% throughput on
+// the executor benchmarks.
+//
+// Resilience is layered, in escalation order:
+//
+//   - Watchdog: Config.OpTimeout arms a per-op deadline. An op that
+//     exceeds it is converted into an attributed abort ("watchdog:
+//     ... stalled") rather than a silent hang; parked devices unpark on
+//     abort so a stalled collective cannot wedge the round.
+//   - Retry with backoff: failed side-path ops (curvature, inversion,
+//     sync-curvature) retry up to Config.OpRetries times with doubling
+//     backoff from Config.RetryBackoff. The executed Timeline records the
+//     retry count on the succeeding attempt's event (CSV "retries"
+//     column).
+//   - Degraded K-FAC: a side-path op that exhausts its retries does NOT
+//     abort the round. The refresh is marked failed, SetFactors is never
+//     reached, and every step preconditions with the previous
+//     generation's cached inverses — §3.1's stale-but-cheap rule extended
+//     to failure: stale beats absent, absent beats dead. If no generation
+//     exists yet (first refresh fails), layers without inverses fall back
+//     to the unpreconditioned gradient, bit-identical to a no-K-FAC
+//     engine. A degraded round commits its steps normally, is flagged on
+//     StepResult (Degraded/DegradedReason with the root-cause device and
+//     op) and carries a Degraded marker span in the Timeline; the next
+//     refresh round starts from scratch, and the factor EMA is never
+//     touched by a failed or corrupt refresh (NaN/Inf partials are caught
+//     before the fold). schedule.ValidateDegradedSafety proves the
+//     licensing precondition on every rebuild: no base-path op may depend
+//     on refresh output except Precondition-on-Inversion, the one edge
+//     with a defined fallback.
+//   - Checkpoint/replay: base-path faults (forward, backward, sync-grad,
+//     precondition, opt-step) still abort, with the existing
+//     round-granularity rollback and a root-cause error naming the
+//     device, op, and — for injected faults — the injection point. With
+//     Config.Checkpoint the engine snapshots parameters, gradient
+//     accumulators, K-FAC state, step counters and (via
+//     AttachOptimizerState) optimizer moments at every round start;
+//     RestoreCheckpoint rewinds an aborted round so TrainRound can replay
+//     the same batches. Replay after an injected abort reproduces the
+//     fault-free parameters bit-identically — the identity tests assert
+//     exact equality for BERT and GPT at W in {1, 2} under all three
+//     schedules. Corruption (NaN/Inf) in base-path outputs is caught at
+//     the step commit barrier before parameters update, so a corrupted
+//     step can never commit.
+//
+// Abort hygiene holds at every injection point: the per-op-kind abort
+// sweep asserts the root cause survives barrier aborts for every kind in
+// the schedule, and the pool audit (tensor.SetPoolAudit / PoolLive)
+// asserts the workspace pool returns to its steady-state live count after
+// an abort at every (step, op-kind) — aborted and degraded rounds leak
+// nothing.
+//
 // The benchmark harness in bench_test.go regenerates the paper's tables
 // and figures, and cmd/ plus examples/ provide runnable entry points
 // (cmd/pipefisher -execute runs the sim/exec comparison end to end;

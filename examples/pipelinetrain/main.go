@@ -32,10 +32,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/bert"
 	"repro/internal/data"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/kfac"
 	"repro/internal/optim"
 	"repro/internal/pipeline"
@@ -52,6 +54,11 @@ func main() {
 	overlap := flag.Bool("overlap", false, "overlap consecutive refresh windows: spilled refresh work carries into the next round's bubbles as generation-lagged ops")
 	kernelName := flag.String("kernel", "", "matmul kernel variant: scalar, tiled, or fma (default: best available)")
 	f32 := flag.Bool("f32", false, "float32 compute mode: packed matmul panels and K-FAC statistics snapshots narrow to float32 (inverses and optimizer state stay float64)")
+	faultSpec := flag.String("faults", "", "deterministic fault plan, e.g. 'fail:step=2,op=curvature;stall:op=forward,delay=5ms,count=1' (kinds: fail, stall, drop, corrupt)")
+	opTimeout := flag.Duration("op-timeout", 0, "watchdog deadline per op; 0 disables the watchdog")
+	opRetries := flag.Int("op-retries", 0, "retry budget for failed side-path ops (curvature, inversion, sync-curvature) before degrading")
+	retryBackoff := flag.Duration("retry-backoff", 2*time.Millisecond, "base backoff between retries (doubles per attempt)")
+	checkpoint := flag.Bool("checkpoint", false, "round checkpoint/replay: snapshot state at every round start and replay aborted rounds (up to 3 attempts)")
 	flag.Parse()
 	if *workers < 0 {
 		*workers = 0 // negative means "default", like 0
@@ -90,10 +97,20 @@ func main() {
 	if adaptive {
 		engRefresh = engine.AdaptiveRefreshSteps
 	}
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		plan, err = faults.Parse(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	eng, err := engine.NewWithConfig(model, engine.Config{
 		Method: *method, Stages: 2, MicroBatches: 4,
 		Replicas: *replicas, InversionParallel: *replicas > 1, Workers: *workers,
 		RefreshSteps: engRefresh, OverlapRounds: *overlap,
+		FaultPlan: plan, OpTimeout: *opTimeout,
+		OpRetries: *opRetries, RetryBackoff: *retryBackoff,
+		Checkpoint: *checkpoint,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -117,6 +134,10 @@ func main() {
 	}
 	fmt.Printf("pipelinetrain: %s schedule, %d replica(s), refresh round %s, overlap=%v, %d intra-op workers, kernel %s, f32=%v\n",
 		*method, *replicas, kDesc, *overlap, tensor.Parallelism(), tensor.ActiveKernel(), tensor.F32())
+	if plan != nil || *opTimeout > 0 || *opRetries > 0 || *checkpoint {
+		fmt.Printf("fault tolerance: plan=%v op-timeout=%v op-retries=%d checkpoint=%v\n",
+			plan, *opTimeout, *opRetries, *checkpoint)
+	}
 
 	params := model.Params()
 	opt := optim.NewLAMB(params, 0.01)
@@ -127,6 +148,9 @@ func main() {
 		opt.Step(lrs.LR(step))
 		return nil
 	})
+	if *checkpoint {
+		eng.AttachOptimizerState(opt)
+	}
 
 	const steps = 100
 	for start := 0; start < steps; start += k {
@@ -135,11 +159,25 @@ func main() {
 			batches[j] = corpus.MakeBatch(8**replicas, data.DefaultBatchConfig(model.Config.SeqLen))
 		}
 		res, err := eng.TrainRound(batches)
+		// Restore-and-replay: an aborted round rewinds to its start
+		// checkpoint and re-runs the same batches. Count-limited faults stay
+		// consumed across the rewind, so a transient fault's replay goes
+		// through; a persistent one exhausts the attempts and dies.
+		for attempt := 1; err != nil && *checkpoint && attempt <= 3; attempt++ {
+			fmt.Printf("round aborted: %v\n  restoring checkpoint and replaying (attempt %d/3)\n", err, attempt)
+			if _, rerr := eng.RestoreCheckpoint(); rerr != nil {
+				log.Fatal(rerr)
+			}
+			res, err = eng.TrainRound(batches)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		for j, r := range res {
 			step := start + j
+			if r.Degraded && j == 0 {
+				fmt.Printf("step %3d  DEGRADED refresh round (%s): serving stale/absent inverses\n", step, r.DegradedReason)
+			}
 			if step%10 == 0 {
 				fmt.Printf("step %3d  loss %.4f (MLM %.4f, NSP %.4f)  refreshed=%v  device busy: %.0f / %.0f ms\n",
 					step, r.Loss.Total, r.Loss.Components["mlm"], r.Loss.Components["nsp"],

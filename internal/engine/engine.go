@@ -44,8 +44,10 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/data"
+	"repro/internal/faults"
 	"repro/internal/hardware"
 	"repro/internal/kfac"
 	"repro/internal/nn"
@@ -124,6 +126,40 @@ type Config struct {
 	// the whole pool. The budget is re-resolved against the pool at every
 	// TrainStep and recorded in the executed Timeline.
 	Workers int
+	// FaultPlan, when non-nil, injects the plan's deterministic faults —
+	// op failures, stalls, collective drops, NaN corruption — at their
+	// named (step, device, op-kind) points (package faults). The whole
+	// fault/resilience layer is bypassed when FaultPlan is nil and
+	// OpTimeout/OpRetries are zero: the executor takes the exact pre-fault
+	// code path, with no extra allocations or per-op overhead.
+	FaultPlan *faults.Plan
+	// OpTimeout, when positive, arms a watchdog over every executing op: an
+	// op that has not completed within the deadline is treated as a hung
+	// device and the round aborts with an error naming the stalled device
+	// and op. The watchdog converts silent hangs into attributed failures;
+	// it cannot preempt a genuinely stuck kernel (goroutines are not
+	// killable), so the round's join still waits for the op to return —
+	// injected stalls are abort-aware and return promptly.
+	OpTimeout time.Duration
+	// OpRetries bounds retry-with-backoff for transient failures of
+	// side-path ops — curvature capture, inversion, sync-curvature: work
+	// whose failure the K-FAC staleness discipline (§3.1) can absorb. A
+	// side-path op is retried up to OpRetries times before the round
+	// degrades (stale inverses, then unpreconditioned SGD). Base-path ops
+	// (forward, backward, gradient collectives, optimizer steps) never
+	// retry: their failure aborts the round.
+	OpRetries int
+	// RetryBackoff is the base delay between retry attempts, doubled per
+	// attempt (0 = immediate retry). The backoff sleep is abort-aware.
+	RetryBackoff time.Duration
+	// Checkpoint enables round checkpoint/replay: TrainRound snapshots
+	// parameters, gradient accumulators, attached optimizer state
+	// (AttachOptimizerState), and the K-FAC refresh phase at every round
+	// start — equivalently, at the previous round's commit — into retained
+	// buffers (zero steady-state allocations). After an aborted round,
+	// RestoreCheckpoint rewinds to that snapshot so replaying the same
+	// batches reproduces the fault-free run bit-identically.
+	Checkpoint bool
 }
 
 func (c Config) normalize() (Config, error) {
@@ -158,6 +194,15 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.OverlapRounds && c.FrontLoadRefresh {
 		return c, fmt.Errorf("engine: OverlapRounds and FrontLoadRefresh are mutually exclusive")
+	}
+	if c.OpTimeout < 0 {
+		return c, fmt.Errorf("engine: OpTimeout must be non-negative, got %v", c.OpTimeout)
+	}
+	if c.OpRetries < 0 {
+		return c, fmt.Errorf("engine: OpRetries must be non-negative, got %d", c.OpRetries)
+	}
+	if c.RetryBackoff < 0 {
+		return c, fmt.Errorf("engine: RetryBackoff must be non-negative, got %v", c.RetryBackoff)
 	}
 	if c.Method == "chimera" {
 		if c.Stages%2 != 0 {
@@ -252,6 +297,18 @@ type Engine struct {
 	// failOp, when set (tests only), is consulted before every op; a
 	// non-nil return aborts the step as if the op itself had failed.
 	failOp func(op *pipeline.Op) error
+
+	// inj evaluates Config.FaultPlan at every op when non-nil; the
+	// resilience layer (resilience.go) is active only when inj is set or
+	// OpTimeout/OpRetries are configured.
+	inj *faults.Injector
+	// optState is the optimizer state attached via AttachOptimizerState,
+	// snapshotted and restored by the round checkpoint.
+	optState OptimizerState
+	// ckpt is the retained round checkpoint (checkpoint.go); its buffers
+	// are reused across saves so steady-state checkpointing allocates
+	// nothing.
+	ckpt roundCheckpoint
 }
 
 // New partitions the model's blocks into nStages contiguous stages and
@@ -275,7 +332,7 @@ func NewWithConfig(model pipemodel.Model, cfg Config) (*Engine, error) {
 	if len(model.PipelineBlocks()) == 0 {
 		return nil, fmt.Errorf("engine: model has no pipeline blocks")
 	}
-	e := &Engine{cfg: cfg, roundLen: cfg.RefreshSteps}
+	e := &Engine{cfg: cfg, roundLen: cfg.RefreshSteps, inj: faults.NewInjector(cfg.FaultPlan)}
 	if cfg.RefreshSteps == AdaptiveRefreshSteps {
 		e.roundLen = 1 // resolved from measured work at EnableKFAC
 	}
@@ -392,6 +449,15 @@ func (e *Engine) rebuildSchedule() error {
 	}
 	if _, err := pipeline.Run(sched); err != nil {
 		return fmt.Errorf("engine: schedule not executable: %w", err)
+	}
+	if e.kfacPre != nil {
+		// The degradation ladder treats a failed refresh op as a success
+		// (stale inverses serve instead); that is only sound when no
+		// base-path op consumes a refresh op's output. Prove it per
+		// schedule, once, here.
+		if err := schedule.ValidateDegradedSafety(sched); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
 	}
 	e.sched = sched
 	return nil
@@ -616,6 +682,15 @@ type StepResult struct {
 	// stale inverses and report false — including, under OverlapRounds, a
 	// round that only drains the previous window's carried refresh work.
 	Refreshed bool
+	// Degraded reports that the step's round ran in degraded mode: some
+	// K-FAC refresh work failed past its retry budget and the round served
+	// the previous generation's inverses instead (or unpreconditioned SGD
+	// when no generation was ever delivered) — the §3.1 staleness rule
+	// extended across failures. The engine re-runs a full refresh on the
+	// next round. DegradedReason carries the first failure that triggered
+	// the degradation.
+	Degraded       bool
+	DegradedReason string
 }
 
 // TrainStep runs one training step — the degenerate one-step round. It is
@@ -686,6 +761,15 @@ func (e *Engine) TrainRound(batches []*data.Batch) ([]*StepResult, error) {
 			totals[j].Tokens += e.reps[0].model.BatchTokenCount(mb)
 		}
 	}
+	// The round checkpoint is taken before anything mutates state — at
+	// this point the engine is exactly as the previous round's commit left
+	// it, so saving here is saving at round commit.
+	if e.cfg.Checkpoint {
+		if e.optApply != nil && e.optState == nil {
+			return nil, fmt.Errorf("engine: Checkpoint with SetOptimizer needs AttachOptimizerState: replaying a round must rewind the optimizer's internal state too")
+		}
+		e.saveCheckpoint()
+	}
 	// Cadence is counted in rounds (refreshEvery is a validated multiple of
 	// the round length), so a partially committed round cannot desync the
 	// refresh phase: a refresh fires on every (refreshEvery/K)-th round —
@@ -742,22 +826,37 @@ func (e *Engine) TrainRound(batches []*data.Batch) ([]*StepResult, error) {
 		e.carryPool = nil
 		return res, err
 	}
+	prevDegraded := false
 	if prev != nil {
-		// The carried generation finished folding and inverting this round;
-		// its pool is empty (reset is a cheap invariant scrub).
+		// The carried generation finished folding and inverting this round
+		// (its pool is empty; reset is a cheap invariant scrub) — unless it
+		// degraded, in which case the preconditioner may hold a mix of its
+		// factors and older ones: force a full refresh next round.
+		prevDegraded = prev.failed.Load()
 		prev.reset()
 		e.carryPool = nil
 	}
 	if refresh {
-		e.refreshPending = false
-		e.kfacGen++
-		if e.hasCarryOps {
-			// The spilled part of this generation executes next round as
-			// the carried ops: keep its snapshots/partials pending.
-			e.carryPool = cur
-		} else {
+		if cur.failed.Load() {
+			// The collected generation degraded: some of its factors never
+			// folded or inverted. Scrub it — a poisoned generation is never
+			// served as a stale one or carried forward — and refresh again
+			// next round.
 			cur.reset()
+			e.refreshPending = true
+		} else {
+			e.refreshPending = prevDegraded
+			e.kfacGen++
+			if e.hasCarryOps {
+				// The spilled part of this generation executes next round as
+				// the carried ops: keep its snapshots/partials pending.
+				e.carryPool = cur
+			} else {
+				cur.reset()
+			}
 		}
+	} else if prevDegraded {
+		e.refreshPending = true
 	}
 	return res, err
 }

@@ -80,10 +80,25 @@ type runState struct {
 	optErr    []error         // per step, written by the committing device
 	committed int             // steps whose optimizer callback completed
 
-	errs      []error // per device
+	failMu    sync.Mutex // guards errs: first error per device wins
+	errs      []error    // per device
 	failed    atomic.Bool
 	abortC    chan struct{} // closed on first failure: unparks barrier waiters
 	abortOnce sync.Once
+
+	// resilient selects the fault-tolerant execution path (resilience.go):
+	// injector consultation, watchdog arming, retry/degrade. False — no
+	// fault plan, no timeout, no retries — takes the exact pre-fault code
+	// path, so the resilience layer costs nothing when unused.
+	resilient bool
+	wd        *watchdog // armed per-op deadlines, nil unless OpTimeout > 0
+
+	// Degraded-mode record: set when a side-path failure past the retry
+	// budget downgraded the round instead of aborting it (the first
+	// failure's description is kept for StepResult.DegradedReason).
+	degMu          sync.Mutex
+	degraded       bool
+	degradedReason string
 
 	events [][]pipeline.Event // per device, measured wall-clock
 	start  time.Time
@@ -116,12 +131,18 @@ func (st *runState) genPool(op *pipeline.Op) *kfacGenPool {
 	return nil
 }
 
-// fail records a device failure exactly once per device and aborts the
-// round: the failed flag stops further execution, and the abort channel
-// unparks any device waiting at a step-commit barrier whose quorum will
-// never arrive.
+// fail records a device failure and aborts the round: the failed flag stops
+// further execution, and the abort channel unparks any device waiting at a
+// step-commit barrier whose quorum will never arrive. The first error per
+// device wins — except that a real root cause replaces a parked-at-barrier
+// errRoundAborted — so a watchdog's attributed stall report is not
+// clobbered when the stalled op itself later returns.
 func (st *runState) fail(d int, err error) {
-	st.errs[d] = err
+	st.failMu.Lock()
+	if st.errs[d] == nil || (errors.Is(st.errs[d], errRoundAborted) && !errors.Is(err, errRoundAborted)) {
+		st.errs[d] = err
+	}
+	st.failMu.Unlock()
 	st.failed.Store(true)
 	st.abortOnce.Do(func() { close(st.abortC) })
 }
@@ -192,6 +213,14 @@ func (e *Engine) runRound(micro [][]*data.Batch, totals []pipemodel.Totals, refr
 	// treatment at the previous step's commit barrier.
 	st.captureStepBase(0)
 
+	// The resilience layer (injector, watchdog, retry/degrade) engages only
+	// when something configured it; the default engine takes the branch-free
+	// pre-fault path below.
+	st.resilient = e.inj != nil || e.cfg.OpTimeout > 0 || e.cfg.OpRetries > 0
+	if e.cfg.OpTimeout > 0 {
+		st.startWatchdog(e.cfg.OpTimeout)
+	}
+
 	var wg sync.WaitGroup
 	for d := 0; d < e.sched.Devices; d++ {
 		wg.Add(1)
@@ -200,10 +229,27 @@ func (e *Engine) runRound(micro [][]*data.Batch, totals []pipemodel.Totals, refr
 			for _, id := range e.sched.Order[d] {
 				op := e.sched.Ops[id]
 				for _, dep := range op.Deps {
+					if st.resilient {
+						// Abort-aware wait: after an abort nothing executes
+						// (only drains), so a dep whose producer is hung —
+						// the case the watchdog attributes — must not block
+						// the drain of every other device.
+						select {
+						case <-st.done[dep]:
+						case <-st.abortC:
+						}
+						continue
+					}
 					<-st.done[dep]
 				}
 				if !st.failed.Load() {
-					if err := st.exec(d, op); err != nil {
+					var err error
+					if st.resilient {
+						err = st.execResilient(d, op)
+					} else {
+						err = st.exec(d, op)
+					}
+					if err != nil {
 						st.fail(d, fmt.Errorf("engine: device %d op %s: %w", d, op.Label(), err))
 					}
 				}
@@ -212,6 +258,9 @@ func (e *Engine) runRound(micro [][]*data.Batch, totals []pipemodel.Totals, refr
 		}(d)
 	}
 	wg.Wait()
+	if st.wd != nil {
+		st.wd.stopAndJoin()
+	}
 	var root, aborted error
 	for _, err := range st.errs {
 		if err == nil {
@@ -248,7 +297,10 @@ func (e *Engine) runRound(micro [][]*data.Batch, totals []pipemodel.Totals, refr
 func (st *runState) results(upTo int) []*StepResult {
 	res := make([]*StepResult, upTo)
 	for j := 0; j < upTo; j++ {
-		res[j] = &StepResult{DeviceBusy: make([]float64, st.e.sched.Devices), Refreshed: st.refresh}
+		res[j] = &StepResult{
+			DeviceBusy: make([]float64, st.e.sched.Devices), Refreshed: st.refresh,
+			Degraded: st.degraded, DegradedReason: st.degradedReason,
+		}
 		for _, part := range st.lossParts[j] {
 			res[j].Loss.Add(part)
 		}
@@ -331,6 +383,27 @@ func (st *runState) rollback() {
 			}
 		}
 	}
+	// In-flight activation hand-offs and error signals are pooled clones
+	// (published by forward/backward, normally recycled by their consumer's
+	// backward); an abort strands whichever ones were never consumed.
+	// stageIn[s] aliases stageOut[s-1] for the same slot — a consumer stage
+	// saves the producer's published clone as its recomputation input — so
+	// the sweep dedupes by pointer before returning buffers to the pool.
+	seen := make(map[*tensor.Matrix]bool)
+	putOnce := func(arr [][]*tensor.Matrix) {
+		for s := range arr {
+			for m, buf := range arr[s] {
+				if buf != nil && !seen[buf] {
+					seen[buf] = true
+					tensor.Put(buf)
+				}
+				arr[s][m] = nil
+			}
+		}
+	}
+	putOnce(st.stageIn)
+	putOnce(st.stageOut)
+	putOnce(st.gradOut)
 	for _, rep := range st.e.reps[1:] {
 		for s := range rep.stageParams {
 			for _, p := range rep.stageParams[s] {
@@ -370,7 +443,7 @@ func (st *runState) foldStages(op *pipeline.Op) error {
 // parked here and no next-step op can have started — the commit runs with
 // exclusive access to all parameters. Waiters unblock either on the commit
 // or on a round abort (a peer failed and its OptStep will never arrive).
-func (st *runState) arriveOptBarrier(op *pipeline.Op) error {
+func (st *runState) arriveOptBarrier(d int, op *pipeline.Op) error {
 	j := op.Step
 	st.optMu.Lock()
 	st.optLeft[j]--
@@ -381,6 +454,10 @@ func (st *runState) arriveOptBarrier(op *pipeline.Op) error {
 		close(st.optDone[j])
 		return st.optErr[j]
 	}
+	// A barrier park is a legitimate, possibly long wait on the step's
+	// other devices — not this device's stall: disarm its watchdog slot
+	// while parked (no-op when no watchdog is armed).
+	st.disarmWatchdog(d)
 	select {
 	case <-st.optDone[j]:
 		return st.optErr[j]
@@ -398,6 +475,17 @@ func (st *runState) arriveOptBarrier(op *pipeline.Op) error {
 // primary parameters re-broadcast to every replica.
 func (st *runState) commitStep(j int) error {
 	e := st.e
+	if e.inj != nil {
+		// Fault plans can corrupt activations, deltas, or accumulators with
+		// NaN; committing a poisoned step would destroy the parameters with
+		// no way back. Scan losses and reduced gradients before the
+		// optimizer fires — an attributed abort here is what checkpoint/
+		// replay recovers from. Injector-gated: the scan costs a pass over
+		// the parameters, which the fault-free fast path must not pay.
+		if err := st.scanStepHealth(j); err != nil {
+			return err
+		}
+	}
 	if e.optApply != nil {
 		if err := e.optApply(e.stepIndex + j); err != nil {
 			return fmt.Errorf("optimizer callback at step %d: %w", e.stepIndex+j, err)
@@ -466,7 +554,7 @@ func (st *runState) exec(d int, op *pipeline.Op) error {
 		if err := st.foldStages(op); err != nil {
 			return err
 		}
-		if err := st.arriveOptBarrier(op); err != nil {
+		if err := st.arriveOptBarrier(d, op); err != nil {
 			return err
 		}
 		st.record(d, op, t0)
@@ -705,6 +793,15 @@ func (st *runState) inversion(d int, op *pipeline.Op, pool *kfacGenPool) error {
 		newB, err := sumFactor(pool.curvB[s][li], pool.rowsB[s][li], scale*scale)
 		if err != nil {
 			return fmt.Errorf("factor B of layer %d: %w", li, err)
+		}
+		if st.e.inj != nil && (newA.HasNaN() || newB.HasNaN()) {
+			// Corrupted partials must not poison the preconditioner's EMA —
+			// SetFactors folds into long-lived state no retry could repair.
+			// Failing before the fold leaves the partials in place, so a
+			// retry re-sums them and, still poisoned, the op degrades.
+			tensor.Put(newA)
+			tensor.Put(newB)
+			return fmt.Errorf("NaN/Inf in folded curvature factors of layer %d stage %d", li, s)
 		}
 		if err := st.e.kfacPre[s].SetFactors(li, newA, newB); err != nil {
 			return err

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sync/atomic"
+
 	"repro/internal/pipemodel"
 	"repro/internal/tensor"
 )
@@ -41,6 +43,11 @@ type kfacGenPool struct {
 	// batch (the collect round's first step), so a carried fold scales the
 	// B factors with the generation's own batch, not the folding round's.
 	totals pipemodel.Totals
+	// failed marks the generation degraded: one of its refresh ops failed
+	// past the retry budget, so the generation is incomplete and must never
+	// be served as a stale generation or carried forward. Set by the
+	// resilience layer, consumed at round end, cleared by reset.
+	failed atomic.Bool
 }
 
 func newKFACGenPool(stages, perStep, layers int) *kfacGenPool {
@@ -97,4 +104,5 @@ func (p *kfacGenPool) reset() {
 		}
 	}
 	p.totals = pipemodel.Totals{}
+	p.failed.Store(false)
 }

@@ -1,0 +1,182 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "fail:step=2,dev=1,op=curvature;stall:op=forward,delay=5ms,count=2;drop:op=sync-grad,count=1;corrupt:step=3,op=backward,micro=1"
+	plan, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Faults) != 4 {
+		t.Fatalf("got %d faults, want 4", len(plan.Faults))
+	}
+	f := plan.Faults[0]
+	if f.Kind != Fail || f.Step != 2 || f.Device != 1 || f.Op != pipeline.Curvature || f.Micro != Any || f.Count != 0 {
+		t.Fatalf("fault 0 parsed wrong: %+v", f)
+	}
+	f = plan.Faults[1]
+	if f.Kind != Stall || f.Delay != 5*time.Millisecond || f.Count != 2 || f.Op != pipeline.Forward || f.Step != Any {
+		t.Fatalf("fault 1 parsed wrong: %+v", f)
+	}
+	f = plan.Faults[2]
+	if f.Kind != Drop || f.Op != pipeline.SyncGrad || f.Count != 1 {
+		t.Fatalf("fault 2 parsed wrong: %+v", f)
+	}
+	f = plan.Faults[3]
+	if f.Kind != Corrupt || f.Step != 3 || f.Op != pipeline.Backward || f.Micro != 1 {
+		t.Fatalf("fault 3 parsed wrong: %+v", f)
+	}
+	// String() renders back to a parseable, equivalent spec.
+	plan2, err := Parse(plan.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", plan.String(), err)
+	}
+	if len(plan2.Faults) != len(plan.Faults) {
+		t.Fatalf("round-trip changed fault count: %d vs %d", len(plan2.Faults), len(plan.Faults))
+	}
+	for i := range plan.Faults {
+		if plan.Faults[i] != plan2.Faults[i] {
+			t.Errorf("fault %d round-trip mismatch: %+v vs %+v", i, plan.Faults[i], plan2.Faults[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"explode:step=1",
+		"fail:step=x",
+		"fail:bogus=1",
+		"fail:step",
+		"stall:op=forward",       // stall without delay
+		"stall:delay=-1ms",       // negative delay
+		"fail:count=-1",          // negative count
+		"fail:op=quantum-tunnel", // unknown op kind
+		";;",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestInjectorMatching(t *testing.T) {
+	plan := &Plan{Faults: []Fault{
+		{Kind: Fail, Step: 2, Device: 1, Op: pipeline.Curvature, Micro: Any},
+	}}
+	in := NewInjector(plan)
+	if out := in.At(2, 1, pipeline.Curvature, 0); out.Err == nil {
+		t.Fatal("exact match did not fire")
+	}
+	for _, c := range []struct {
+		step, dev int
+		kind      pipeline.WorkKind
+	}{
+		{1, 1, pipeline.Curvature}, // wrong step
+		{2, 0, pipeline.Curvature}, // wrong device
+		{2, 1, pipeline.Forward},   // wrong op
+	} {
+		if out := in.At(c.step, c.dev, c.kind, 0); out.Err != nil || out.Delay != 0 || out.Corrupt {
+			t.Errorf("At(%d,%d,%s) fired, want miss", c.step, c.dev, c.kind)
+		}
+	}
+	// Error names the coordinates.
+	out := in.At(2, 1, pipeline.Curvature, 3)
+	for _, want := range []string{"step 2", "device 1", "curvature", "micro 3"} {
+		if !strings.Contains(out.Err.Error(), want) {
+			t.Errorf("error %q missing %q", out.Err, want)
+		}
+	}
+}
+
+func TestInjectorWildcardsAndKinds(t *testing.T) {
+	plan := &Plan{Faults: []Fault{
+		{Kind: Stall, Step: Any, Device: Any, Op: pipeline.Forward, Micro: Any, Delay: time.Millisecond},
+		{Kind: Corrupt, Step: Any, Device: Any, Op: pipeline.Forward, Micro: 1},
+		{Kind: Drop, Step: Any, Device: Any, Op: pipeline.SyncGrad, Micro: Any},
+	}}
+	in := NewInjector(plan)
+	out := in.At(7, 3, pipeline.Forward, 1)
+	if out.Delay != time.Millisecond || !out.Corrupt || out.Err != nil {
+		t.Fatalf("combined outcome wrong: %+v", out)
+	}
+	out = in.At(7, 3, pipeline.Forward, 0)
+	if out.Delay != time.Millisecond || out.Corrupt {
+		t.Fatalf("micro filter wrong: %+v", out)
+	}
+	if out := in.At(0, 0, pipeline.SyncGrad, 0); out.Err == nil {
+		t.Fatal("drop fault did not fire on sync-grad")
+	}
+}
+
+func TestInjectorCountPersists(t *testing.T) {
+	plan := &Plan{Faults: []Fault{
+		{Kind: Fail, Step: Any, Device: Any, Op: pipeline.Backward, Micro: Any, Count: 2},
+	}}
+	in := NewInjector(plan)
+	fired := 0
+	// Counts persist across rounds/replays: the third and later matches do
+	// not fire no matter how the calls are grouped.
+	for i := 0; i < 5; i++ {
+		if out := in.At(i, 0, pipeline.Backward, 0); out.Err != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("count-limited fault fired %d times, want 2", fired)
+	}
+	if in.Fired(0) != 2 {
+		t.Fatalf("Fired(0) = %d, want 2", in.Fired(0))
+	}
+}
+
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if out := in.At(0, 0, pipeline.Forward, 0); out != (Outcome{}) {
+		t.Fatalf("nil injector fired: %+v", out)
+	}
+	if NewInjector(nil) != nil {
+		t.Fatal("NewInjector(nil) != nil")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(42, 6, 10, 4)
+	b := Random(42, 6, 10, 4)
+	if len(a.Faults) != 6 || a.Seed != 42 {
+		t.Fatalf("Random shape wrong: %+v", a)
+	}
+	for i := range a.Faults {
+		if a.Faults[i] != b.Faults[i] {
+			t.Fatalf("Random not deterministic at %d: %+v vs %+v", i, a.Faults[i], b.Faults[i])
+		}
+	}
+	c := Random(43, 6, 10, 4)
+	same := true
+	for i := range a.Faults {
+		if a.Faults[i] != c.Faults[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical plans")
+	}
+	for _, f := range a.Faults {
+		if f.Count < 1 || f.Count > 2 {
+			t.Errorf("Random fault count %d outside [1,2]", f.Count)
+		}
+		if f.Kind == Stall && (f.Delay <= 0 || f.Delay > 10*time.Millisecond) {
+			t.Errorf("Random stall delay %v outside sane range", f.Delay)
+		}
+		if f.Step < 0 || f.Step >= 10 {
+			t.Errorf("Random step %d outside [0,10)", f.Step)
+		}
+	}
+}

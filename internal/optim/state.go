@@ -1,0 +1,108 @@
+package optim
+
+import "fmt"
+
+// Stateful is implemented by optimizers whose internal state (momenta,
+// second moments, bias-correction step counters) can be flattened into a
+// caller-owned buffer and restored exactly. The engine's round
+// checkpoint/replay uses it: SaveState at a round commit, LoadState before
+// replaying the round, and the optimizer resumes bit-identically.
+//
+// StateLen is constant for a given optimizer instance; SaveState and
+// LoadState require a buffer of exactly that length. Restoring a buffer
+// saved from a differently-shaped optimizer is undefined.
+type Stateful interface {
+	Optimizer
+	// StateLen returns the flattened state length in float64 words.
+	StateLen() int
+	// SaveState copies the optimizer state into buf (len == StateLen()).
+	SaveState(buf []float64)
+	// LoadState restores the optimizer state from buf (len == StateLen()).
+	LoadState(buf []float64)
+}
+
+func checkStateLen(name string, got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("optim: %s state buffer has %d words, want %d", name, got, want))
+	}
+}
+
+// flatLen sums the lengths of per-parameter slices.
+func flatLen(slices [][]float64) int {
+	n := 0
+	for _, s := range slices {
+		n += len(s)
+	}
+	return n
+}
+
+func saveFlat(buf []float64, slices [][]float64) []float64 {
+	for _, s := range slices {
+		copy(buf, s)
+		buf = buf[len(s):]
+	}
+	return buf
+}
+
+func loadFlat(buf []float64, slices [][]float64) []float64 {
+	for _, s := range slices {
+		copy(s, buf)
+		buf = buf[len(s):]
+	}
+	return buf
+}
+
+// StateLen implements Stateful.
+func (s *SGD) StateLen() int { return flatLen(s.velocity) }
+
+// SaveState implements Stateful.
+func (s *SGD) SaveState(buf []float64) {
+	checkStateLen("SGD", len(buf), s.StateLen())
+	saveFlat(buf, s.velocity)
+}
+
+// LoadState implements Stateful.
+func (s *SGD) LoadState(buf []float64) {
+	checkStateLen("SGD", len(buf), s.StateLen())
+	loadFlat(buf, s.velocity)
+}
+
+// StateLen implements Stateful. The first word holds the bias-correction
+// step counter.
+func (a *Adam) StateLen() int { return 1 + flatLen(a.m) + flatLen(a.v) }
+
+// SaveState implements Stateful.
+func (a *Adam) SaveState(buf []float64) {
+	checkStateLen("Adam", len(buf), a.StateLen())
+	buf[0] = float64(a.step)
+	buf = saveFlat(buf[1:], a.m)
+	saveFlat(buf, a.v)
+}
+
+// LoadState implements Stateful.
+func (a *Adam) LoadState(buf []float64) {
+	checkStateLen("Adam", len(buf), a.StateLen())
+	a.step = int(buf[0])
+	buf = loadFlat(buf[1:], a.m)
+	loadFlat(buf, a.v)
+}
+
+// StateLen implements Stateful. The first word holds the bias-correction
+// step counter.
+func (l *LAMB) StateLen() int { return 1 + flatLen(l.m) + flatLen(l.v) }
+
+// SaveState implements Stateful.
+func (l *LAMB) SaveState(buf []float64) {
+	checkStateLen("LAMB", len(buf), l.StateLen())
+	buf[0] = float64(l.step)
+	buf = saveFlat(buf[1:], l.m)
+	saveFlat(buf, l.v)
+}
+
+// LoadState implements Stateful.
+func (l *LAMB) LoadState(buf []float64) {
+	checkStateLen("LAMB", len(buf), l.StateLen())
+	l.step = int(buf[0])
+	buf = loadFlat(buf[1:], l.m)
+	loadFlat(buf, l.v)
+}

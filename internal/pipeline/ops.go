@@ -32,6 +32,12 @@ const (
 	// Backward durations; the real execution engine records it as its own
 	// events so executed timelines show where recomputation time goes.
 	Recompute
+	// Degraded is a zero-duration marker event the execution engine emits
+	// when a refresh round's K-FAC work fails past its retry budget and the
+	// round falls back to stale inverses or unpreconditioned SGD (the
+	// paper's §3.1 staleness rule extended across failures). Schedules
+	// never contain Degraded ops; only executed timelines do.
+	Degraded
 )
 
 // String returns the legend label of the kind.
@@ -55,6 +61,8 @@ func (k WorkKind) String() string {
 		return "opt-step"
 	case Recompute:
 		return "recompute"
+	case Degraded:
+		return "degraded"
 	}
 	return fmt.Sprintf("WorkKind(%d)", int(k))
 }
@@ -130,6 +138,8 @@ func (o *Op) Label() string {
 		letter = "O"
 	case Recompute:
 		letter = "R"
+	case Degraded:
+		letter = "D"
 	}
 	return fmt.Sprintf("%s[s%d,m%d]", letter, o.Stage, o.MicroBatch)
 }

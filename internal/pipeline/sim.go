@@ -13,6 +13,10 @@ type Event struct {
 	Op *Op
 	// Start and End bound the execution interval.
 	Start, End hardware.Microseconds
+	// Retries counts how many failed attempts preceded this execution.
+	// Always 0 in simulated timelines; the execution engine sets it when
+	// a side-path op succeeded only after retry-with-backoff.
+	Retries int
 }
 
 // Duration returns End - Start.

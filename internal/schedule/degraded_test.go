@@ -1,0 +1,85 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pipeline"
+)
+
+// Every real executable schedule — all methods, multi-step rounds,
+// data-parallel widths, inversion-parallel splitting, overlapped carry —
+// must be degraded-safe: the engine validates this on every rebuild, so a
+// builder emitting an unsafe edge would brick fault-tolerant execution.
+func TestExecutableSchedulesAreDegradedSafe(t *testing.T) {
+	type variant struct {
+		name string
+		mut  func(*Config)
+	}
+	variants := []variant{
+		{"plain", func(c *Config) {}},
+		{"round-k2", func(c *Config) { c.RefreshSteps = 2 }},
+		{"w2", func(c *Config) { c.DataParallelWidth = 2 }},
+		{"w2-invpar", func(c *Config) { c.DataParallelWidth = 2; c.InversionParallel = true }},
+		{"overlap-k2", func(c *Config) {
+			c.RefreshSteps = 2
+			c.Overlap = true
+			// Inflate refresh costs so the overlap carry set is non-empty
+			// and carried (Generation 1) refresh edges are exercised too.
+			for i := range c.Costs.CurvatureUnits {
+				c.Costs.CurvatureUnits[i] = 120
+				c.Costs.InversionUnits[i] = 160
+			}
+			c.Costs.CurvaturePerMicroBatch = 4 * 120
+		}},
+	}
+	for _, method := range []string{"gpipe", "1f1b", "chimera"} {
+		for _, v := range variants {
+			t.Run(method+"/"+v.name, func(t *testing.T) {
+				cfg := execTestConfig(method)
+				v.mut(&cfg)
+				s, err := Executable(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ValidateDegradedSafety(s); err != nil {
+					t.Fatalf("executable schedule not degraded-safe: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// A hand-built schedule with a base-path op consuming refresh output must be
+// rejected, and the error must name both ops so the construction bug is
+// attributable.
+func TestValidateDegradedSafetyRejectsBadEdge(t *testing.T) {
+	s := &pipeline.Schedule{Name: "bad", Devices: 1, Stages: 1, MicroBatches: 1, Steps: 1}
+	curv := &pipeline.Op{ID: 0, Kind: pipeline.Curvature, Stage: 0}
+	fwd := &pipeline.Op{ID: 1, Kind: pipeline.Forward, Stage: 0, Deps: []int{0}}
+	s.Ops = []*pipeline.Op{curv, fwd}
+	s.Order = [][]int{{0, 1}}
+	err := ValidateDegradedSafety(s)
+	if err == nil {
+		t.Fatal("forward-depends-on-curvature schedule accepted")
+	}
+	for _, want := range []string{"forward", "curvature", "not degraded-safe"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// The one licensed exception: Precondition consuming Inversion output is
+// safe by construction (absent inverses fall back to the unpreconditioned
+// gradient), so the validator must not flag it.
+func TestValidateDegradedSafetyAllowsPreconditionOnInversion(t *testing.T) {
+	s := &pipeline.Schedule{Name: "ok", Devices: 1, Stages: 1, MicroBatches: 1, Steps: 1}
+	inv := &pipeline.Op{ID: 0, Kind: pipeline.Inversion, Stage: 0}
+	prec := &pipeline.Op{ID: 1, Kind: pipeline.Precondition, Stage: 0, Deps: []int{0}}
+	s.Ops = []*pipeline.Op{inv, prec}
+	s.Order = [][]int{{0, 1}}
+	if err := ValidateDegradedSafety(s); err != nil {
+		t.Fatalf("precondition-on-inversion flagged: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Opt-in pool-ownership audit for leak tests. When enabled, every matrix
+// handed out by Get/GetClone is tracked as "live" until Put takes it back;
+// PoolLive reports the number of outstanding matrices. The audit counts
+// logical ownership (Get minus Put), not pool contents, so it is unaffected
+// by sync.Pool's GC-driven eviction and works under the race detector.
+//
+// The audit is strictly for tests: it takes a mutex on every Get/Put while
+// enabled, and the default-off fast path costs one atomic load.
+
+var (
+	auditOn   atomic.Bool
+	auditMu   sync.Mutex
+	auditLive map[*Matrix]struct{}
+)
+
+// SetPoolAudit enables or disables pool-ownership tracking. Enabling resets
+// the live set, so the caller sees only Gets issued after this call.
+func SetPoolAudit(on bool) {
+	auditMu.Lock()
+	defer auditMu.Unlock()
+	if on {
+		auditLive = make(map[*Matrix]struct{})
+	} else {
+		auditLive = nil
+	}
+	auditOn.Store(on)
+}
+
+// PoolLive returns the number of pooled matrices currently checked out
+// (Get without a matching Put) since the audit was enabled. Returns 0 when
+// the audit is off.
+func PoolLive() int {
+	auditMu.Lock()
+	defer auditMu.Unlock()
+	return len(auditLive)
+}
+
+func auditGet(m *Matrix) {
+	if !auditOn.Load() {
+		return
+	}
+	auditMu.Lock()
+	if auditLive != nil {
+		auditLive[m] = struct{}{}
+	}
+	auditMu.Unlock()
+}
+
+func auditPut(m *Matrix) {
+	if !auditOn.Load() {
+		return
+	}
+	auditMu.Lock()
+	if auditLive != nil {
+		// Matrices not handed out by Get (Put accepts caller-owned
+		// buffers too) simply aren't in the set; delete is a no-op.
+		delete(auditLive, m)
+	}
+	auditMu.Unlock()
+}

@@ -48,9 +48,12 @@ func Get(rows, cols int) *Matrix {
 		m := v.(*Matrix)
 		m.Rows, m.Cols = rows, cols
 		m.Data = m.Data[:n]
+		auditGet(m)
 		return m
 	}
-	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, n, 1<<c)}
+	m := &Matrix{Rows: rows, Cols: cols, Data: make([]float64, n, 1<<c)}
+	auditGet(m)
+	return m
 }
 
 // GetClone returns a pooled copy of src (shape and contents).
@@ -70,6 +73,7 @@ func Put(m *Matrix) {
 	if m == nil {
 		return
 	}
+	auditPut(m)
 	n := cap(m.Data)
 	if n == 0 {
 		return

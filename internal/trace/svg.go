@@ -29,6 +29,8 @@ func kindColor(k pipeline.WorkKind) string {
 		return "#4a4a4a" // dark grey
 	case pipeline.Recompute:
 		return "#bcd4fb" // pale blue, between forward and backward
+	case pipeline.Degraded:
+		return "#c71585" // magenta: degraded-mode marker spans
 	}
 	return "#000000"
 }
@@ -92,7 +94,7 @@ func RenderSVG(w io.Writer, tl *pipeline.Timeline, width int) error {
 	for _, k := range []pipeline.WorkKind{
 		pipeline.Forward, pipeline.Backward, pipeline.Recompute, pipeline.Curvature,
 		pipeline.Inversion, pipeline.Precondition, pipeline.SyncGrad,
-		pipeline.SyncCurvature, pipeline.OptStep,
+		pipeline.SyncCurvature, pipeline.OptStep, pipeline.Degraded,
 	} {
 		fmt.Fprintf(w, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`, lx, ly, kindColor(k))
 		fmt.Fprintf(w, `<text x="%d" y="%d">%s</text>`, lx+16, ly+11, k)

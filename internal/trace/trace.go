@@ -35,6 +35,8 @@ func kindRune(k pipeline.WorkKind) byte {
 		return 'o'
 	case pipeline.Recompute:
 		return 'R'
+	case pipeline.Degraded:
+		return 'D'
 	}
 	return '?'
 }
@@ -132,21 +134,24 @@ func RenderASCII(w io.Writer, tl *pipeline.Timeline, width int) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintln(w, "legend: F=forward B=backward R=recompute C=curvature I=inverse P=precondition g=sync-grad c=sync-curv o=opt .=idle")
+	_, err := fmt.Fprintln(w, "legend: F=forward B=backward R=recompute C=curvature I=inverse P=precondition g=sync-grad c=sync-curv o=opt D=degraded .=idle")
 	return err
 }
 
 // WriteCSV exports the timeline events as CSV rows
-// (device,kind,stage,replica,micro,step,start_us,end_us) for external
-// plotting.
+// (device,kind,stage,replica,micro,step,generation,retries,start_us,end_us)
+// for external plotting. Generation marks carried refresh ops of overlapped
+// rounds; retries counts the failed attempts a fault-tolerant execution
+// needed before the op succeeded (0 in simulated timelines and fault-free
+// runs).
 func WriteCSV(w io.Writer, tl *pipeline.Timeline) error {
-	if _, err := fmt.Fprintln(w, "device,kind,stage,replica,micro_batch,step,start_us,end_us"); err != nil {
+	if _, err := fmt.Fprintln(w, "device,kind,stage,replica,micro_batch,step,generation,retries,start_us,end_us"); err != nil {
 		return err
 	}
 	for d := 0; d < tl.Devices; d++ {
 		for _, e := range tl.Events[d] {
-			if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%d\n",
-				d, e.Op.Kind, e.Op.Stage, e.Op.Replica, e.Op.MicroBatch, e.Op.Step, e.Start, e.End); err != nil {
+			if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				d, e.Op.Kind, e.Op.Stage, e.Op.Replica, e.Op.MicroBatch, e.Op.Step, e.Op.Generation, e.Retries, e.Start, e.End); err != nil {
 				return err
 			}
 		}
