@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/autotune"
 	"repro/internal/bert"
 	"repro/internal/data"
 	"repro/internal/engine"
@@ -67,6 +68,10 @@ func main() {
 		opRetries    = flag.Int("op-retries", 0, "retry budget for failed side-path ops (curvature, inversion, sync-curvature) before degrading, with -execute")
 		retryBackoff = flag.Duration("retry-backoff", 2*time.Millisecond, "base backoff between retries (doubles per attempt)")
 		checkpoint   = flag.Bool("checkpoint", false, "round checkpoint/replay with -execute: snapshot state at every round start and replay aborted rounds (up to 3 attempts)")
+		carryDepth   = flag.Int("carry-depth", 0, "overlap carry depth for real execution with -execute: refresh work may lag up to carry-depth-1 rounds behind its statistics (0 = the overlap default of 2; >2 needs -overlap)")
+		autotuneOn   = flag.Bool("autotune", false, "closed-loop tuning with -execute: refit packing costs from the executed rounds, re-rank the schedule candidate space, and hot-swap the engine at round boundaries")
+		tuneInterval = flag.Int("autotune-interval", 4, "rounds between tuner decisions with -autotune (observation continues every round)")
+		tuneCSV      = flag.String("tune-csv", "", "write the tuner's per-round model-error and decision records as CSV to this file, with -autotune")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -175,8 +180,18 @@ func main() {
 			plan: plan, opTimeout: *opTimeout, opRetries: *opRetries,
 			retryBackoff: *retryBackoff, checkpoint: *checkpoint,
 		}
-		executeSchedule(*method, *stages, *nmicro, *replicas, *invParallel, *execSteps, *refreshSteps, *width, *workers, *overlap, *svgPath, ft)
+		tn := tuneConfig{
+			enabled: *autotuneOn, interval: *tuneInterval, csvPath: *tuneCSV,
+		}
+		executeSchedule(*method, *stages, *nmicro, *replicas, *invParallel, *execSteps, *refreshSteps, *carryDepth, *width, *workers, *overlap, *svgPath, ft, tn)
 	}
+}
+
+// tuneConfig bundles the closed-loop tuning flags for real execution.
+type tuneConfig struct {
+	enabled  bool
+	interval int
+	csvPath  string
 }
 
 // faultConfig bundles the fault-tolerance flags for real execution.
@@ -195,8 +210,11 @@ type faultConfig struct {
 // multi-step windows (or sizes them adaptively with 0), and with
 // overlapped windows when -overlap is set — then renders the executed
 // timeline of the last round (step boundaries marked on the ruler) and its
-// bubble-utilization summary.
-func executeSchedule(method string, stages, nmicro, replicas int, invParallel bool, steps, refreshSteps, width, workers int, overlap bool, svgPath string, ft faultConfig) {
+// bubble-utilization summary. With -autotune the closed-loop tuner
+// observes every executed round and may hot-swap the engine to a
+// predicted-faster configuration at a round boundary; its decision log and
+// final choice are printed after training.
+func executeSchedule(method string, stages, nmicro, replicas int, invParallel bool, steps, refreshSteps, carryDepth, width, workers int, overlap bool, svgPath string, ft faultConfig, tc tuneConfig) {
 	cfg := bert.TinyConfig()
 	cfg.Blocks = stages
 	model, err := bert.New(cfg, 7)
@@ -214,7 +232,7 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 	eng, err := engine.NewWithConfig(model, engine.Config{
 		Method: method, Stages: stages, MicroBatches: nmicro,
 		Replicas: replicas, InversionParallel: invParallel, Workers: workers,
-		RefreshSteps: refreshSteps, OverlapRounds: overlap,
+		RefreshSteps: refreshSteps, OverlapRounds: overlap, CarryDepth: carryDepth,
 		FaultPlan: ft.plan, OpTimeout: ft.opTimeout,
 		OpRetries: ft.opRetries, RetryBackoff: ft.retryBackoff,
 		Checkpoint: ft.checkpoint,
@@ -245,14 +263,28 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 	if ft.checkpoint {
 		eng.AttachOptimizerState(opt)
 	}
+	var tn *autotune.Tuner
+	var startCand schedule.Candidate
+	if tc.enabled {
+		tn, err = autotune.New(eng, autotune.Config{Interval: tc.interval})
+		if err != nil {
+			log.Fatal(err)
+		}
+		startCand = tn.CurrentCandidate()
+	}
 	fmt.Printf("\n--- real execution: %s, %d stages, %d micro-batches, %d replica(s), refresh round %s, overlap=%v, %d intra-op workers ---\n",
 		method, stages, nmicro, replicas, kDesc, overlap, tensor.Parallelism())
 	if ft.plan != nil || ft.opTimeout > 0 || ft.opRetries > 0 || ft.checkpoint {
 		fmt.Printf("fault tolerance: plan=%v op-timeout=%v op-retries=%d checkpoint=%v\n",
 			ft.plan, ft.opTimeout, ft.opRetries, ft.checkpoint)
 	}
-	rounds := (steps + k - 1) / k
-	for round := 0; round < rounds; round++ {
+	if tn != nil {
+		fmt.Printf("autotune: on, starting from %s (decision every %d rounds)\n", startCand, tc.interval)
+	}
+	for done := 0; done < steps; {
+		// A tuner swap can change the round length between rounds, so the
+		// batch shape is re-derived from the engine every iteration.
+		k = eng.RoundSteps()
 		batches := make([]*data.Batch, k)
 		for j := range batches {
 			batches[j] = corpus.MakeBatch(4*nmicro*replicas, data.DefaultBatchConfig(cfg.SeqLen))
@@ -277,7 +309,43 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 			if r.Degraded && j == 0 {
 				deg = fmt.Sprintf("  DEGRADED (%s)", r.DegradedReason)
 			}
-			fmt.Printf("step %d  loss %.4f  refreshed=%v%s\n", round*k+j, r.Loss.Total, r.Refreshed, deg)
+			fmt.Printf("step %d  loss %.4f  refreshed=%v%s\n", done+j, r.Loss.Total, r.Refreshed, deg)
+		}
+		done += k
+		if tn != nil {
+			d, derr := tn.Observe()
+			if derr != nil {
+				// A failed swap leaves the engine on its current schedule;
+				// report it and train on.
+				fmt.Printf("autotune: %v\n", derr)
+			}
+			if d != nil {
+				fmt.Printf("autotune round %d: %s -> %s (predicted %d -> %d us/step): %s\n",
+					d.Round, d.Current, d.Choice, d.CurrentStep, d.ChoiceStep, d.Reason)
+			}
+		}
+	}
+	if tn != nil {
+		fmt.Println()
+		if err := trace.RenderTuneLog(os.Stdout, tn.Records()); err != nil {
+			log.Fatal(err)
+		}
+		final := tn.CurrentCandidate()
+		if final == startCand {
+			fmt.Printf("autotune: held starting configuration %s\n", startCand)
+		} else {
+			fmt.Printf("autotune: final choice %s beats starting configuration %s\n", final, startCand)
+		}
+		if tc.csvPath != "" {
+			f, err := os.Create(tc.csvPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			if err := trace.WriteTuneCSV(f, tn.Records()); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("tuner records CSV written to %s\n", tc.csvPath)
 		}
 	}
 	fmt.Println()

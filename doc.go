@@ -289,12 +289,61 @@
 // an abort at every (step, op-kind) — aborted and degraded rounds leak
 // nothing.
 //
+// # Closed-loop tuning contract
+//
+// internal/autotune turns the offline configuration choice into a
+// controller: the tuner refits the packing cost model from the engine's
+// *executed* timelines, re-ranks the schedule candidate space under the
+// fitted costs, and hot-swaps the engine to the predicted-best executable
+// at a round boundary. Because predictions and execution share one
+// schedule form (schedule.Executable), a ranking is a statement about
+// exactly the op lists the engine would run; because the engine's
+// micro-batch reduction order is fixed, a swap never changes the math —
+// only the time it takes. The contract:
+//
+//   - Measurement hygiene: hardware.Fit ingests per-op durations from the
+//     executed Timeline and estimates each op class by median over a
+//     bounded ring. It must not trust what measurement cannot: whole
+//     warm-up rounds are dropped, retried executions (duration includes
+//     backoff) and Degraded placeholder spans are skipped, and aborted
+//     rounds are never observed (their timelines are partial).
+//   - Candidate space: schedule.Enumerate covers schedule family x round
+//     length K x serialized/overlapped (x carry depth > 2) x inversion
+//     sharding on the engine's fixed topology — the knobs a running
+//     engine can swap at a round boundary. Stages, micro-batches and
+//     data-parallel width are the machine; they are not searched.
+//   - Ranking: schedule.Predict builds each candidate's executable
+//     against the fitted costs and simulates one full refresh round; the
+//     key is StepTime = RoundMakespan / K, which makes different round
+//     lengths comparable. Ties break toward the serialized, shallower,
+//     smaller configuration, so measurement noise can only ever flip a
+//     decision toward simplicity (the committed K2 overlap-vs-serialized
+//     benchmark gap is exactly such noise — the op lists are identical).
+//   - Swap safety: engine.Reconfigure rebuilds the executable in place
+//     between rounds. Parameters, optimizer state and step counters are
+//     never touched. A swap whose packing tuple is unchanged preserves
+//     in-flight carried generations and is bit-identical to not swapping
+//     (identity-tested across schedules, models and W); a changed shape
+//     scrubs pending generations and forces the next refresh from
+//     scratch — the same discipline as an abort. Config.MinRelGain exists
+//     because of that scrub: marginal predicted gains do not pay for
+//     discarded refresh state, so the tuner holds below the threshold.
+//   - Convergence artifact: every round appends a trace.TuneRecord with
+//     the shape-normalized modeled-vs-measured error (each class as a
+//     ratio to its side's Forward cost — modeled units are abstract,
+//     measured ones are wall-clock, the *shape* is what packs). The error
+//     shrinks once fitted costs are installed; trace.WriteTuneCSV /
+//     RenderTuneLog are the match-the-model artifact, and the CI smoke
+//     job asserts the bad-start run ends on a choice that beats its
+//     starting configuration.
+//
 // The benchmark harness in bench_test.go regenerates the paper's tables
 // and figures, and cmd/ plus examples/ provide runnable entry points
 // (cmd/pipefisher -execute runs the sim/exec comparison end to end;
 // -replicas executes the hybrid pipeline x data-parallel configuration,
 // -refresh-steps the multi-step refresh rounds — 0 sizes them adaptively —
-// and -overlap the overlapped windows). The committed BENCH_tensor.json /
+// -overlap the overlapped windows, and -autotune the closed-loop tuner,
+// with its per-round records written by -tune-csv). The committed BENCH_tensor.json /
 // BENCH_engine.json files are the perf-trajectory baseline;
 // scripts/bench_compare.go reports benchstat-style deltas against them and
 // CI fails on steady-state throughput regressions beyond 10%.

@@ -34,6 +34,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/bert"
 	"repro/internal/data"
 	"repro/internal/engine"
@@ -59,6 +60,8 @@ func main() {
 	opRetries := flag.Int("op-retries", 0, "retry budget for failed side-path ops (curvature, inversion, sync-curvature) before degrading")
 	retryBackoff := flag.Duration("retry-backoff", 2*time.Millisecond, "base backoff between retries (doubles per attempt)")
 	checkpoint := flag.Bool("checkpoint", false, "round checkpoint/replay: snapshot state at every round start and replay aborted rounds (up to 3 attempts)")
+	autotuneOn := flag.Bool("autotune", false, "closed-loop tuning: refit packing costs from the executed rounds, re-rank the schedule candidate space, and hot-swap the engine at round boundaries")
+	tuneInterval := flag.Int("autotune-interval", 4, "rounds between tuner decisions with -autotune (observation continues every round)")
 	flag.Parse()
 	if *workers < 0 {
 		*workers = 0 // negative means "default", like 0
@@ -138,6 +141,16 @@ func main() {
 		fmt.Printf("fault tolerance: plan=%v op-timeout=%v op-retries=%d checkpoint=%v\n",
 			plan, *opTimeout, *opRetries, *checkpoint)
 	}
+	var tn *autotune.Tuner
+	var startCand schedule.Candidate
+	if *autotuneOn {
+		tn, err = autotune.New(eng, autotune.Config{Interval: *tuneInterval})
+		if err != nil {
+			log.Fatal(err)
+		}
+		startCand = tn.CurrentCandidate()
+		fmt.Printf("autotune: on, starting from %s (decision every %d rounds)\n", startCand, *tuneInterval)
+	}
 
 	params := model.Params()
 	opt := optim.NewLAMB(params, 0.01)
@@ -153,7 +166,10 @@ func main() {
 	}
 
 	const steps = 100
-	for start := 0; start < steps; start += k {
+	for start := 0; start < steps; {
+		// A tuner swap can change the round length between rounds, so the
+		// batch shape is re-derived from the engine every iteration.
+		k = eng.RoundSteps()
 		batches := make([]*data.Batch, k)
 		for j := range batches {
 			batches[j] = corpus.MakeBatch(8**replicas, data.DefaultBatchConfig(model.Config.SeqLen))
@@ -184,6 +200,31 @@ func main() {
 					r.Refreshed, r.DeviceBusy[0]*1000, r.DeviceBusy[1]*1000)
 			}
 		}
+		start += k
+		if tn != nil {
+			d, derr := tn.Observe()
+			if derr != nil {
+				// A failed swap leaves the engine on its current schedule;
+				// report it and train on.
+				fmt.Printf("autotune: %v\n", derr)
+			}
+			if d != nil && d.Swapped {
+				fmt.Printf("autotune round %d: %s -> %s (predicted %d -> %d us/step): %s\n",
+					d.Round, d.Current, d.Choice, d.CurrentStep, d.ChoiceStep, d.Reason)
+			}
+		}
+	}
+	if tn != nil {
+		fmt.Println()
+		if err := trace.RenderTuneLog(os.Stdout, tn.Records()); err != nil {
+			log.Fatal(err)
+		}
+		final := tn.CurrentCandidate()
+		if final == startCand {
+			fmt.Printf("autotune: held starting configuration %s\n", startCand)
+		} else {
+			fmt.Printf("autotune: final choice %s beats starting configuration %s\n", final, startCand)
+		}
 	}
 	heldOut := corpus.MakeBatch(64, data.DefaultBatchConfig(model.Config.SeqLen))
 	eval, err := model.Evaluate(heldOut)
@@ -208,10 +249,12 @@ func main() {
 	}
 	fmt.Println()
 	costs := engine.MeasuredCosts(real, 2*len(eng.StageLayers(0)))
+	// The simulated side mirrors the engine's *final* configuration — with
+	// -autotune that can differ from the flags the run started with.
 	simSched, err := schedule.Executable(schedule.Config{
-		Method: *method, Stages: 2, MicroBatches: 4, Costs: costs,
-		DataParallelWidth: *replicas, InversionParallel: *replicas > 1,
-		RefreshSteps: k, Overlap: *overlap,
+		Method: eng.Method(), Stages: 2, MicroBatches: 4, Costs: costs,
+		DataParallelWidth: *replicas, InversionParallel: eng.InversionParallel(),
+		RefreshSteps: eng.RoundSteps(), Overlap: eng.Overlapped(), CarryDepth: eng.CarryDepth(),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -91,10 +91,10 @@ func (e *Engine) saveCheckpoint() {
 	c.stepIndex = e.stepIndex
 	c.roundIndex = e.roundIndex
 	c.kfacGen = e.kfacGen
-	// A pending carried generation (overlapped rounds) is live pooled state
+	// Pending carried generations (overlapped rounds) are live pooled state
 	// the checkpoint does not deep-copy; restoring forces a full refresh
 	// instead, which re-derives everything the carried ops would have.
-	c.refreshPending = e.refreshPending || e.carryPool != nil
+	c.refreshPending = e.refreshPending || e.carryPending()
 	c.valid = true
 }
 
@@ -137,7 +137,9 @@ func (e *Engine) RestoreCheckpoint() (int, error) {
 			p.reset()
 		}
 	}
-	e.carryPool = nil
+	for i := range e.carryQ {
+		e.carryQ[i] = nil
+	}
 	// Replicas resync from the restored primary (TrainRound re-broadcasts
 	// anyway; doing it here leaves the engine consistent immediately).
 	if err := e.broadcastParams(); err != nil {

@@ -109,6 +109,15 @@ type Config struct {
 	// execution is bit-identical to serialized rounds. Incompatible with
 	// FrontLoadRefresh.
 	OverlapRounds bool
+	// CarryDepth bounds how many consecutive rounds one refresh may
+	// pipeline across under OverlapRounds (schedule.Config.CarryDepth):
+	// generation-lagged ops run up to CarryDepth-1 rounds after their
+	// statistics were collected, against a queue of generation-tagged
+	// pools. 0 defaults to 2 (the classic overlap: own round plus one
+	// carried round); deeper values keep refreshes larger than two
+	// windows' bubbles pipelined instead of serializing the spill before
+	// the round's tail. Ignored without OverlapRounds.
+	CarryDepth int
 	// FrontLoadRefresh pins the refresh work of a RefreshSteps > 1 round to
 	// the window's first step instead of spreading it across the window's
 	// bubbles: the skip-cadence semantics expressed as a round, bit-identical
@@ -195,6 +204,15 @@ func (c Config) normalize() (Config, error) {
 	if c.OverlapRounds && c.FrontLoadRefresh {
 		return c, fmt.Errorf("engine: OverlapRounds and FrontLoadRefresh are mutually exclusive")
 	}
+	if c.CarryDepth < 0 {
+		return c, fmt.Errorf("engine: CarryDepth must be non-negative, got %d", c.CarryDepth)
+	}
+	if c.CarryDepth == 1 {
+		return c, fmt.Errorf("engine: CarryDepth 1 means no carry — use OverlapRounds=false, or CarryDepth >= 2")
+	}
+	if c.CarryDepth > 1 && !c.OverlapRounds {
+		return c, fmt.Errorf("engine: CarryDepth needs OverlapRounds")
+	}
 	if c.OpTimeout < 0 {
 		return c, fmt.Errorf("engine: OpTimeout must be non-negative, got %v", c.OpTimeout)
 	}
@@ -272,17 +290,29 @@ type Engine struct {
 	// the cadence comes around again.
 	refreshPending bool
 
-	// kfacPools double-buffers the statistics generations of the refresh
-	// pipeline (allocated at EnableKFAC): a collect round writes pool
-	// kfacGen%2 while carried ops of the previous generation — overlapped
-	// rounds only — drain the other. carryPool points at the pool of a
-	// collected generation whose carried ops have not executed yet (nil
-	// when nothing is pending), and hasCarryOps records whether the
-	// executable schedule contains Generation = 1 ops at all.
-	kfacPools   [2]*kfacGenPool
-	carryPool   *kfacGenPool
+	// kfacPools buffers the statistics generations of the refresh pipeline
+	// (allocated at EnableKFAC, maxCarryGen+1 pools, minimum two): a
+	// collect round writes pool kfacGen%len(kfacPools) while carried ops
+	// of older generations — overlapped rounds only — drain the others.
+	// carryQ is the pending-generation queue: slot i points at the pool of
+	// the generation collected i+1 rounds ago whose carried ops have not
+	// all executed yet (nil when that round did not collect, or carried
+	// nothing). Its length is maxCarryGen, the deepest Op.Generation in
+	// the executable schedule (0 when the schedule carries nothing): a
+	// pool retires — is scrubbed and becomes reusable — after its deepest
+	// lag has run.
+	kfacPools   []*kfacGenPool
+	carryQ      []*kfacGenPool
 	kfacGen     int
-	hasCarryOps bool
+	maxCarryGen int
+
+	// costModel, when set (SetCostModel / Reconfigure with fitted costs),
+	// replaces the static execCosts shape the schedule builders pack with:
+	// the auto-tuner feeds measured per-kind durations back so the packer
+	// lays bubbles out against the hardware's real proportions. Execution
+	// follows the resulting order only, so swapping cost models never
+	// changes the math.
+	costModel *pipeline.StageCosts
 
 	// optApply, when set (SetOptimizer), is the caller's parameter update,
 	// fired exactly once per training step at the round-internal step
@@ -425,6 +455,7 @@ func (e *Engine) rebuildSchedule() error {
 			RefreshSteps:      e.roundLen,
 			FrontLoadRefresh:  e.cfg.FrontLoadRefresh,
 			Overlap:           e.cfg.OverlapRounds,
+			CarryDepth:        e.cfg.CarryDepth,
 		})
 	} else {
 		bc := pipeline.BuildConfig{
@@ -487,6 +518,9 @@ func (e *Engine) resolveParallelism() {
 // forward, curvature and inversion each well under a bubble, collectives
 // comparable to a forward).
 func (e *Engine) execCosts() pipeline.StageCosts {
+	if e.costModel != nil {
+		return *e.costModel
+	}
 	nFactors := 2 * len(e.reps[0].stages[0].layers)
 	c := pipeline.StageCosts{
 		Forward:      100,
@@ -635,25 +669,58 @@ func (e *Engine) EnableKFAC(opts kfac.Options, refreshEvery int) error {
 		e.roundLen = prevLen
 		return err
 	}
-	// Generation pools for the refresh pipeline (see kfacGenPool): two
-	// buffers so overlapped rounds can collect one generation while the
-	// carried ops of the previous one drain.
-	perStep := e.cfg.MicroBatches * e.cfg.Replicas
-	nLayers := len(e.reps[0].stages[0].layers)
-	for i := range e.kfacPools {
-		e.kfacPools[i] = newKFACGenPool(e.cfg.Stages, perStep, nLayers)
+	// Generation pools for the refresh pipeline (see kfacGenPool): one per
+	// concurrent generation (the collecting one plus every carried lag),
+	// so overlapped rounds can collect a generation while the carried ops
+	// of older ones drain.
+	e.maxCarryGen = maxScheduleGen(e.sched)
+	for _, p := range e.kfacPools {
+		p.reset() // re-enabling K-FAC must not inherit stale pool state
 	}
-	e.carryPool = nil
+	e.ensureGenPools()
+	e.carryQ = make([]*kfacGenPool, e.maxCarryGen)
 	e.kfacGen = 0
 	e.refreshPending = false
-	e.hasCarryOps = false
-	for _, op := range e.sched.Ops {
-		if op.Generation == 1 {
-			e.hasCarryOps = true
-			break
+	return nil
+}
+
+// maxScheduleGen reports the deepest Op.Generation in the schedule: 0 for
+// serialized rounds, up to CarryDepth-1 for overlapped ones with carry.
+func maxScheduleGen(s *pipeline.Schedule) int {
+	m := 0
+	for _, op := range s.Ops {
+		if op.Generation > m {
+			m = op.Generation
 		}
 	}
-	return nil
+	return m
+}
+
+// ensureGenPools grows kfacPools to cover every concurrent generation of
+// the current schedule (maxCarryGen carried lags plus the collecting one,
+// minimum two), reusing existing pools — their buffers are shape-stable
+// across schedule swaps, which keep Stages/MicroBatches/Replicas fixed.
+func (e *Engine) ensureGenPools() {
+	n := e.maxCarryGen + 1
+	if n < 2 {
+		n = 2
+	}
+	perStep := e.cfg.MicroBatches * e.cfg.Replicas
+	nLayers := len(e.reps[0].stages[0].layers)
+	for len(e.kfacPools) < n {
+		e.kfacPools = append(e.kfacPools, newKFACGenPool(e.cfg.Stages, perStep, nLayers))
+	}
+}
+
+// carryPending reports whether any collected generation still has carried
+// refresh ops waiting to execute in a later round.
+func (e *Engine) carryPending() bool {
+	for _, p := range e.carryQ {
+		if p != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // KFACStates exposes the per-stage preconditioner (nil-safe; used by tests
@@ -776,17 +843,20 @@ func (e *Engine) TrainRound(batches []*data.Batch) ([]*StepResult, error) {
 	// and again right away after an aborted refresh round, whose
 	// half-delivered factor state must not serve as a stale generation.
 	refresh := e.kfacPre != nil && (e.refreshPending || e.roundIndex%(e.refreshEvery/r) == 0)
-	// Generation pools: a collect round writes kfacGen's parity buffer; a
-	// pending carried generation (overlapped rounds) drains out of the
-	// other. Both can be live in the same round — that is the overlap.
-	var cur, prev *kfacGenPool
+	// Generation pools: a collect round writes kfacGen's rotation buffer;
+	// pending carried generations (overlapped rounds) drain out of the
+	// others, each Generation-g op reading the pool collected g rounds ago
+	// (carryQ slot g-1). All can be live in the same round — that is the
+	// overlap.
+	var cur *kfacGenPool
+	var pending []*kfacGenPool
 	if refresh {
-		cur = e.kfacPools[e.kfacGen%2]
+		cur = e.kfacPools[e.kfacGen%len(e.kfacPools)]
 		cur.reset()
 		cur.totals = totals[0]
 	}
 	if e.kfacPre != nil {
-		prev = e.carryPool
+		pending = e.carryQ
 	}
 
 	// Broadcast the primary's parameters to every replica: the round's
@@ -806,16 +876,16 @@ func (e *Engine) TrainRound(batches []*data.Batch) ([]*StepResult, error) {
 	prevCap := tensor.OpParallelism()
 	tensor.SetOpParallelism(e.opShare)
 	defer tensor.SetOpParallelism(prevCap)
-	res, committed, err := e.runRound(micro, totals, refresh, cur, prev)
+	res, committed, err := e.runRound(micro, totals, refresh, cur, pending)
 	e.stepIndex += committed
 	if committed > 0 {
 		e.roundIndex++
 	}
 	if err != nil {
-		// A half-collected generation (this round's) or a half-delivered
-		// one (the carried) must not survive the abort: scrub both pools
+		// A half-collected generation (this round's) or half-delivered
+		// ones (the carried) must not survive the abort: scrub every pool
 		// and force the next round to run a full refresh.
-		if refresh || prev != nil {
+		if refresh || e.carryPending() {
 			e.refreshPending = true
 		}
 		for _, p := range e.kfacPools {
@@ -823,18 +893,24 @@ func (e *Engine) TrainRound(batches []*data.Batch) ([]*StepResult, error) {
 				p.reset()
 			}
 		}
-		e.carryPool = nil
+		for i := range e.carryQ {
+			e.carryQ[i] = nil
+		}
 		return res, err
 	}
-	prevDegraded := false
-	if prev != nil {
-		// The carried generation finished folding and inverting this round
-		// (its pool is empty; reset is a cheap invariant scrub) — unless it
-		// degraded, in which case the preconditioner may hold a mix of its
-		// factors and older ones: force a full refresh next round.
-		prevDegraded = prev.failed.Load()
-		prev.reset()
-		e.carryPool = nil
+	// Advance the carry queue: the oldest pending generation's deepest-
+	// lagged ops ran this round, so its pool retires (reset makes it
+	// reusable) — unless it degraded, in which case the preconditioner may
+	// hold a mix of its factors and older ones: force a full refresh next
+	// round. Shallower pending generations age one lag.
+	oldDegraded := false
+	if n := len(e.carryQ); n > 0 {
+		if old := e.carryQ[n-1]; old != nil {
+			oldDegraded = old.failed.Load()
+			old.reset()
+		}
+		copy(e.carryQ[1:], e.carryQ[:n-1])
+		e.carryQ[0] = nil
 	}
 	if refresh {
 		if cur.failed.Load() {
@@ -845,17 +921,18 @@ func (e *Engine) TrainRound(batches []*data.Batch) ([]*StepResult, error) {
 			cur.reset()
 			e.refreshPending = true
 		} else {
-			e.refreshPending = prevDegraded
+			e.refreshPending = oldDegraded
 			e.kfacGen++
-			if e.hasCarryOps {
-				// The spilled part of this generation executes next round as
-				// the carried ops: keep its snapshots/partials pending.
-				e.carryPool = cur
+			if e.maxCarryGen > 0 {
+				// The spilled part of this generation executes over the next
+				// maxCarryGen rounds as the carried ops: keep its
+				// snapshots/partials pending.
+				e.carryQ[0] = cur
 			} else {
 				cur.reset()
 			}
 		}
-	} else if prevDegraded {
+	} else if oldDegraded {
 		e.refreshPending = true
 	}
 	return res, err

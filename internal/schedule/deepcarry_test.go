@@ -1,0 +1,208 @@
+package schedule
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hardware"
+	"repro/internal/pipeline"
+)
+
+// partialSpillConfig is a configuration where curvature alone overflows the
+// window's bubbles (so at depth 2 the carried generation's curvature
+// capacity-starves and gates every inversion into the end-of-round block)
+// while the inversions are small enough to fit bubbles once decoupled —
+// the regime where a carry depth of 3 pays.
+func partialSpillConfig(method string, k int) Config {
+	cfg := execTestConfig(method)
+	cfg.RefreshSteps = k
+	cfg.Overlap = true
+	cfg.Costs.CurvaturePerMicroBatch = 0
+	for i := range cfg.Costs.CurvatureUnits {
+		cfg.Costs.CurvatureUnits[i] = 240
+		cfg.Costs.CurvaturePerMicroBatch += 240
+		cfg.Costs.InversionUnits[i] = 100
+	}
+	return cfg
+}
+
+// A zero CarryDepth must resolve to the classic depth-2 overlap: byte-level
+// schedule equality, so every committed depth-2 schedule (and the engine
+// runs replaying them) is untouched by the deep-carry machinery.
+func TestDeepCarryDefaultDepthTwoIdentical(t *testing.T) {
+	for _, method := range []string{"gpipe", "1f1b", "chimera"} {
+		for _, k := range []int{1, 2} {
+			t.Run(fmt.Sprintf("%s/K%d", method, k), func(t *testing.T) {
+				cfg := spillConfig(method, k)
+				cfg.Overlap = true
+				def, err := Executable(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.CarryDepth = 2
+				expl, err := Executable(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(def.Ops) != len(expl.Ops) {
+					t.Fatalf("op counts differ: default %d, explicit 2 %d", len(def.Ops), len(expl.Ops))
+				}
+				for i := range def.Ops {
+					a, b := def.Ops[i], expl.Ops[i]
+					if a.Kind != b.Kind || a.Device != b.Device || a.Stage != b.Stage ||
+						a.MicroBatch != b.MicroBatch || a.Factor != b.Factor ||
+						a.Step != b.Step || a.Generation != b.Generation {
+						t.Fatalf("op %d differs: default %+v, explicit %+v", i, a, b)
+					}
+				}
+				for d := range def.Order {
+					for i := range def.Order[d] {
+						if def.Order[d][i] != expl.Order[d][i] {
+							t.Fatalf("device %d order differs at %d", d, i)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// Depth 3 must decouple: with curvature capacity-starved at generation 1,
+// the inversions it gates promote to generation 2, land in bubbles instead
+// of the end-of-round serialization, and the modeled makespan improves.
+// Generations stay below the depth, the schedule still runs, degraded-mode
+// safety holds, and the per-layer fold order is wired as cross-generation
+// inversion edges.
+func TestDeepCarryDecouplesBlockedInversions(t *testing.T) {
+	for _, method := range []string{"gpipe", "1f1b"} {
+		t.Run(method, func(t *testing.T) {
+			cfg := partialSpillConfig(method, 1)
+			shallow, err := Executable(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tlShallow, err := pipeline.Run(shallow)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.CarryDepth = 3
+			deep, err := Executable(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tlDeep, err := pipeline.Run(deep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ValidateDegradedSafety(deep); err != nil {
+				t.Fatalf("degraded safety: %v", err)
+			}
+
+			var sawGen2Inv bool
+			ops := make(map[int]*pipeline.Op, len(deep.Ops))
+			for _, op := range deep.Ops {
+				ops[op.ID] = op
+				switch op.Kind {
+				case pipeline.Curvature, pipeline.Inversion, pipeline.SyncCurvature:
+					if op.Generation >= 3 {
+						t.Fatalf("generation %d exceeds depth 3: %+v", op.Generation, op)
+					}
+					if op.Kind == pipeline.Curvature && op.Generation > 1 {
+						t.Fatalf("capacity-starved curvature ratcheted deep: %+v", op)
+					}
+					if op.Kind == pipeline.Inversion && op.Generation == 2 {
+						sawGen2Inv = true
+					}
+				}
+			}
+			if !sawGen2Inv {
+				t.Fatal("no inversion promoted to generation 2 — decoupling did not engage")
+			}
+			if tlDeep.Makespan >= tlShallow.Makespan {
+				t.Fatalf("depth 3 makespan %d did not beat depth 2's %d",
+					tlDeep.Makespan, tlShallow.Makespan)
+			}
+			// Fold order: a generation-g inversion must depend on every
+			// deeper-generation inversion of its layer pair.
+			for _, op := range deep.Ops {
+				if op.Kind != pipeline.Inversion {
+					continue
+				}
+				deps := make(map[int]bool, len(op.Deps))
+				for _, id := range op.Deps {
+					deps[id] = true
+				}
+				for _, other := range deep.Ops {
+					if other.Kind != pipeline.Inversion || other.Stage != op.Stage ||
+						other.Generation <= op.Generation {
+						continue
+					}
+					if other.Factor != op.Factor && other.Factor != pairFactor(op.Factor) {
+						continue
+					}
+					if !deps[other.ID] {
+						t.Fatalf("inversion %+v missing fold-order edge on deeper %+v", op, other)
+					}
+				}
+			}
+		})
+	}
+}
+
+// Extra depth beyond what decoupling uses must be inert: items that merely
+// lack bubble capacity stay at their generation instead of ratcheting to
+// the cap, so depth 4 reproduces depth 3's generation histogram and
+// makespan on the partial-spill configuration.
+func TestDeepCarryExtraDepthInert(t *testing.T) {
+	hist := func(depth int) (map[int]int, hardware.Microseconds) {
+		cfg := partialSpillConfig("1f1b", 1)
+		cfg.CarryDepth = depth
+		s, err := Executable(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl, err := pipeline.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := make(map[int]int)
+		for _, op := range s.Ops {
+			switch op.Kind {
+			case pipeline.Curvature, pipeline.Inversion, pipeline.SyncCurvature:
+				h[op.Generation]++
+			}
+		}
+		return h, tl.Makespan
+	}
+	h3, m3 := hist(3)
+	h4, m4 := hist(4)
+	if len(h3) != len(h4) || m3 != m4 {
+		t.Fatalf("depth 4 diverged: gens %v (%d) vs depth 3 %v (%d)", h4, m4, h3, m3)
+	}
+	for g, n := range h3 {
+		if h4[g] != n {
+			t.Fatalf("generation %d count differs: depth 3 %d, depth 4 %d", g, n, h4[g])
+		}
+	}
+}
+
+// CarryDepth validation: negative and 1 are rejected, as is any carry
+// depth without Overlap.
+func TestDeepCarryConfigValidation(t *testing.T) {
+	base := execTestConfig("1f1b")
+	for _, tc := range []struct {
+		depth   int
+		overlap bool
+	}{
+		{depth: -1, overlap: true},
+		{depth: 1, overlap: true},
+		{depth: 3, overlap: false},
+	} {
+		cfg := base
+		cfg.Overlap = tc.overlap
+		cfg.CarryDepth = tc.depth
+		if _, err := Executable(cfg); err == nil {
+			t.Fatalf("CarryDepth %d overlap=%v accepted", tc.depth, tc.overlap)
+		}
+	}
+}

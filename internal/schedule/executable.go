@@ -50,15 +50,17 @@ import (
 //
 // With Config.Overlap the spill is not serialized but *carried*: the
 // schedule describes the steady state of overlapping windows, in which the
-// refresh work that cannot fit its own window executes in the NEXT window's
-// early bubbles as generation-lagged ops (Op.Generation = 1) operating on
-// the previous window's statistics. Carried ops are packed FIRST (they are
-// ready the moment the window starts — their inputs completed last window),
+// refresh work that cannot fit its own window executes in FOLLOWING
+// windows' early bubbles as generation-lagged ops (Op.Generation = g means
+// the op runs g windows after its statistics were collected, g up to
+// Config.CarryDepth-1) operating on a previous window's statistics pool.
+// Carried ops are packed FIRST, deepest lag leading (they are ready the
+// moment the window starts — their inputs completed in earlier windows),
 // then the window's own curvature collection fills what is left — so the
 // early bubbles that a serialized round must leave idle (the window's own
 // statistics do not exist yet) absorb the queued refresh work instead.
-// Generation-0 inversions of a layer additionally depend on that layer's
-// carried inversions, keeping the per-layer EMA fold order sequential
+// A generation's inversions of a layer additionally depend on that layer's
+// deeper-lagged inversions, keeping the per-layer EMA fold order sequential
 // across generations.
 func Executable(cfg Config) (*pipeline.Schedule, error) {
 	cfg, err := cfg.normalize()
@@ -153,11 +155,18 @@ func Executable(cfg Config) (*pipeline.Schedule, error) {
 		op.Deps = append(op.Deps, stageCurvIDs[[2]int{it.gen, it.stage}]...)
 		syncIDs[[2]int{it.gen, it.stage}] = append(syncIDs[[2]int{it.gen, it.stage}], op.ID)
 	}
-	// Carried inversions first: the window's own inversions take
-	// cross-generation edges on them (per-layer EMA fold order: the carried
-	// generation folds and swaps before this window's generation folds on
-	// top — §3.1's freshest-completed rule stays monotone in generations).
-	for _, gen := range []int{1, 0} {
+	// Carried inversions first, deepest generation leading: shallower
+	// inversions of a layer pair take cross-generation edges on every
+	// deeper one (per-layer EMA fold order: an older generation folds and
+	// swaps before a newer one folds on top — §3.1's freshest-completed
+	// rule stays monotone in generations).
+	maxGen := 0
+	for _, it := range items {
+		if it.gen > maxGen {
+			maxGen = it.gen
+		}
+	}
+	for gen := maxGen; gen >= 0; gen-- {
 		for _, it := range items {
 			if it.kind != pipeline.Inversion || it.gen != gen {
 				continue
@@ -166,9 +175,9 @@ func Executable(cfg Config) (*pipeline.Schedule, error) {
 			op.Deps = append(op.Deps, curvIDs[[3]int{gen, it.stage, it.factor}]...)
 			op.Deps = append(op.Deps, curvIDs[[3]int{gen, it.stage, pairFactor(it.factor)}]...)
 			op.Deps = append(op.Deps, syncIDs[[2]int{gen, it.stage}]...)
-			if gen == 0 {
+			for g2 := gen + 1; g2 <= maxGen; g2++ {
 				for _, f := range []int{it.factor, pairFactor(it.factor)} {
-					for _, prev := range invGenOps[[3]int{1, it.stage, f}] {
+					for _, prev := range invGenOps[[3]int{g2, it.stage, f}] {
 						op.Deps = append(op.Deps, prev.ID)
 					}
 				}
@@ -369,90 +378,140 @@ func packOwnWindow(items []*workItem, free []*freeList, cfg Config,
 }
 
 // packOverlapped computes the overlapped-window steady state: the carry set
-// — the refresh work that executes one window late, in the next window's
-// early bubbles — is grown to a fixed point so the schedule is
-// self-consistent (what spills out of the window is exactly what the window
-// absorbs as carried work from its predecessor; every window of the steady
-// state is identical). Each iteration places the current carry set first
-// (ready at window start) and the window's own work into the remaining
-// bubbles; whatever still does not fit joins the carry set, closed over the
-// same-generation dependency chains. The loop terminates because the carry
-// set only grows and is bounded by the item count; when nothing spills on
-// the first iteration, the result is identical to the serialized packing.
+// — the refresh work that executes lagged, in the following windows' early
+// bubbles — is grown to a fixed point so the schedule is self-consistent
+// (what spills out of the window is exactly what the window absorbs as
+// carried work from its predecessors; every window of the steady state is
+// identical). Each iteration places the current generation assignment
+// (deepest generations first — they have been queued longest and gate the
+// fold order) and promotes one generation deeper, up to
+// Config.CarryDepth-1, closed over the lag-monotonicity constraints of
+// carryClosure. Promotion is targeted:
+//
+//   - Every unplaced generation-0 item promotes (classic depth-2 carry:
+//     lagging makes it ready at window start instead of after its
+//     statistics sources, which is what lets it use the early bubbles).
+//   - A carried item promotes only when it was BLOCKED — deferred behind
+//     its generation's spilled curvature/sync or a spilled deeper
+//     inversion of its layer pair — because one more lag decouples it
+//     from the spilled gate (the gate's pool work completes in an earlier
+//     window) and it becomes bubble-placeable. A carried item that merely
+//     found no free bubble stays: it is already ready at window start, so
+//     deeper lag cannot improve its placement, only its staleness.
+//
+// Items that hit the depth cap and still do not fit stay at the deepest
+// generation and serialize before that window's tail, exactly like the
+// serialized packer's spill. The loop terminates because generations only
+// grow and are bounded by the depth; when nothing spills on the first
+// iteration, the result is identical to the serialized packing, and at
+// CarryDepth 2 the targeted rule degenerates to promoting every unplaced
+// generation-0 item — the committed depth-2 behavior, unchanged.
 func packOverlapped(items []*workItem, base *pipeline.Timeline, cfg Config) {
-	carried := make(map[*workItem]bool)
+	depth := cfg.CarryDepth
+	if depth < 2 {
+		depth = 2
+	}
 	for {
-		placeOverlapRound(items, base, cfg, carried)
+		placeOverlapRound(items, base, cfg)
 		grew := false
 		for _, it := range items {
-			if !it.placed && !carried[it] {
-				carried[it] = true
+			if it.placed || it.gen >= depth-1 {
+				continue
+			}
+			if it.gen == 0 || it.blocked {
+				it.gen++
 				grew = true
 			}
 		}
 		if !grew {
 			break
 		}
-		carryClosure(items, carried)
-	}
-	for _, it := range items {
-		if carried[it] {
-			it.gen = 1
-		}
+		carryClosure(items)
 	}
 }
 
-// carryClosure extends the carry set along same-generation dependency
-// chains: a stage with carried curvature cannot run its sync-curvature (it
-// depends on ALL the stage's curvature) or inversions in their own window,
-// and a carried sync drags the stage's inversions with it. Inversions may
-// carry individually without forcing anything else.
-func carryClosure(items []*workItem, carried map[*workItem]bool) {
-	curvCarried := make(map[int]bool)
-	syncCarried := make(map[int]bool)
+// carryClosure restores lag-monotonicity within one statistics generation
+// after promotions: a sync-curvature depends on ALL the stage's curvature,
+// so its lag must be at least the stage's deepest curvature lag; an
+// inversion depends on its layer pair's curvature and the stage's syncs, so
+// its lag must cover both. (Ops at lag g execute g windows after the
+// statistics were collected; a consumer at a lag below its producer would
+// run in an earlier window than its inputs.) Curvature carries individually
+// — each micro-batch term folds into the generation's pooled partials
+// independently — and deeper-lag work of OTHER statistics generations never
+// constrains this one: cross-generation order is enforced by round
+// sequencing, not edges.
+func carryClosure(items []*workItem) {
+	curvGen := make(map[[2]int]int) // (stage, factor) -> max curvature gen
+	stageCurvGen := make(map[int]int)
 	for _, it := range items {
-		if !carried[it] {
+		if it.kind != pipeline.Curvature {
 			continue
 		}
-		switch it.kind {
-		case pipeline.Curvature:
-			curvCarried[it.stage] = true
-		case pipeline.SyncCurvature:
-			syncCarried[it.stage] = true
+		key := [2]int{it.stage, it.factor}
+		if it.gen > curvGen[key] {
+			curvGen[key] = it.gen
+		}
+		if it.gen > stageCurvGen[it.stage] {
+			stageCurvGen[it.stage] = it.gen
+		}
+	}
+	syncGen := make(map[int]int) // stage -> max sync gen
+	for _, it := range items {
+		if it.kind != pipeline.SyncCurvature {
+			continue
+		}
+		if g := stageCurvGen[it.stage]; g > it.gen {
+			it.gen = g
+		}
+		if it.gen > syncGen[it.stage] {
+			syncGen[it.stage] = it.gen
 		}
 	}
 	for _, it := range items {
-		if it.kind == pipeline.SyncCurvature && curvCarried[it.stage] && !carried[it] {
-			carried[it] = true
-			syncCarried[it.stage] = true
+		if it.kind != pipeline.Inversion {
+			continue
 		}
-	}
-	for _, it := range items {
-		if it.kind == pipeline.Inversion && (curvCarried[it.stage] || syncCarried[it.stage]) {
-			carried[it] = true
+		for _, f := range []int{it.factor, pairFactor(it.factor)} {
+			if g := curvGen[[2]int{it.stage, f}]; g > it.gen {
+				it.gen = g
+			}
+		}
+		if g := syncGen[it.stage]; g > it.gen {
+			it.gen = g
 		}
 	}
 }
 
 // placeOverlapRound performs one placement pass of the overlapped steady
-// state: carried items first — all ready at window start, since their
-// inputs (the previous window's statistics pools, and for inversions the
-// previous window's curvature partials) completed before the window began —
-// in the same curvature / sync / inversion phase order as the serialized
-// packer, then the window's own generation into the remaining bubbles.
-func placeOverlapRound(items []*workItem, base *pipeline.Timeline, cfg Config, carried map[*workItem]bool) {
+// state: carried generations first, deepest lag first — each generation's
+// curvature is ready at window start (its statistics are a previous
+// window's pooled snapshots, complete before this window began) and its
+// syncs and inversions chain off same-generation placements only, exactly
+// mirroring the dependency edges (same-generation edges bind ops of the
+// same statistics pool within the window; shallower lags of that pool ran
+// in earlier windows). Then the window's own generation fills the remaining
+// bubbles. Inversion ends/blocks accumulate across generations so that a
+// shallower inversion of the same layer pair always orders after the deeper
+// ones — the per-layer EMA fold order.
+func placeOverlapRound(items []*workItem, base *pipeline.Timeline, cfg Config) {
 	free := freshFree(base)
+	maxGen := 0
 	for _, it := range items {
 		it.placed = false
 		it.placedStart = 0
 		it.placedEnd = 0
+		it.blocked = false
 		// Sync and inversion readiness is derived during packing; carried
-		// curvature is ready at window start (its statistics are the
-		// previous window's pooled snapshots). Own-window curvature keeps
-		// its buildWorkQueue readiness. An item, once carried, stays
-		// carried, so overwriting its readiness is safe across iterations.
-		if it.kind != pipeline.Curvature || carried[it] {
+		// curvature is ready at window start. Own-window curvature keeps
+		// its buildWorkQueue readiness. An item's generation never
+		// decreases, so overwriting its readiness is safe across
+		// fixed-point iterations.
+		if it.kind != pipeline.Curvature || it.gen > 0 {
 			it.readyAt = 0
+		}
+		if it.gen > maxGen {
+			maxGen = it.gen
 		}
 	}
 	place := func(it *workItem) {
@@ -465,81 +524,112 @@ func placeOverlapRound(items []*workItem, base *pipeline.Timeline, cfg Config, c
 		it.placedStart = pieces[0].Start
 		it.placedEnd = end
 	}
-	carriedCurvDone := make(map[[2]int]hardware.Microseconds) // (device, stage)
-	carriedPairDone := make(map[[3]int]hardware.Microseconds) // (device, stage, factor)
-	carriedCurvUnplaced := make(map[int]bool)                 // stage
+	carried := make(map[*workItem]bool)
 	for _, it := range items {
-		if !carried[it] || it.kind != pipeline.Curvature {
-			continue
-		}
-		place(it)
-		if !it.placed {
-			carriedCurvUnplaced[it.stage] = true
-			continue
-		}
-		key := [3]int{it.device, it.stage, it.factor}
-		if it.placedEnd > carriedPairDone[key] {
-			carriedPairDone[key] = it.placedEnd
-		}
-		skey := [2]int{it.device, it.stage}
-		if it.placedEnd > carriedCurvDone[skey] {
-			carriedCurvDone[skey] = it.placedEnd
+		if it.gen > 0 {
+			carried[it] = true
 		}
 	}
-	carriedSyncDone := make(map[int]hardware.Microseconds)
-	carriedSyncUnplaced := make(map[int]bool)
-	for _, it := range items {
-		if !carried[it] || it.kind != pipeline.SyncCurvature {
-			continue
-		}
-		if carriedCurvUnplaced[it.stage] {
-			it.placed = false
-			carriedSyncUnplaced[it.stage] = true
-			continue
-		}
-		for _, ow := range stageOwners(cfg, it.stage) {
-			if t := carriedCurvDone[[2]int{ow.device, it.stage}]; t > it.readyAt {
-				it.readyAt = t
-			}
-		}
-		place(it)
-		if !it.placed {
-			carriedSyncUnplaced[it.stage] = true
-			continue
-		}
-		if it.placedEnd > carriedSyncDone[it.stage] {
-			carriedSyncDone[it.stage] = it.placedEnd
-		}
-	}
+	// carryInvEnd/carryInvBlocked see only strictly DEEPER generations than
+	// the one being placed (genInvEnd/genInvBlocked buffer the current one):
+	// the fold-order constraint is cross-generation; same-generation
+	// inversions of a layer pair share one statistics pool and carry no
+	// ordering edges.
 	carryInvEnd := make(map[[2]int]hardware.Microseconds) // (stage, factor)
 	carryInvBlocked := make(map[[2]int]bool)
-	for _, it := range items {
-		if !carried[it] || it.kind != pipeline.Inversion {
-			continue
+	for gen := maxGen; gen >= 1; gen-- {
+		genInvEnd := make(map[[2]int]hardware.Microseconds)
+		genInvBlocked := make(map[[2]int]bool)
+		curvDone := make(map[[2]int]hardware.Microseconds) // (device, stage)
+		pairDone := make(map[[3]int]hardware.Microseconds) // (device, stage, factor)
+		curvUnplaced := make(map[int]bool)                 // stage
+		for _, it := range items {
+			if it.gen != gen || it.kind != pipeline.Curvature {
+				continue
+			}
+			place(it)
+			if !it.placed {
+				curvUnplaced[it.stage] = true
+				continue
+			}
+			key := [3]int{it.device, it.stage, it.factor}
+			if it.placedEnd > pairDone[key] {
+				pairDone[key] = it.placedEnd
+			}
+			skey := [2]int{it.device, it.stage}
+			if it.placedEnd > curvDone[skey] {
+				curvDone[skey] = it.placedEnd
+			}
 		}
-		key := [2]int{it.stage, it.factor}
-		if carriedCurvUnplaced[it.stage] || carriedSyncUnplaced[it.stage] {
-			it.placed = false
-			carryInvBlocked[key] = true
-			continue
-		}
-		for _, ow := range stageOwners(cfg, it.stage) {
-			for _, f := range []int{it.factor, pairFactor(it.factor)} {
-				if t := carriedPairDone[[3]int{ow.device, it.stage, f}]; t > it.readyAt {
+		syncDone := make(map[int]hardware.Microseconds)
+		syncUnplaced := make(map[int]bool)
+		for _, it := range items {
+			if it.gen != gen || it.kind != pipeline.SyncCurvature {
+				continue
+			}
+			if curvUnplaced[it.stage] {
+				it.placed = false
+				it.blocked = true
+				syncUnplaced[it.stage] = true
+				continue
+			}
+			for _, ow := range stageOwners(cfg, it.stage) {
+				if t := curvDone[[2]int{ow.device, it.stage}]; t > it.readyAt {
 					it.readyAt = t
 				}
 			}
+			place(it)
+			if !it.placed {
+				syncUnplaced[it.stage] = true
+				continue
+			}
+			if it.placedEnd > syncDone[it.stage] {
+				syncDone[it.stage] = it.placedEnd
+			}
 		}
-		if t := carriedSyncDone[it.stage]; t > it.readyAt {
-			it.readyAt = t
+		for _, it := range items {
+			if it.gen != gen || it.kind != pipeline.Inversion {
+				continue
+			}
+			key := [2]int{it.stage, it.factor}
+			if curvUnplaced[it.stage] || syncUnplaced[it.stage] ||
+				carryInvBlocked[key] || carryInvBlocked[[2]int{it.stage, pairFactor(it.factor)}] {
+				it.placed = false
+				it.blocked = true
+				genInvBlocked[key] = true
+				continue
+			}
+			for _, ow := range stageOwners(cfg, it.stage) {
+				for _, f := range []int{it.factor, pairFactor(it.factor)} {
+					if t := pairDone[[3]int{ow.device, it.stage, f}]; t > it.readyAt {
+						it.readyAt = t
+					}
+				}
+			}
+			if t := syncDone[it.stage]; t > it.readyAt {
+				it.readyAt = t
+			}
+			for _, f := range []int{it.factor, pairFactor(it.factor)} {
+				if t := carryInvEnd[[2]int{it.stage, f}]; t > it.readyAt {
+					it.readyAt = t
+				}
+			}
+			place(it)
+			if !it.placed {
+				genInvBlocked[key] = true
+				continue
+			}
+			if it.placedEnd > genInvEnd[key] {
+				genInvEnd[key] = it.placedEnd
+			}
 		}
-		place(it)
-		if !it.placed {
+		for key, end := range genInvEnd {
+			if end > carryInvEnd[key] {
+				carryInvEnd[key] = end
+			}
+		}
+		for key := range genInvBlocked {
 			carryInvBlocked[key] = true
-			continue
-		}
-		if it.placedEnd > carryInvEnd[key] {
-			carryInvEnd[key] = it.placedEnd
 		}
 	}
 	packOwnWindow(items, free, cfg, carried, carryInvEnd, carryInvBlocked)
@@ -630,8 +720,14 @@ func assignWindowSteps(items []*workItem, base *pipeline.Timeline, cfg Config) {
 			syncStep[[2]int{it.gen, it.stage}] = it.wstep
 		}
 	}
+	maxGen := 0
+	for _, it := range items {
+		if it.gen > maxGen {
+			maxGen = it.gen
+		}
+	}
 	invStep := make(map[[3]int]int) // (gen, stage, factor) -> max inversion wstep
-	for _, gen := range []int{1, 0} {
+	for gen := maxGen; gen >= 0; gen-- {
 		for _, it := range items {
 			if it.kind != pipeline.Inversion || it.gen != gen {
 				continue
@@ -641,10 +737,10 @@ func assignWindowSteps(items []*workItem, base *pipeline.Timeline, cfg Config) {
 				if w := curvStep[[3]int{gen, it.stage, f}]; w > it.wstep {
 					it.wstep = w
 				}
-				if gen == 0 {
-					// Fold order: the window's own inversion of a layer runs
-					// after the layer's carried inversions.
-					if w := invStep[[3]int{1, it.stage, f}]; w > it.wstep {
+				// Fold order: a generation's inversion of a layer runs after
+				// the layer's deeper-lagged (older) inversions.
+				for g2 := gen + 1; g2 <= maxGen; g2++ {
+					if w := invStep[[3]int{g2, it.stage, f}]; w > it.wstep {
 						it.wstep = w
 					}
 				}
@@ -698,11 +794,17 @@ func assembleExecOrders(s *pipeline.Schedule, tl *pipeline.Timeline, items []*wo
 				seq++
 			}
 		}
-		// Carried (gen 1) items take earlier sequence numbers than the
-		// window's own: among deferred items sharing the end-of-round
-		// position, a layer's carried inversion must order before the own-
-		// generation inversion that depends on it.
-		for _, gen := range []int{1, 0} {
+		// Carried items take earlier sequence numbers than the window's
+		// own, deepest generation first: among deferred items sharing the
+		// end-of-round position, a layer's deeper-lagged inversion must
+		// order before the shallower inversion that depends on it.
+		maxGen := 0
+		for _, it := range items {
+			if it.gen > maxGen {
+				maxGen = it.gen
+			}
+		}
+		for gen := maxGen; gen >= 0; gen-- {
 			for _, it := range items {
 				if it.device != d || it.gen != gen {
 					continue

@@ -95,6 +95,17 @@ type Config struct {
 	// schedule is identical to the serialized one. Incompatible with
 	// FrontLoadRefresh.
 	Overlap bool
+	// CarryDepth bounds how many consecutive windows one refresh may
+	// pipeline across under Overlap: Op.Generation values run
+	// 0..CarryDepth-1, where generation g ops execute g windows after
+	// their statistics were collected. 0 defaults to 2 — the classic
+	// overlap shape (own window plus one carried window). Depths > 2 give
+	// the packer headroom when a refresh exceeds two windows' bubbles:
+	// work that would otherwise serialize before the round's tail keeps
+	// pipelining into the following windows' early bubbles instead. The
+	// per-window work is unchanged — deeper carry only adds placement
+	// freedom. Ignored without Overlap.
+	CarryDepth int
 	// MaxSteps bounds the number of pipeline steps one refresh round may
 	// span (a safety net; realistic configurations need 1-10).
 	MaxSteps int
@@ -122,6 +133,18 @@ func (c Config) normalize() (Config, error) {
 	}
 	if c.Overlap && c.FrontLoadRefresh {
 		return c, fmt.Errorf("schedule: Overlap and FrontLoadRefresh are mutually exclusive (front-loading pins the whole refresh to the window's first step; overlap carries spill into the next window)")
+	}
+	if c.CarryDepth < 0 {
+		return c, fmt.Errorf("schedule: CarryDepth %d is negative", c.CarryDepth)
+	}
+	if c.CarryDepth == 1 {
+		return c, fmt.Errorf("schedule: CarryDepth 1 means no carry — use Overlap=false, or CarryDepth >= 2")
+	}
+	if c.CarryDepth > 1 && !c.Overlap {
+		return c, fmt.Errorf("schedule: CarryDepth needs Overlap")
+	}
+	if c.Overlap && c.CarryDepth == 0 {
+		c.CarryDepth = 2
 	}
 	if c.DataParallelWidth <= 0 {
 		c.DataParallelWidth = 1
@@ -185,6 +208,15 @@ type workItem struct {
 	placedEnd   hardware.Microseconds
 	placedStart hardware.Microseconds
 	placed      bool
+	// blocked distinguishes WHY an overlap placement pass left the item
+	// unplaced: true means a scheduling gate (the generation's curvature or
+	// sync spilled, or a deeper inversion of the layer pair did) deferred
+	// it, false means it simply found no bubble. Deep-carry promotion only
+	// moves blocked items past generation 1 — lagging a capacity-starved
+	// item deeper buys nothing (it is already ready at window start), but a
+	// gated item one lag deeper decouples from the spilled gate and becomes
+	// placeable. Reset every placement pass.
+	blocked bool
 	// wstep is the step of the refresh window the item executes in
 	// (0-based; set by assignWindowSteps for the executable form).
 	wstep int

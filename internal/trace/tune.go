@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/hardware"
+)
+
+// TuneRecord is one round's closed-loop tuning state: how far the packing
+// cost model is from the executed timeline (shape-normalized relative
+// error — it shrinks toward zero as the auto-tuner refits and installs
+// measured costs) and, on decision rounds, which schedule configuration
+// the tuner chose and why. The Current/Choice strings are the candidate
+// renderings the run headers print (e.g. "1f1b/K2+overlap").
+type TuneRecord struct {
+	// Round is the engine round the record was taken after (1-based).
+	Round int
+	// ModelError is the shape-normalized modeled-vs-measured cost error
+	// at this round (see autotune.Tuner.ModelError); negative when no
+	// estimate exists yet (warm-up).
+	ModelError float64
+	// Decision marks rounds where the tuner ranked the candidate space.
+	Decision bool
+	// Current and Choice are candidate strings; Choice is empty on
+	// non-decision rounds.
+	Current string
+	Choice  string
+	// CurrentStep/ChoiceStep are the predicted per-step times of the
+	// current and chosen configurations under the fitted cost model.
+	CurrentStep hardware.Microseconds
+	ChoiceStep  hardware.Microseconds
+	// Swapped reports whether the engine was reconfigured this round.
+	Swapped bool
+	// Reason explains the decision ("keep: already best", "swap: 12.3%
+	// predicted gain", "hold: gain below threshold", ...).
+	Reason string
+}
+
+// WriteTuneCSV exports tuning records as CSV: one row per round with the
+// model-error convergence curve and the tuner's decisions, ready for
+// plotting the closed loop (error shrinking, step-time predictions, swap
+// points).
+func WriteTuneCSV(w io.Writer, recs []TuneRecord) error {
+	if _, err := fmt.Fprintln(w, "round,model_error,decision,current,choice,current_step_us,choice_step_us,swapped,reason"); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if _, err := fmt.Fprintf(w, "%d,%.6f,%v,%s,%s,%d,%d,%v,%q\n",
+			r.Round, r.ModelError, r.Decision, r.Current, r.Choice,
+			r.CurrentStep, r.ChoiceStep, r.Swapped, r.Reason); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderTuneLog writes a human-readable tuner log: one line per decision
+// round plus the model-error trajectory endpoints, the form the CLIs print
+// under their run headers.
+func RenderTuneLog(w io.Writer, recs []TuneRecord) error {
+	var first, last *TuneRecord
+	for i := range recs {
+		if recs[i].ModelError >= 0 {
+			if first == nil {
+				first = &recs[i]
+			}
+			last = &recs[i]
+		}
+	}
+	if first != nil && last != nil {
+		if _, err := fmt.Fprintf(w, "model error: %.3f (round %d) -> %.3f (round %d)\n",
+			first.ModelError, first.Round, last.ModelError, last.Round); err != nil {
+			return err
+		}
+	}
+	for _, r := range recs {
+		if !r.Decision {
+			continue
+		}
+		verb := "hold"
+		if r.Swapped {
+			verb = "swap"
+		}
+		if _, err := fmt.Fprintf(w, "round %d: %s %s -> %s (predicted %d -> %d us/step): %s\n",
+			r.Round, verb, r.Current, r.Choice, r.CurrentStep, r.ChoiceStep, r.Reason); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -122,7 +122,22 @@ func main() {
 		for _, m := range metrics {
 			nv, haveNew := cur[name][m.key]
 			ov, haveOld := old[m.key]
-			if !haveNew || !haveOld || ov == 0 {
+			if !haveNew || !haveOld {
+				continue
+			}
+			if ov == 0 {
+				// A percent delta from zero is undefined, but a zero
+				// baseline on a lower-is-better metric is a guarantee
+				// (alloc-free / byte-free steady state): any growth from
+				// it is a gated regression, not a silent skip.
+				if nv != 0 && !m.higherBetter {
+					mark := ""
+					if (gated["all"] || gated[m.key]) && rowRe.MatchString(name) {
+						mark = "  REGRESSION"
+						regressions = append(regressions, fmt.Sprintf("%s %s grew from a zero baseline to %.2f", name, m.label, nv))
+					}
+					fmt.Printf("%-55s %-10s %14.2f %14.2f %9s%s\n", name, m.label, ov, nv, "+inf", mark)
+				}
 				continue
 			}
 			delta := 100 * (nv - ov) / ov
