@@ -14,6 +14,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/arch"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/pipeline"
 	"repro/internal/schedule"
+	"repro/internal/transport"
 )
 
 // costsFor builds stage costs for the profile experiments.
@@ -637,6 +639,161 @@ func BenchmarkEngineRoundKFAC(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkAllReduce measures the socket transport's chunked chain
+// all-reduce against the same payload sent as one un-chunked message, over
+// a 2-rank Unix-socket ring on localhost. With cores to run the ranks in
+// parallel, the chunked row wins: chunk k's link transfer overlaps the fold
+// of chunk k-1, so the pipelined form approaches bandwidth while the
+// single-message form serializes hop after hop — the
+// hardware.ChainAllReduceCost model, measured (and pinned at >= 1.3x by
+// TestChainAllReduceChunkingPipelines). On a single-core runner the overlap
+// cannot execute and chunking only pays its ~20us/frame fixed cost, so read
+// the pair together with the host's core count. The 1 MiB payload is a
+// BERT-Base-scale gradient bucket; bytes/s is reported as MB/s so the row
+// lands next to the kernel bandwidth series.
+func BenchmarkAllReduce(b *testing.B) {
+	const n = 128 * 1024 // 1 MiB of float64s
+	for _, bc := range []struct {
+		name  string
+		chunk int
+	}{
+		{"chunked", transport.DefaultChunkFloats},
+		{"unchunked", n}, // one chunk spans the whole payload
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			rings, err := transport.NewLocalRing(2, bc.chunk)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				for _, r := range rings {
+					r.Close()
+				}
+			}()
+			var wg sync.WaitGroup
+			errs := make([]error, len(rings))
+			dsts := make([][]float64, len(rings))
+			parts := make([][]float64, len(rings))
+			for r := range rings {
+				dsts[r] = make([]float64, n)
+				parts[r] = make([]float64, n)
+				for i := range parts[r] {
+					parts[r][i] = float64(r*n + i)
+				}
+			}
+			b.SetBytes(8 * n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				wg.Add(len(rings))
+				for r := range rings {
+					go func(r int) {
+						defer wg.Done()
+						// One fixed name: same-name collectives are legal when
+						// issued in the same order, and the steady state of the
+						// engine reuses its names every step just like this.
+						_, errs[r] = rings[r].AllReduce("bench/sum", dsts[r], nil, [][]float64{parts[r]})
+					}(r)
+				}
+				wg.Wait()
+				for r, err := range errs {
+					if err != nil {
+						b.Fatalf("rank %d: %v", r, err)
+					}
+				}
+			}
+			b.ReportMetric(float64(8*n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "MB/s")
+		})
+	}
+}
+
+// BenchmarkEngineTransport runs the identical global batch through the
+// executor's three transport configurations: the in-process loopback at
+// W in {1, 2} (the BenchmarkEngineStep shapes, unchanged semantics) and a
+// 2-process-shaped ring group — two engine instances in one process wired
+// over a Unix-socket ring, one replica each, the same global W = 2. The
+// loopback rows are the zero-overhead reference the transport seam must not
+// tax; the ring row prices the wire (frame encode, socket hop, chunk
+// pipelining) for the same bit-identical result. CI distills all three into
+// BENCH_engine.json next to the per-step W series.
+func BenchmarkEngineTransport(b *testing.B) {
+	// globalW is replicas x group size; every configuration splits the same
+	// 8-sequence global batch into 4/globalW micro-batches per replica.
+	mkEngine := func(b *testing.B, globalW, replicas int, g transport.Group) (*engine.Engine, *data.Batch, []*nn.Param) {
+		m, err := bert.New(bert.TinyConfig(), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := data.NewCorpus(bert.TinyConfig().VocabSize, 1.0, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e, err := engine.NewWithConfig(m, engine.Config{
+			Method: "1f1b", Stages: 2, MicroBatches: 4 / globalW, Replicas: replicas,
+			Transport: g,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := c.MakeBatch(8, data.DefaultBatchConfig(m.Config.SeqLen))
+		return e, batch, m.Params()
+	}
+	for _, w := range []int{1, 2} {
+		b.Run(fmt.Sprintf("loopback/W%d", w), func(b *testing.B) {
+			e, batch, params := mkEngine(b, w, w, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nn.ZeroGrads(params)
+				if _, err := e.TrainStep(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(8*float64(b.N)/b.Elapsed().Seconds(), "seqs/s")
+		})
+	}
+	b.Run("ring/2x1", func(b *testing.B) {
+		rings, err := transport.NewLocalRing(2, transport.DefaultChunkFloats)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			for _, r := range rings {
+				r.Close()
+			}
+		}()
+		engines := make([]*engine.Engine, 2)
+		batches := make([]*data.Batch, 2)
+		paramSets := make([][]*nn.Param, 2)
+		var wg sync.WaitGroup
+		for r := range engines {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				engines[r], batches[r], paramSets[r] = mkEngine(b, 2, 1, rings[r])
+			}(r)
+		}
+		wg.Wait()
+		errs := make([]error, 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wg.Add(2)
+			for r := range engines {
+				go func(r int) {
+					defer wg.Done()
+					nn.ZeroGrads(paramSets[r])
+					_, errs[r] = engines[r].TrainStep(batches[r])
+				}(r)
+			}
+			wg.Wait()
+			for r, err := range errs {
+				if err != nil {
+					b.Fatalf("rank %d: %v", r, err)
+				}
+			}
+		}
+		b.ReportMetric(8*float64(b.N)/b.Elapsed().Seconds(), "seqs/s")
+	})
 }
 
 // BenchmarkEngineStepKFAC is the same comparison with the PipeFisher

@@ -18,8 +18,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/arch"
@@ -35,6 +40,7 @@ import (
 	"repro/internal/schedule"
 	"repro/internal/tensor"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -72,8 +78,16 @@ func main() {
 		autotuneOn   = flag.Bool("autotune", false, "closed-loop tuning with -execute: refit packing costs from the executed rounds, re-rank the schedule candidate space, and hot-swap the engine at round boundaries")
 		tuneInterval = flag.Int("autotune-interval", 4, "rounds between tuner decisions with -autotune (observation continues every round)")
 		tuneCSV      = flag.String("tune-csv", "", "write the tuner's per-round model-error and decision records as CSV to this file, with -autotune")
+		transName    = flag.String("transport", "loopback", "collective transport: loopback (in-process) or ring (chunked socket chain) — prices the simulated collectives, and with -execute + -group really runs them")
+		groupSpec    = flag.String("group", "", "ring membership: comma-separated listen addresses (unix:PATH or tcp:HOST:PORT, one per rank), or spawn:N to launch N local ranks over unix sockets")
+		rankFlag     = flag.Int("rank", 0, "this process's rank within -group")
+		chunkFl      = flag.Int("chunk", 0, "ring all-reduce chunk size in float64 elements (0 = transport default)")
+		shardParams  = flag.Bool("shard-params", false, "ZeRO-style parameter sharding across the replica axis with -execute (needs -replicas >= 2)")
 	)
 	flag.Parse()
+	if n, ok := spawnCount(*groupSpec); ok {
+		os.Exit(spawnRanks(n))
+	}
 	if *workers < 0 {
 		*workers = 0 // negative means "default", like 0
 	}
@@ -111,7 +125,7 @@ func main() {
 	}
 	costs, err := pipeline.CostsFor(pipeline.CostConfig{
 		Arch: a, BlocksPerStage: *blocks, MicroBatch: *bmicro, GPU: g,
-		DataParallelWidth: *dp, Recompute: *recompute,
+		DataParallelWidth: *dp, Recompute: *recompute, Transport: *transName,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -183,8 +197,123 @@ func main() {
 		tn := tuneConfig{
 			enabled: *autotuneOn, interval: *tuneInterval, csvPath: *tuneCSV,
 		}
-		executeSchedule(*method, *stages, *nmicro, *replicas, *invParallel, *execSteps, *refreshSteps, *carryDepth, *width, *workers, *overlap, *svgPath, ft, tn)
+		tr := transportConfig{shard: *shardParams}
+		switch *transName {
+		case "loopback":
+			if *groupSpec != "" {
+				log.Fatal("-group needs -transport ring")
+			}
+		case "ring":
+			addrs := strings.Split(*groupSpec, ",")
+			if len(addrs) < 2 {
+				log.Fatal("-transport ring needs a -group with at least 2 addresses (or spawn:N)")
+			}
+			g, err := transport.DialRing(addrs, *rankFlag, transport.RingOptions{
+				ChunkFloats: *chunkFl, DialTimeout: 30 * time.Second,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer g.Close()
+			tr.group = g
+		default:
+			log.Fatalf("unknown -transport %q (want loopback or ring)", *transName)
+		}
+		executeSchedule(*method, *stages, *nmicro, *replicas, *invParallel, *execSteps, *refreshSteps, *carryDepth, *width, *workers, *overlap, *svgPath, ft, tn, tr)
 	}
+}
+
+// spawnCount parses a "spawn:N" -group spec.
+func spawnCount(spec string) (int, bool) {
+	rest, ok := strings.CutPrefix(spec, "spawn:")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 2 {
+		log.Fatalf("-group %s: spawn needs an integer rank count >= 2", spec)
+	}
+	return n, true
+}
+
+// spawnRanks launches n copies of this binary as a local ring group over
+// Unix-domain sockets in a temp directory, forwarding every flag except
+// -group (replaced by the socket list) and -rank (assigned per child). Rank
+// 0's stdout passes through — its step losses are the group's, so a spawned
+// run's output is comparable line-for-line with a single-process run of the
+// same global batch — while the other ranks' stdout is discarded and all
+// stderr is shared. Returns the exit code for the parent.
+func spawnRanks(n int) int {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	dir, err := os.MkdirTemp("", "pipefisher-ring-")
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+	specs := make([]string, n)
+	for i := range specs {
+		specs[i] = "unix:" + filepath.Join(dir, fmt.Sprintf("rank%d.sock", i))
+	}
+	base := stripFlags(os.Args[1:], "group", "rank", "csv", "svg", "tune-csv")
+	zero := stripFlags(os.Args[1:], "group", "rank")
+	cmds := make([]*exec.Cmd, n)
+	for i := range cmds {
+		args := zero
+		if i > 0 {
+			args = base // secondary ranks must not race rank 0 on output files
+		}
+		args = append(append([]string{}, args...),
+			"-transport", "ring", "-group", strings.Join(specs, ","), "-rank", strconv.Itoa(i))
+		c := exec.Command(exe, args...)
+		c.Stdout = io.Discard
+		if i == 0 {
+			c.Stdout = os.Stdout
+		}
+		c.Stderr = os.Stderr
+		if err := c.Start(); err != nil {
+			log.Print(err)
+			return 1
+		}
+		cmds[i] = c
+	}
+	code := 0
+	for i, c := range cmds {
+		if err := c.Wait(); err != nil {
+			log.Printf("rank %d: %v", i, err)
+			code = 1
+		}
+	}
+	return code
+}
+
+// stripFlags removes the named flags (and their values) from an argument
+// list, accepting the -name value, -name=value, and --name forms.
+func stripFlags(args []string, names ...string) []string {
+	drop := make(map[string]bool, len(names))
+	for _, n := range names {
+		drop[n] = true
+	}
+	var out []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name, hasValue := strings.TrimLeft(a, "-"), false
+		if eq := strings.IndexByte(name, '='); eq >= 0 {
+			name, hasValue = name[:eq], true
+		}
+		if strings.HasPrefix(a, "-") && drop[name] {
+			if !hasValue && i+1 < len(args) && !strings.HasPrefix(args[i+1], "-") {
+				i++ // skip the separate value
+			}
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
 }
 
 // tuneConfig bundles the closed-loop tuning flags for real execution.
@@ -203,6 +332,13 @@ type faultConfig struct {
 	checkpoint   bool
 }
 
+// transportConfig bundles the collective-transport flags for real
+// execution. A nil group means the in-process loopback transport.
+type transportConfig struct {
+	group transport.Group
+	shard bool
+}
+
 // executeSchedule trains a small BERT (one block per stage) for real under
 // the selected schedule with K-FAC packed into the bubbles — replicated
 // W-fold when -replicas is set, with the in-process gradient and curvature
@@ -214,7 +350,7 @@ type faultConfig struct {
 // observes every executed round and may hot-swap the engine to a
 // predicted-faster configuration at a round boundary; its decision log and
 // final choice are printed after training.
-func executeSchedule(method string, stages, nmicro, replicas int, invParallel bool, steps, refreshSteps, carryDepth, width, workers int, overlap bool, svgPath string, ft faultConfig, tc tuneConfig) {
+func executeSchedule(method string, stages, nmicro, replicas int, invParallel bool, steps, refreshSteps, carryDepth, width, workers int, overlap bool, svgPath string, ft faultConfig, tc tuneConfig, tr transportConfig) {
 	cfg := bert.TinyConfig()
 	cfg.Blocks = stages
 	model, err := bert.New(cfg, 7)
@@ -224,6 +360,10 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 	corpus, err := data.NewCorpus(cfg.VocabSize, 1.0, 11)
 	if err != nil {
 		log.Fatal(err)
+	}
+	groupSize := 1
+	if tr.group != nil {
+		groupSize = tr.group.Size()
 	}
 	adaptive := refreshSteps == 0
 	if adaptive {
@@ -236,6 +376,7 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 		FaultPlan: ft.plan, OpTimeout: ft.opTimeout,
 		OpRetries: ft.opRetries, RetryBackoff: ft.retryBackoff,
 		Checkpoint: ft.checkpoint,
+		Transport:  tr.group, ShardParams: tr.shard,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -274,6 +415,14 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 	}
 	fmt.Printf("\n--- real execution: %s, %d stages, %d micro-batches, %d replica(s), refresh round %s, overlap=%v, %d intra-op workers ---\n",
 		method, stages, nmicro, replicas, kDesc, overlap, tensor.Parallelism())
+	if tr.group != nil {
+		fmt.Printf("transport: ring rank %d of %d, global data-parallel width %d\n",
+			tr.group.Rank(), groupSize, groupSize*replicas)
+	}
+	if full, resident, ok := eng.ShardStats(); ok {
+		fmt.Printf("shard-params: secondary replicas keep %d of %d parameter bytes resident (%.0f%%)\n",
+			resident, full, 100*float64(resident)/float64(full))
+	}
 	if ft.plan != nil || ft.opTimeout > 0 || ft.opRetries > 0 || ft.checkpoint {
 		fmt.Printf("fault tolerance: plan=%v op-timeout=%v op-retries=%d checkpoint=%v\n",
 			ft.plan, ft.opTimeout, ft.opRetries, ft.checkpoint)
@@ -287,7 +436,11 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 		k = eng.RoundSteps()
 		batches := make([]*data.Batch, k)
 		for j := range batches {
-			batches[j] = corpus.MakeBatch(4*nmicro*replicas, data.DefaultBatchConfig(cfg.SeqLen))
+			// Every rank materializes the full global batch from the shared
+			// corpus seed and trains its own contiguous slice, so a W-rank run
+			// and a single-process run of the same global width see identical
+			// data — and print identical losses.
+			batches[j] = corpus.MakeBatch(4*nmicro*replicas*groupSize, data.DefaultBatchConfig(cfg.SeqLen))
 		}
 		res, err := eng.TrainRound(batches)
 		// Restore-and-replay: an aborted round rewinds to its start
@@ -347,6 +500,9 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 			}
 			fmt.Printf("tuner records CSV written to %s\n", tc.csvPath)
 		}
+	}
+	if tr.group != nil {
+		fmt.Printf("transport: rank %d sent %d bytes on the wire\n", tr.group.Rank(), tr.group.BytesOnWire())
 	}
 	fmt.Println()
 	real := eng.LastTimeline()

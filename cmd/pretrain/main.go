@@ -35,6 +35,8 @@ func main() {
 		seed    = flag.Uint64("seed", 100, "model seed")
 		dataSd  = flag.Uint64("dataseed", 200, "corpus seed")
 		curve   = flag.Bool("curve", false, "print per-step losses")
+		trans   = flag.String("transport", "loopback", "collective transport priced into the simulated wall-clock conversion: loopback or ring")
+		dp      = flag.Int("dp", 1, "data-parallel width W priced into the simulated wall-clock conversion")
 	)
 	flag.Parse()
 
@@ -42,7 +44,7 @@ func main() {
 	case "both":
 		nv := run(bert.OptNVLAMB, *steps, *batch, *seed, *dataSd, *curve)
 		kf := run(bert.OptKFAC, *steps, *batch, *seed, *dataSd, *curve)
-		summarize(nv, kf, *steps)
+		summarize(nv, kf, *steps, *trans, *dp)
 	case "nvlamb":
 		run(bert.OptNVLAMB, *steps, *batch, *seed, *dataSd, true)
 	case "kfac":
@@ -79,8 +81,9 @@ func run(kind bert.OptimizerKind, steps, batch int, seed, dataSeed uint64, curve
 
 // summarize prints the Figure 7-style comparison: steps-to-target plus the
 // simulated wall-clock times using Chimera step times from the simulator
-// (BERT-Base, 4 stages, the §4 setup).
-func summarize(nv, kf *bert.TrainResult, steps int) {
+// (BERT-Base, 4 stages, the §4 setup). The transport and data-parallel
+// width select the collective cost model the step times are priced with.
+func summarize(nv, kf *bert.TrainResult, steps int, trans string, dp int) {
 	kSteps := kf.StepsToReach(nv.FinalLoss)
 	fmt.Println()
 	fmt.Printf("NVLAMB final loss:  %.4f after %d steps\n", nv.FinalLoss, steps)
@@ -93,6 +96,7 @@ func summarize(nv, kf *bert.TrainResult, steps int) {
 
 	costs, err := pipeline.CostsFor(pipeline.CostConfig{
 		Arch: arch.BERTBase, BlocksPerStage: 3, MicroBatch: 32, GPU: hardware.P100,
+		DataParallelWidth: dp, Transport: trans,
 	})
 	if err != nil {
 		log.Fatal(err)

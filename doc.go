@@ -144,6 +144,66 @@
 //     preconditioner makes the post-inversion broadcast implicit, and
 //     per-layer locks let different factors invert concurrently.
 //
+// # Collective transport contract
+//
+// internal/transport generalizes those in-process reductions across OS
+// processes: a transport.Group runs reduce-scatter / all-gather /
+// all-reduce / broadcast over *named* buffers for a group of ranks, and
+// engine.Config.Transport plugs one into every reduction the engine
+// performs. A nil Transport is the loopback: the existing in-process fold,
+// CI-gated at exactly zero extra allocations and <2% throughput against
+// the transport-free executor rows — choosing a transport costs the
+// single-process configuration nothing. DialRing connects a chain of
+// Unix-domain or TCP sockets (cmd/pipefisher -transport ring -group,
+// or -group spawn:N to have the CLI fork N single-rank processes itself),
+// and the contract makes the choice between them a pure deployment
+// decision:
+//
+//   - Fold order is THE invariant. Rank g of a W_g-rank group running R
+//     local replicas owns global micro-batches [g*R*M, (g+1)*R*M): it
+//     folds its local deltas in ascending global-micro order exactly as
+//     the loopback would, and the cross-rank reduction folds the per-rank
+//     partials in ascending rank order — the same total order as one
+//     process running W_g*R replicas. Gradients, K-FAC factors, inverses
+//     and preconditioned updates are therefore bit-identical between a
+//     2-process ring and a single loopback process at equal global width
+//     (CI's multiproc job diffs the per-step losses for exact equality).
+//     Every rank materializes the global batch from the shared corpus
+//     seed, so data placement is a pure function of rank.
+//   - Buffer ownership across the wire: callers hand the Group dst and
+//     part slices that remain caller-owned; the transport never retains
+//     them past the call. On the receive side each Ring owns its reader
+//     scratch, interns buffer names, and recycles payload buffers through
+//     a pool — the steady-state chunk path allocates nothing, and stale
+//     frames from an aborted round are drained back into the pool, not
+//     leaked.
+//   - Chunking: payloads split at DefaultChunkFloats (64 KiB) so the fold
+//     of chunk k overlaps the transfer of chunk k+1 along the chain.
+//     The win needs cores to overlap on — hardware.ChainAllReduceCost
+//     models it (>=1.3x over the single-message chain at gradient-bucket
+//     sizes, pinned by test on every ring width), pipeline.CostConfig.
+//     Transport prices simulated schedules with the same model, and
+//     BenchmarkAllReduce measures the real wire (on a single-core host
+//     the fixed per-frame cost makes chunked ~= unchunked; the model is
+//     the acceptance bar, the bench is the honest measurement).
+//   - Failure semantics ride the round protocol: BeginRound tags every
+//     collective with an epoch, and a rank that aborts mid-round sends an
+//     abort frame around the ring, so a dropped or failed remote
+//     collective surfaces on every rank as the same attributed abort the
+//     fault layer already handles — checkpoint/replay then rewinds all
+//     ranks together (CI's chaos job injects a collective drop into a
+//     real 2-process ring and asserts replay completes). Epoch 0 is
+//     exempt so initialization collectives can never be killed by a
+//     stale abort, and a startup barrier keeps a fast rank's round abort
+//     from racing a slow rank's init.
+//   - Sharded parameters (engine.Config.ShardParams) compose with any
+//     transport: each stage's parameters partition greedily across the
+//     local replica axis, secondary replicas detach storage they do not
+//     own and gather-on-use into pooled buffers for the duration of one
+//     op — resident parameter bytes on secondaries drop to roughly 1/R
+//     of the full copy (engine.ShardStats reports the exact counts) while
+//     the fold order, and therefore the math, is unchanged.
+//
 // # Refresh rounds
 //
 // The paper's K-FAC refreshes fit into the bubbles of *several consecutive
@@ -342,8 +402,10 @@
 // (cmd/pipefisher -execute runs the sim/exec comparison end to end;
 // -replicas executes the hybrid pipeline x data-parallel configuration,
 // -refresh-steps the multi-step refresh rounds — 0 sizes them adaptively —
-// -overlap the overlapped windows, and -autotune the closed-loop tuner,
-// with its per-round records written by -tune-csv). The committed BENCH_tensor.json /
+// -overlap the overlapped windows, -autotune the closed-loop tuner,
+// with its per-round records written by -tune-csv, and -transport ring
+// -group spawn:N the real multi-process socket ring, with -shard-params
+// for ZeRO-style sharded parameters). The committed BENCH_tensor.json /
 // BENCH_engine.json files are the perf-trajectory baseline;
 // scripts/bench_compare.go reports benchstat-style deltas against them and
 // CI fails on steady-state throughput regressions beyond 10%.

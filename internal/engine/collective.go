@@ -2,57 +2,143 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/nn"
+	"repro/internal/pipemodel"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
-// This file implements the engine's in-process gradient collective: the
-// real-execution counterpart of the SyncGrad all-reduce the simulator
-// models for data-parallel replica groups.
+// This file is the engine's glue onto the transport package: every
+// collective of the executor — the per-stage gradient all-reduce, the
+// K-FAC factor fold, the per-step loss reduction of multi-process groups —
+// routes through the engine's transport.Group. With the default Loopback
+// group the routed fold is instruction-for-instruction the historical
+// in-process collective (copy the carried base, add each micro-batch delta
+// in ascending order), allocation-free on the steady-state path; with a
+// Ring group the same calls put the partials on a wire, and the chain fold
+// order keeps the results bit-identical.
 //
-// Determinism contract: the reduction runs at micro-batch granularity in a
-// single fixed order — ascending global micro-batch index — regardless of
-// how micro-batches were sharded across replicas, which schedule produced
-// them, or how many kernel workers computed them. Per-micro-batch
-// contributions are therefore bit-identical inputs in a bit-identical
-// order, and the reduced gradients are bit-identical for any replica
-// count W (and match the W = 1 run of the same global batch).
+// Determinism contract: every reduction runs at micro-batch granularity in
+// a single fixed order — ascending global micro-batch index, where rank r
+// of a W_g-rank group running R local replicas owns global micro-batches
+// [r*R*M, (r+1)*R*M) of each step. The transport's fold contract realizes
+// exactly that order across ranks, so gradients, K-FAC factors and losses
+// are bit-identical for any (group size, replica count, schedule, worker
+// count) splitting of the same global batch.
 //
 // Buffer ownership: the per-micro-batch delta buffers and the carried
 // pre-step accumulators are pooled matrices (tensor.Get/GetClone) owned by
-// the run state. reduceGrads consumes (Puts and nils) the deltas it folds,
+// the run state. foldParams consumes (Puts and nils) the deltas it folds,
 // but leaves the carried buffers alone: they are the rollback state of an
 // aborted step, released by the run state only once the whole step
-// succeeded. The steady-state collective path allocates nothing either
-// way.
+// succeeded.
 
-// reduceGrads folds one stage's gradient contributions into the primary
-// replica's accumulators: for each parameter, the pre-step carried value
-// (the caller's accumulate-semantics state) plus every micro-batch's delta
-// in ascending global micro-batch order. carried[k] and deltas[m][k] align
-// with params[k]; delta buffers are returned to the pool and their slots
-// nilled, carried buffers stay with the caller (rollback state). A nil
-// delta means a backward never snapshotted its contribution — a
-// scheduling bug surfaced as an error.
-func reduceGrads(params []*nn.Param, carried []*tensor.Matrix, deltas [][]*tensor.Matrix) error {
-	for k, p := range params {
-		g := p.Grad
-		if carried[k] == nil {
-			return fmt.Errorf("missing carried gradient state for %s", p.Name)
+// initCollectives prepares the engine's transport routing: the resolved
+// group (Loopback when none was configured), the per-stage fold scratch
+// (reused [][]float64 part views — the steady-state collective path must
+// not allocate), and the precomputed per-parameter collective names.
+func (e *Engine) initCollectives() {
+	e.group = e.cfg.Transport
+	if e.group == nil {
+		e.group = transport.Loopback{}
+	}
+	e.multiRank = e.group.Size() > 1
+	perStep := e.cfg.MicroBatches * e.cfg.Replicas
+	e.foldScratch = make([][][]float64, e.cfg.Stages)
+	e.foldNames = make([][]string, e.cfg.Stages)
+	for s, params := range e.reps[0].stageParams {
+		e.foldScratch[s] = make([][]float64, perStep)
+		e.foldNames[s] = make([]string, len(params))
+		for k := range params {
+			e.foldNames[s][k] = fmt.Sprintf("g/%d/%d", s, k)
 		}
-		g.CopyFrom(carried[k])
+	}
+}
+
+// syncInitialParams aligns a multi-rank group's starting weights: a shape
+// handshake (parameter count and sizes broadcast from rank 0 and verified
+// everywhere — a mismatched model configuration fails here with an
+// attributed error instead of a silently diverging group) followed by a
+// one-time broadcast of rank 0's parameter values. Steady state needs no
+// re-broadcast: every rank folds identical gradients and runs the
+// optimizer in lockstep, so parameters stay bit-identical by induction.
+func (e *Engine) syncInitialParams() error {
+	params := e.reps[0].params
+	desc := make([]float64, 1+len(params))
+	if e.group.Rank() == 0 {
+		desc[0] = float64(len(params))
+		for i, p := range params {
+			desc[i+1] = float64(p.NumElements())
+		}
+	}
+	if _, err := e.group.Broadcast("init/shape", 0, desc); err != nil {
+		return fmt.Errorf("engine: parameter shape handshake: %w", err)
+	}
+	if int(desc[0]) != len(params) {
+		return fmt.Errorf("engine: rank %d has %d parameters, rank 0 has %d (group must build identical models)",
+			e.group.Rank(), len(params), int(desc[0]))
+	}
+	for i, p := range params {
+		if int(desc[i+1]) != p.NumElements() {
+			return fmt.Errorf("engine: rank %d parameter %s has %d elements, rank 0 has %d",
+				e.group.Rank(), p.Name, p.NumElements(), int(desc[i+1]))
+		}
+		if _, err := e.group.Broadcast(fmt.Sprintf("init/p/%d", i), 0, p.Value.Data); err != nil {
+			return fmt.Errorf("engine: broadcasting initial value of %s: %w", p.Name, err)
+		}
+	}
+	// Startup barrier: a tiny all-reduce whose chain passes through every
+	// rank, so no rank — rank 0 in particular, whose broadcasts above are
+	// fire-and-forget — starts training rounds before the whole group is
+	// constructed. Keeps a fast rank's round abort from ever racing a slow
+	// rank's initialization.
+	var barrier [1]float64
+	one := [1]float64{1}
+	if _, err := e.group.AllReduce("init/barrier", barrier[:], nil, [][]float64{one[:]}); err != nil {
+		return fmt.Errorf("engine: startup barrier: %w", err)
+	}
+	if got := int(barrier[0]); got != e.group.Size() {
+		return fmt.Errorf("engine: startup barrier counted %d ranks, want %d", got, e.group.Size())
+	}
+	return nil
+}
+
+// foldParams performs one stage's gradient collective over a transport
+// group: for each parameter, dst = the pre-step carried value (the
+// accumulate-semantics base) plus every rank's micro-batch deltas in
+// ascending global micro-batch order. carried[k] and deltas[m][k] align
+// with params[k]; delta buffers are returned to the pool and their slots
+// nilled, carried buffers stay with the caller (rollback state). scratch
+// must have len(deltas) slots and names one per parameter; both are reused
+// across calls, so the loopback steady state allocates nothing. Returns
+// the bytes the group put on the wire.
+func foldParams(group transport.Group, names []string, scratch [][]float64, params []*nn.Param, carried []*tensor.Matrix, deltas [][]*tensor.Matrix) (int64, error) {
+	var bytes int64
+	for k, p := range params {
+		if carried[k] == nil {
+			return bytes, fmt.Errorf("missing carried gradient state for %s", p.Name)
+		}
 		for m := range deltas {
 			d := deltas[m][k]
 			if d == nil {
-				return fmt.Errorf("missing micro-batch %d gradient contribution for %s", m, p.Name)
+				return bytes, fmt.Errorf("missing micro-batch %d gradient contribution for %s", m, p.Name)
 			}
-			g.AddInPlace(d)
-			tensor.Put(d)
+			scratch[m] = d.Data
+		}
+		nb, err := group.AllReduce(names[k], p.Grad.Data, carried[k].Data, scratch)
+		if err != nil {
+			return bytes, fmt.Errorf("all-reduce of %s: %w", p.Name, err)
+		}
+		bytes += nb
+		for m := range deltas {
+			tensor.Put(deltas[m][k])
 			deltas[m][k] = nil
+			scratch[m] = nil
 		}
 	}
-	return nil
+	return bytes, nil
 }
 
 // snapshotGradDeltas moves one micro-batch's accumulated gradients out of
@@ -65,4 +151,137 @@ func snapshotGradDeltas(params []*nn.Param, dst []*tensor.Matrix) {
 		dst[k] = tensor.GetClone(p.Grad)
 		p.Grad.Zero()
 	}
+}
+
+// kfacFoldScratch is the reusable per-(stage, layer) state of the K-FAC
+// factor collective: part views over the per-micro-batch Gram partials,
+// the 1-element row-count collective's buffers, and the precomputed
+// collective names. Allocated once at EnableKFAC so the factor fold — part
+// of the gated zero-alloc round path — reuses it every generation.
+type kfacFoldScratch struct {
+	parts    [][]float64 // len = local micro-batches per step
+	rowVals  []float64   // per-micro row counts as float64
+	rowParts [][]float64 // rowParts[m] = rowVals[m : m+1]
+	rowDst   [1]float64
+	// Collective names: factor A/B payload folds and their row-count
+	// companions. A layer's names are reused across generations; the
+	// schedule's cross-generation dependency edges order a carried fold
+	// before the newer generation's on every rank, so same-name calls are
+	// issued in one global order.
+	nameA, nameB, nameRA, nameRB string
+}
+
+// initKFACFold (re)builds the per-(stage, layer) factor-fold scratch for
+// the current stage partition. Called from EnableKFAC.
+func (e *Engine) initKFACFold() {
+	perStep := e.cfg.MicroBatches * e.cfg.Replicas
+	e.kfacFold = make([][]*kfacFoldScratch, e.cfg.Stages)
+	for s, st := range e.reps[0].stages {
+		e.kfacFold[s] = make([]*kfacFoldScratch, len(st.layers))
+		for li := range st.layers {
+			fs := &kfacFoldScratch{
+				parts:    make([][]float64, perStep),
+				rowVals:  make([]float64, perStep),
+				rowParts: make([][]float64, perStep),
+				nameA:    fmt.Sprintf("fA/%d/%d", s, li),
+				nameB:    fmt.Sprintf("fB/%d/%d", s, li),
+				nameRA:   fmt.Sprintf("rA/%d/%d", s, li),
+				nameRB:   fmt.Sprintf("rB/%d/%d", s, li),
+			}
+			for m := range fs.rowParts {
+				fs.rowParts[m] = fs.rowVals[m : m+1]
+			}
+			e.kfacFold[s][li] = fs
+		}
+	}
+}
+
+// foldFactor reduces one Kronecker factor over the transport group:
+// scale/N · Σ_m U_m^T U_m with the per-micro-batch partials as collective
+// parts — summed in the fixed ascending global micro-batch order, N the
+// group-wide row count (its own 1-element collective: integer counts sum
+// exactly in float64). The returned matrix is pooled; the caller Puts it
+// after SetFactors copies it out. Partial buffers stay with the caller.
+func (e *Engine) foldFactor(name, rowName string, fs *kfacFoldScratch, parts []*tensor.Matrix, rows []int, scale float64) (*tensor.Matrix, int64, error) {
+	var sum *tensor.Matrix
+	for m, p := range parts {
+		if p == nil {
+			return nil, 0, fmt.Errorf("missing curvature contribution of micro-batch %d", m)
+		}
+		if sum == nil {
+			sum = tensor.Get(p.Rows, p.Cols)
+		}
+		fs.parts[m] = p.Data
+		fs.rowVals[m] = float64(rows[m])
+	}
+	if sum == nil {
+		return nil, 0, fmt.Errorf("no curvature contributions")
+	}
+	bytes, err := e.group.AllReduce(name, sum.Data, nil, fs.parts)
+	if err == nil {
+		var nb int64
+		nb, err = e.group.AllReduce(rowName, fs.rowDst[:], nil, fs.rowParts)
+		bytes += nb
+	}
+	for m := range fs.parts {
+		fs.parts[m] = nil
+	}
+	if err != nil {
+		tensor.Put(sum)
+		return nil, bytes, err
+	}
+	n := fs.rowDst[0]
+	if n == 0 {
+		tensor.Put(sum)
+		return nil, bytes, fmt.Errorf("no curvature rows")
+	}
+	sum.ScaleInPlace(scale / n)
+	return sum, bytes, nil
+}
+
+// syncLoss reduces step j's per-micro-batch losses across the group so
+// every rank reports the global batch's loss — and, because the collective
+// completes only when every rank reaches its step commit, doubles as the
+// per-step cross-rank barrier. Each local micro-batch's loss is encoded as
+// one collective part [Total, Tokens, components in sorted key order], so
+// the chain fold reproduces the exact ascending-global-micro addition
+// sequence of a single-process run's Loss.Add loop; the reduced loss lands
+// in lossParts[j][0] and the other local slots zero out (adding a zero
+// Loss is exact). Multi-rank groups only — the local path's results
+// already see every micro-batch.
+func (st *runState) syncLoss(j int) error {
+	e := st.e
+	local := st.lossParts[j]
+	keys := make([]string, 0, len(local[0].Components))
+	for k := range local[0].Components {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	n := 2 + len(keys)
+	parts := make([][]float64, len(local))
+	for m, l := range local {
+		vec := make([]float64, n)
+		vec[0] = l.Total
+		vec[1] = float64(l.Tokens)
+		for i, k := range keys {
+			vec[2+i] = l.Components[k]
+		}
+		parts[m] = vec
+	}
+	dst := make([]float64, n)
+	if _, err := e.group.AllReduce(fmt.Sprintf("loss/%d", j), dst, nil, parts); err != nil {
+		return fmt.Errorf("loss collective of step %d: %w", j, err)
+	}
+	global := pipemodel.Loss{Total: dst[0], Tokens: int(dst[1])}
+	if len(keys) > 0 {
+		global.Components = make(map[string]float64, len(keys))
+		for i, k := range keys {
+			global.Components[k] = dst[2+i]
+		}
+	}
+	local[0] = global
+	for m := 1; m < len(local); m++ {
+		local[m] = pipemodel.Loss{}
+	}
+	return nil
 }

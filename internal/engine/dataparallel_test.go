@@ -12,6 +12,7 @@ import (
 	"repro/internal/optim"
 	"repro/internal/pipeline"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 // requireGradsBitEqual asserts exact (bit-level) gradient equality — the
@@ -370,6 +371,11 @@ func TestReduceGradsZeroAlloc(t *testing.T) {
 	for m := range deltas {
 		deltas[m] = make([]*tensor.Matrix, len(params))
 	}
+	// The preallocated scratch and names mirror what initCollectives hands
+	// the executor: the loopback fold must stay zero-alloc with them.
+	group := transport.Loopback{}
+	names := []string{"g/0/0", "g/0/1"}
+	scratch := make([][]float64, micros)
 	fill := func() {
 		for k, p := range params {
 			carried[k] = tensor.GetClone(p.Grad)
@@ -388,13 +394,13 @@ func TestReduceGradsZeroAlloc(t *testing.T) {
 	}
 	// Warm the pool.
 	fill()
-	if err := reduceGrads(params, carried, deltas); err != nil {
+	if _, err := foldParams(group, names, scratch, params, carried, deltas); err != nil {
 		t.Fatal(err)
 	}
 	release()
 	allocs := testing.AllocsPerRun(50, func() {
 		fill()
-		if err := reduceGrads(params, carried, deltas); err != nil {
+		if _, err := foldParams(group, names, scratch, params, carried, deltas); err != nil {
 			t.Fatal(err)
 		}
 		release()

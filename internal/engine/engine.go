@@ -55,6 +55,7 @@ import (
 	"repro/internal/pipemodel"
 	"repro/internal/schedule"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 // AdaptiveRefreshSteps, assigned to Config.RefreshSteps, asks the engine to
@@ -81,6 +82,29 @@ type Config struct {
 	// are re-broadcast from the primary at every step and whose gradient
 	// contributions join the per-stage SyncGrad collective.
 	Replicas int
+	// Transport is the collective group every reduction routes through
+	// (nil = the in-process transport.Loopback). A multi-rank group — e.g.
+	// a transport.Ring over sockets — extends data parallelism across
+	// processes: the global width is group size x Replicas, every rank
+	// receives the full global batch and trains its contiguous slice of
+	// each step's micro-batches, and gradients / K-FAC factors / losses
+	// fold across ranks in the same fixed ascending-global-micro order as
+	// in-process, so results stay bit-identical to a single-process run of
+	// the same global width. All ranks must build identical models and
+	// engines (verified by a shape handshake at construction) and feed
+	// identical batches.
+	Transport transport.Group
+	// ShardParams enables ZeRO-style parameter sharding across the
+	// in-process replica axis: each secondary replica keeps resident only
+	// the contiguous-stage parameters it owns (greedy 1/W split by size)
+	// and gathers the rest from the primary on use — at forward/backward
+	// entry of each stage, released when the op exits — cutting a
+	// secondary replica's resident parameter bytes by roughly (W-1)/W.
+	// The primary replica stays full: it is the gather source, the
+	// optimizer's target, and the checkpoint subject, so the training
+	// math (and its bit-identity guarantees) is unchanged. Requires
+	// Replicas >= 2.
+	ShardParams bool
 	// InversionParallel shards each stage's K-FAC inversion units
 	// round-robin across the stage's device group — the replica group for
 	// gpipe/1f1b, the bidirectional pairs for chimera — instead of every
@@ -192,6 +216,9 @@ func (c Config) normalize() (Config, error) {
 	if c.Replicas == 0 {
 		c.Replicas = 1
 	}
+	if c.ShardParams && c.Replicas < 2 {
+		return c, fmt.Errorf("engine: ShardParams shards across the replica axis and needs Replicas >= 2, got %d", c.Replicas)
+	}
 	if c.Workers < 0 {
 		return c, fmt.Errorf("engine: Workers must be non-negative, got %d", c.Workers)
 	}
@@ -264,6 +291,30 @@ type Engine struct {
 	// different devices of a stage's replica group can invert different
 	// layers concurrently under InversionParallel.
 	layerMu [][]sync.Mutex
+
+	// group is the collective transport every reduction routes through:
+	// Config.Transport, or the zero-cost in-process Loopback when none was
+	// configured (collective.go). multiRank caches group.Size() > 1 — the
+	// flag that turns on the cross-rank batch slicing, the per-step loss
+	// collective, and the initial parameter broadcast.
+	group     transport.Group
+	multiRank bool
+	// foldScratch[s] is the reusable part-view slice of stage s's gradient
+	// collective (one slot per local micro-batch of a step) and
+	// foldNames[s][k] the precomputed collective name of the stage's k-th
+	// parameter — preallocated so the loopback steady state allocates
+	// nothing. Safe per stage: one stage's gradient folds are serialized
+	// by the step-commit barriers, and concurrent folds (chimera's mirror
+	// stage, different stages) use different slots.
+	foldScratch [][][]float64
+	foldNames   [][]string
+	// kfacFold[s][li] is the factor collective's reusable scratch
+	// (collective.go), allocated at EnableKFAC. A-then-B folds of one
+	// layer run sequentially under layerMu[s][li] and share the scratch.
+	kfacFold [][]*kfacFoldScratch
+	// shard is the ZeRO-style parameter-sharding state (shard.go), nil
+	// unless Config.ShardParams.
+	shard *shardState
 
 	sched *pipeline.Schedule
 
@@ -389,6 +440,15 @@ func NewWithConfig(model pipemodel.Model, cfg Config) (*Engine, error) {
 	e.stageMu = make([][]sync.Mutex, cfg.Replicas)
 	for r := range e.stageMu {
 		e.stageMu[r] = make([]sync.Mutex, cfg.Stages)
+	}
+	e.initCollectives()
+	if e.multiRank {
+		if err := e.syncInitialParams(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ShardParams {
+		e.initShards()
 	}
 	if err := e.rebuildSchedule(); err != nil {
 		return nil, err
@@ -530,6 +590,25 @@ func (e *Engine) execCosts() pipeline.StageCosts {
 	}
 	if e.cfg.Replicas > 1 {
 		c.SyncGrad = 60
+		if e.multiRank {
+			// Cross-rank gradient folds go over a wire: model the widest
+			// stage's all-reduce with the chunked-chain cost (floored at the
+			// in-process estimate) so the packer sees the real proportions.
+			var maxFloats int
+			for _, params := range e.reps[0].stageParams {
+				var n int
+				for _, p := range params {
+					n += p.NumElements()
+				}
+				if n > maxFloats {
+					maxFloats = n
+				}
+			}
+			chunks := (maxFloats + transport.DefaultChunkFloats - 1) / transport.DefaultChunkFloats
+			if t := hardware.ChainAllReduceCost(int64(maxFloats)*8, e.group.Size(), chunks, hardware.DefaultInterconnect); t > c.SyncGrad {
+				c.SyncGrad = t
+			}
+		}
 	}
 	if e.cfg.Replicas > 1 || e.cfg.InversionParallel {
 		c.SyncCurvature = 20
@@ -651,6 +730,7 @@ func (e *Engine) EnableKFAC(opts kfac.Options, refreshEvery int) error {
 		e.kfacPre[s] = kfac.NewPreconditioner(st.layers, opts)
 		e.layerMu[s] = make([]sync.Mutex, len(st.layers))
 	}
+	e.initKFACFold()
 	// Replica layers capture the same statistics as the primary's: their
 	// micro-batches contribute to the shared per-stage factors.
 	for _, rep := range e.reps[1:] {
@@ -808,25 +888,34 @@ func (e *Engine) TrainRound(batches []*data.Batch) ([]*StepResult, error) {
 	if r > 1 && e.optApply == nil {
 		return nil, fmt.Errorf("engine: multi-step rounds need SetOptimizer: the update fires once per step inside the round")
 	}
-	n := e.cfg.MicroBatches * e.cfg.Replicas
+	// Every rank of a multi-rank group receives the full global batch and
+	// trains its contiguous slice of the step's micro-batches — rank g of
+	// W_g ranks running R replicas owns global micros [g*R*M, (g+1)*R*M).
+	// Loss denominators (and K-FAC totals) are computed over ALL global
+	// micro-batches, so every rank scales its contributions exactly as the
+	// single-process run of the same global width does.
+	nLocal := e.cfg.MicroBatches * e.cfg.Replicas
+	n := nLocal * e.group.Size()
+	rank := e.group.Rank()
 	micro := make([][]*data.Batch, r)
 	totals := make([]pipemodel.Totals, r)
 	for j, batch := range batches {
 		if batch.BatchSize%n != 0 {
-			return nil, fmt.Errorf("engine: batch size %d not divisible by %d micro-batches (%d per replica x %d replicas)",
-				batch.BatchSize, n, e.cfg.MicroBatches, e.cfg.Replicas)
+			return nil, fmt.Errorf("engine: batch size %d not divisible by %d micro-batches (%d per replica x %d replicas x %d ranks)",
+				batch.BatchSize, n, e.cfg.MicroBatches, e.cfg.Replicas, e.group.Size())
 		}
 		if batch.SeqLen != e.reps[0].model.SeqLen() {
 			return nil, fmt.Errorf("engine: batch seq len %d != model %d", batch.SeqLen, e.reps[0].model.SeqLen())
 		}
-		micro[j] = splitBatch(batch, n)
+		all := splitBatch(batch, n)
 		// Each step's global loss denominators must be known before any of
 		// its backwards starts (they are known after data loading: masking
 		// is part of the batch).
 		totals[j] = pipemodel.Totals{Seqs: batch.BatchSize}
-		for _, mb := range micro[j] {
+		for _, mb := range all {
 			totals[j].Tokens += e.reps[0].model.BatchTokenCount(mb)
 		}
+		micro[j] = all[rank*nLocal : (rank+1)*nLocal]
 	}
 	// The round checkpoint is taken before anything mutates state — at
 	// this point the engine is exactly as the previous round's commit left
@@ -858,6 +947,11 @@ func (e *Engine) TrainRound(batches []*data.Batch) ([]*StepResult, error) {
 	if e.kfacPre != nil {
 		pending = e.carryQ
 	}
+
+	// Open a fresh transport epoch: clears any abort of a previous failed
+	// round so a checkpoint replay's collectives run clean (every rank
+	// calls TrainRound in lockstep, so epochs stay aligned group-wide).
+	e.group.BeginRound()
 
 	// Broadcast the primary's parameters to every replica: the round's
 	// first step starts from identical weights (later steps re-broadcast
@@ -940,10 +1034,17 @@ func (e *Engine) TrainRound(batches []*data.Batch) ([]*StepResult, error) {
 
 // broadcastParams copies the primary's parameters to every replica — the
 // start-of-step weight broadcast of the data-parallel group, used by the
-// round prologue and the step-commit barrier alike.
+// round prologue and the step-commit barrier alike. Under ShardParams only
+// a secondary replica's resident (owned) parameters are copied; the rest
+// have no storage until gathered on use, and the gather reads the primary
+// directly, which this broadcast keeps authoritative.
 func (e *Engine) broadcastParams() error {
+	cp := nn.CopyParams
+	if e.shard != nil {
+		cp = nn.CopyParamsResident
+	}
 	for rep := 1; rep < len(e.reps); rep++ {
-		if err := nn.CopyParams(e.reps[rep].params, e.reps[0].params); err != nil {
+		if err := cp(e.reps[rep].params, e.reps[0].params); err != nil {
 			return fmt.Errorf("broadcasting params to replica %d: %w", rep, err)
 		}
 	}

@@ -149,7 +149,14 @@ func (st *runState) fail(d int, err error) {
 	}
 	st.failMu.Unlock()
 	st.failed.Store(true)
-	st.abortOnce.Do(func() { close(st.abortC) })
+	st.abortOnce.Do(func() {
+		close(st.abortC)
+		// Poison the transport epoch so peers blocked in a collective this
+		// rank will never complete fail promptly with the attributed reason
+		// (and replay from checkpoint in lockstep) instead of hanging. No-op
+		// on the loopback group.
+		st.e.group.Abort(err)
+	})
 }
 
 // runRound executes the engine's schedule once — all RefreshSteps steps of
@@ -421,9 +428,12 @@ func (st *runState) rollback() {
 // foldStages performs the gradient collective of every stage the op's
 // device participates in — for the op's step — exactly once per (step,
 // stage) (Once.Do blocks the other participants until the reduction
-// finished — the rendezvous of the all-reduce). A chimera device hosts two
-// stages and syncs both; every other topology syncs the op's own stage.
-func (st *runState) foldStages(op *pipeline.Op) error {
+// finished — the rendezvous of the all-reduce), routed through the
+// engine's transport group. A chimera device hosts two stages and syncs
+// both; every other topology syncs the op's own stage. Returns the bytes
+// this call actually put on the wire (zero for a latecomer that only
+// waited on another participant's fold).
+func (st *runState) foldStages(op *pipeline.Op) (int64, error) {
 	stages := []int{op.Stage}
 	if st.e.cfg.Method == "chimera" {
 		if up := st.e.cfg.Stages - 1 - op.Stage; up != op.Stage {
@@ -431,16 +441,20 @@ func (st *runState) foldStages(op *pipeline.Op) error {
 		}
 	}
 	j := op.Step
+	var bytes int64
 	for _, s := range stages {
 		s := s
 		st.foldDone[j][s].Do(func() {
-			st.foldErr[j][s] = reduceGrads(st.e.reps[0].stageParams[s], st.carried[j][s], st.deltas[j][s])
+			var nb int64
+			nb, st.foldErr[j][s] = foldParams(st.e.group, st.e.foldNames[s], st.e.foldScratch[s],
+				st.e.reps[0].stageParams[s], st.carried[j][s], st.deltas[j][s])
+			bytes += nb
 		})
 		if st.foldErr[j][s] != nil {
-			return fmt.Errorf("gradient collective of stage %d step %d: %w", s, j, st.foldErr[j][s])
+			return bytes, fmt.Errorf("gradient collective of stage %d step %d: %w", s, j, st.foldErr[j][s])
 		}
 	}
-	return nil
+	return bytes, nil
 }
 
 // arriveOptBarrier joins the op's step-commit barrier. The last OptStep of
@@ -480,6 +494,16 @@ func (st *runState) arriveOptBarrier(d int, op *pipeline.Op) error {
 // primary parameters re-broadcast to every replica.
 func (st *runState) commitStep(j int) error {
 	e := st.e
+	if e.multiRank {
+		// Reduce the step's loss across the group before anything commits:
+		// every rank then reports the global batch's loss, and — because a
+		// NaN anywhere in the group lands in every rank's reduced loss — the
+		// health scan below aborts symmetrically on all ranks, keeping their
+		// step counts (and checkpoint replays) in lockstep.
+		if err := st.syncLoss(j); err != nil {
+			return err
+		}
+	}
 	if e.inj != nil {
 		// Fault plans can corrupt activations, deltas, or accumulators with
 		// NaN; committing a poisoned step would destroy the parameters with
@@ -542,10 +566,11 @@ func (st *runState) exec(d int, op *pipeline.Op) error {
 		return st.precondition(d, op)
 	case pipeline.SyncGrad:
 		t0 := time.Since(st.start)
-		if err := st.foldStages(op); err != nil {
+		bytes, err := st.foldStages(op)
+		if err != nil {
 			return err
 		}
-		st.record(d, op, t0)
+		st.recordComm(d, op, t0, bytes)
 		return nil
 	case pipeline.OptStep:
 		// The last anchor of the stage's step tail: on W = 1 non-K-FAC
@@ -556,13 +581,14 @@ func (st *runState) exec(d int, op *pipeline.Op) error {
 		// optimizer callback and broadcast, keeping executed timelines
 		// honest about where step-boundary time goes.
 		t0 := time.Since(st.start)
-		if err := st.foldStages(op); err != nil {
+		bytes, err := st.foldStages(op)
+		if err != nil {
 			return err
 		}
 		if err := st.arriveOptBarrier(d, op); err != nil {
 			return err
 		}
-		st.record(d, op, t0)
+		st.recordComm(d, op, t0, bytes)
 		return nil
 	case pipeline.SyncCurvature:
 		// Like Curvature/Inversion, the exchange only happens for a live
@@ -590,6 +616,12 @@ func (st *runState) forward(d int, op *pipeline.Op) error {
 	mb := st.micro[op.Step][st.gmicro(op)]
 	st.e.stageMu[op.Replica][s].Lock()
 	defer st.e.stageMu[op.Replica][s].Unlock()
+	if st.e.shard != nil {
+		// ZeRO gather-on-use: attach the stage's non-owned parameter values
+		// for the duration of this op (released before the lock drops).
+		st.e.gatherStage(op.Replica, s, false)
+		defer st.e.releaseStage(op.Replica, s)
+	}
 	t0 := time.Since(st.start)
 
 	var x *tensor.Matrix
@@ -649,6 +681,14 @@ func (st *runState) backward(d int, op *pipeline.Op) error {
 	mb := st.micro[op.Step][st.gmicro(op)]
 	st.e.stageMu[op.Replica][s].Lock()
 	defer st.e.stageMu[op.Replica][s].Unlock()
+	if st.e.shard != nil {
+		// ZeRO gather-on-use, backward form: values for the recompute plus
+		// zeroed gradient accumulators — the delta snapshot below moves the
+		// accumulated contribution out before the release returns the
+		// buffers to the pool.
+		st.e.gatherStage(op.Replica, s, true)
+		defer st.e.releaseStage(op.Replica, s)
+	}
 	t0 := time.Since(st.start)
 
 	var x *tensor.Matrix
@@ -786,8 +826,10 @@ func (st *runState) inversion(d int, op *pipeline.Op, pool *kfacGenPool) error {
 	st.e.layerMu[s][li].Lock()
 	defer st.e.layerMu[s][li].Unlock()
 	t0 := time.Since(st.start)
+	var bytes int64
 	if !pool.folded[s][li] {
-		newA, err := sumFactor(pool.curvA[s][li], pool.rowsA[s][li], 1)
+		fs := st.e.kfacFold[s][li]
+		newA, nbA, err := st.e.foldFactor(fs.nameA, fs.nameRA, fs, pool.curvA[s][li], pool.rowsA[s][li], 1)
 		if err != nil {
 			return fmt.Errorf("factor A of layer %d: %w", li, err)
 		}
@@ -795,10 +837,12 @@ func (st *runState) inversion(d int, op *pipeline.Op, pool *kfacGenPool) error {
 		// generation's own statistics batch (its collect round's first
 		// step), not the folding round's.
 		scale := st.e.reps[0].model.KFACLossScale(pool.totals)
-		newB, err := sumFactor(pool.curvB[s][li], pool.rowsB[s][li], scale*scale)
+		newB, nbB, err := st.e.foldFactor(fs.nameB, fs.nameRB, fs, pool.curvB[s][li], pool.rowsB[s][li], scale*scale)
 		if err != nil {
+			tensor.Put(newA)
 			return fmt.Errorf("factor B of layer %d: %w", li, err)
 		}
+		bytes = nbA + nbB
 		if st.e.inj != nil && (newA.HasNaN() || newB.HasNaN()) {
 			// Corrupted partials must not poison the preconditioner's EMA —
 			// SetFactors folds into long-lived state no retry could repair.
@@ -831,33 +875,8 @@ func (st *runState) inversion(d int, op *pipeline.Op, pool *kfacGenPool) error {
 	if err := st.e.kfacPre[s].InvertFactor(li, factorB); err != nil {
 		return err
 	}
-	st.record(d, op, t0)
+	st.recordComm(d, op, t0, bytes)
 	return nil
-}
-
-// sumFactor folds per-micro-batch partial products into one factor:
-// scale/N · Σ_m U_m^T U_m, summed in ascending global micro-batch order
-// for determinism across replica counts and schedules. The returned matrix
-// is pooled; the caller Puts it after SetFactors copies it out.
-func sumFactor(parts []*tensor.Matrix, rows []int, scale float64) (*tensor.Matrix, error) {
-	var sum *tensor.Matrix
-	var n int
-	for m, p := range parts {
-		if p == nil {
-			return nil, fmt.Errorf("missing curvature contribution of micro-batch %d", m)
-		}
-		if sum == nil {
-			sum = tensor.Get(p.Rows, p.Cols)
-			sum.Zero()
-		}
-		sum.AddInPlace(p)
-		n += rows[m]
-	}
-	if sum == nil || n == 0 {
-		return nil, fmt.Errorf("no curvature contributions")
-	}
-	sum.ScaleInPlace(scale / float64(n))
-	return sum, nil
 }
 
 // precondition rewrites the stage's gradients with the cached K-FAC
@@ -877,7 +896,8 @@ func (st *runState) precondition(d int, op *pipeline.Op) error {
 	// gradient reduction this op anchors on W = 1 schedules, not only the
 	// inverse application.
 	t0 := time.Since(st.start)
-	if err := st.foldStages(op); err != nil {
+	bytes, err := st.foldStages(op)
+	if err != nil {
 		return err
 	}
 	if st.e.kfacPre == nil || op.Replica != 0 {
@@ -887,13 +907,22 @@ func (st *runState) precondition(d int, op *pipeline.Op) error {
 	st.e.stageMu[0][s].Lock()
 	defer st.e.stageMu[0][s].Unlock()
 	st.e.kfacPre[s].Precondition()
-	st.record(d, op, t0)
+	st.recordComm(d, op, t0, bytes)
 	return nil
 }
 
 // record appends a measured event for op, ending now.
 func (st *runState) record(d int, op *pipeline.Op, t0 time.Duration) {
 	st.recordKind(d, op.Kind, op, t0, time.Since(st.start))
+}
+
+// recordComm appends a measured event that moved bytes over the collective
+// transport (zero on loopback groups and for latecomers to a shared fold —
+// the recorded column is bytes THIS op put on the wire).
+func (st *runState) recordComm(d int, op *pipeline.Op, t0 time.Duration, bytes int64) {
+	st.recordKind(d, op.Kind, op, t0, time.Since(st.start))
+	evs := st.events[d]
+	evs[len(evs)-1].Bytes = bytes
 }
 
 // recordKind appends a measured event, possibly under a different kind

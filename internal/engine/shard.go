@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// ZeRO-style parameter sharding across the in-process replica axis
+// (Config.ShardParams). Each stage's parameters are partitioned across the
+// W replicas — greedy by size, largest first, onto the least-loaded owner —
+// and every secondary replica detaches the storage of the parameters it
+// does not own (Matrix.Data = nil; the headers keep their shapes). The
+// primary replica stays full: it is the master copy the optimizer updates,
+// the checkpoint subject, and the gather source.
+//
+// Gather-on-use: a secondary replica's forward or backward op re-attaches
+// pooled buffers for its stage's non-owned parameters on entry — values
+// copied from the primary (bit-identical to what the per-step broadcast
+// would have put there), gradient accumulators zeroed — and releases them
+// back to the pool when the op exits. The attach mutates Matrix.Data in
+// place because the replica's modules hold the very *Matrix headers that
+// were detached. All of it runs under the (replica, stage) lock that
+// already serializes every touch of those modules, and the per-micro-batch
+// gradient snapshot runs before the op exits, so the training math — and
+// the fixed collective fold order — is unchanged: sharding only changes
+// how long a secondary replica's parameter bytes stay resident.
+
+// shardState is the engine's sharding bookkeeping: the owner map and, per
+// (secondary replica, stage, param), the pooled buffer attached while a
+// gather is live (nil when detached or owned).
+type shardState struct {
+	// owner[s][k] is the replica that keeps stage s's k-th parameter
+	// resident (indices align with replica.stageParams[s]).
+	owner [][]int
+	// vals[r][s][k] / grads[r][s][k] hold the pooled matrices backing a
+	// live gather on replica r (r >= 1); guarded by stageMu[r][s].
+	vals  [][][]*tensor.Matrix
+	grads [][][]*tensor.Matrix
+}
+
+// initShards partitions every stage's parameters across the replica axis
+// and detaches the non-owned storage of each secondary replica. Called
+// once from NewWithConfig when Config.ShardParams is set.
+func (e *Engine) initShards() {
+	w := e.cfg.Replicas
+	sh := &shardState{
+		owner: make([][]int, e.cfg.Stages),
+		vals:  make([][][]*tensor.Matrix, w),
+		grads: make([][][]*tensor.Matrix, w),
+	}
+	for s, params := range e.reps[0].stageParams {
+		// Greedy balance: place parameters largest-first on the currently
+		// least-loaded replica — deterministic (stable sort, lowest-index
+		// tie-break), near-even by bytes even when one embedding dwarfs the
+		// rest of the stage.
+		order := make([]int, len(params))
+		for k := range order {
+			order[k] = k
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			return params[order[i]].NumElements() > params[order[j]].NumElements()
+		})
+		load := make([]int, w)
+		owner := make([]int, len(params))
+		for _, k := range order {
+			pick := 0
+			for r := 1; r < w; r++ {
+				if load[r] < load[pick] {
+					pick = r
+				}
+			}
+			owner[k] = pick
+			load[pick] += params[k].NumElements()
+		}
+		sh.owner[s] = owner
+	}
+	for r := 1; r < w; r++ {
+		sh.vals[r] = make([][]*tensor.Matrix, e.cfg.Stages)
+		sh.grads[r] = make([][]*tensor.Matrix, e.cfg.Stages)
+		for s, params := range e.reps[r].stageParams {
+			sh.vals[r][s] = make([]*tensor.Matrix, len(params))
+			sh.grads[r][s] = make([]*tensor.Matrix, len(params))
+			for k, p := range params {
+				if sh.owner[s][k] != r {
+					p.Value.Data = nil
+					p.Grad.Data = nil
+				}
+			}
+		}
+	}
+	e.shard = sh
+}
+
+// gatherStage attaches pooled storage to replica r's non-owned stage-s
+// parameters: values copied from the primary, and — for backward ops —
+// zeroed gradient accumulators. Must run under stageMu[r][s]. No-op for
+// the primary replica and for unsharded engines.
+func (e *Engine) gatherStage(r, s int, withGrads bool) {
+	sh := e.shard
+	if sh == nil || r == 0 {
+		return
+	}
+	params := e.reps[r].stageParams[s]
+	prim := e.reps[0].stageParams[s]
+	for k, p := range params {
+		if sh.owner[s][k] == r {
+			continue
+		}
+		if p.Value.Data == nil {
+			m := tensor.Get(p.Value.Rows, p.Value.Cols)
+			copy(m.Data, prim[k].Value.Data)
+			p.Value.Data = m.Data
+			sh.vals[r][s][k] = m
+		}
+		if withGrads && p.Grad.Data == nil {
+			g := tensor.Get(p.Grad.Rows, p.Grad.Cols)
+			g.Zero()
+			p.Grad.Data = g.Data
+			sh.grads[r][s][k] = g
+		}
+	}
+}
+
+// releaseStage detaches replica r's gathered stage-s parameters again and
+// returns their buffers to the pool. Must run under stageMu[r][s], after
+// the op consumed the parameters (for backward: after the gradient
+// snapshot moved the accumulated deltas out).
+func (e *Engine) releaseStage(r, s int) {
+	sh := e.shard
+	if sh == nil || r == 0 {
+		return
+	}
+	params := e.reps[r].stageParams[s]
+	for k, p := range params {
+		if m := sh.vals[r][s][k]; m != nil {
+			p.Value.Data = nil
+			sh.vals[r][s][k] = nil
+			tensor.Put(m)
+		}
+		if g := sh.grads[r][s][k]; g != nil {
+			p.Grad.Data = nil
+			sh.grads[r][s][k] = nil
+			tensor.Put(g)
+		}
+	}
+}
+
+// ShardStats reports the parameter-residency accounting of a ShardParams
+// engine, summed over the secondary replicas (the primary is always
+// full): FullBytes is what they would hold unsharded (values plus
+// gradient accumulators), ResidentBytes what they hold steady-state with
+// sharding on. Resident/Full approaches 1/W as the per-stage split evens
+// out. ok is false when sharding is not enabled.
+func (e *Engine) ShardStats() (full, resident int64, ok bool) {
+	if e.shard == nil {
+		return 0, 0, false
+	}
+	for r := 1; r < e.cfg.Replicas; r++ {
+		for s, params := range e.reps[r].stageParams {
+			for k, p := range params {
+				b := int64(p.NumElements()) * 8 * 2 // value + grad
+				full += b
+				if e.shard.owner[s][k] == r {
+					resident += b
+				}
+			}
+		}
+	}
+	return full, resident, true
+}

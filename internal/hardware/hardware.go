@@ -162,3 +162,23 @@ func (ic Interconnect) AllReduceTime(bytes float64, n int) Microseconds {
 func (ic Interconnect) P2PTime(bytes float64) Microseconds {
 	return ic.LatencyUS + Microseconds(bytes/ic.Bandwidth*1e6)
 }
+
+// ChainAllReduceCost models the chunked chain all-reduce the wire transport
+// runs: a reduce pass rank 0 -> W-1 followed by a distribution pass, each
+// crossing W-1 links, with the payload cut into chunks so link transfers of
+// one chunk pipeline against the fold of the next. The pipelined transfer
+// time is (2(W-1) + chunks - 1) chunk slots at bytes/chunks each, plus the
+// per-hop message latency; more chunks amortize the serialization until the
+// per-chunk latency dominates.
+func ChainAllReduceCost(bytes int64, ranks, chunks int, ic Interconnect) Microseconds {
+	if ranks <= 1 || bytes <= 0 {
+		return 0
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	hops := 2 * (ranks - 1)
+	chunkBytes := float64(bytes) / float64(chunks)
+	transfer := Microseconds(float64(hops+chunks-1) * chunkBytes / ic.Bandwidth * 1e6)
+	return transfer + ic.LatencyUS*Microseconds(hops)
+}

@@ -85,6 +85,40 @@ func TestAllReduceTime(t *testing.T) {
 	}
 }
 
+// The chunked chain all-reduce must demonstrably pipeline: at gradient
+// bucket scale the chunked form (transport default: 64 KiB chunks) beats
+// the single-message chain by at least 1.3x for every ring size, and the
+// advantage grows with the payload (more chunks to overlap) until per-chunk
+// latency takes over. Wall-clock confirmation needs a multi-core host
+// (BenchmarkAllReduce); this pins the model the scheduler and auto-tuner
+// rank transports with.
+func TestChainAllReduceChunkingPipelines(t *testing.T) {
+	ic := DefaultInterconnect
+	const chunkBytes = 8192 * 8 // transport.DefaultChunkFloats float64s
+	for _, ranks := range []int{2, 4, 8} {
+		for _, mb := range []int64{1, 4, 16} {
+			bytes := mb << 20
+			chunks := int(bytes / chunkBytes)
+			chunked := ChainAllReduceCost(bytes, ranks, chunks, ic)
+			single := ChainAllReduceCost(bytes, ranks, 1, ic)
+			if chunked <= 0 || single <= 0 {
+				t.Fatalf("W=%d %dMiB: non-positive cost (chunked %d, single %d)", ranks, mb, chunked, single)
+			}
+			if ratio := float64(single) / float64(chunked); ratio < 1.3 {
+				t.Fatalf("W=%d %dMiB: chunked %dus vs single-message %dus — only %.2fx, want >= 1.3x",
+					ranks, mb, chunked, single, ratio)
+			}
+		}
+	}
+	// Degenerate inputs stay sane: one rank or nothing to send costs nothing.
+	if got := ChainAllReduceCost(1<<20, 1, 16, ic); got != 0 {
+		t.Fatalf("single-rank all-reduce must be free, got %d", got)
+	}
+	if got := ChainAllReduceCost(0, 4, 16, ic); got != 0 {
+		t.Fatalf("empty all-reduce must be free, got %d", got)
+	}
+}
+
 func TestP2PTime(t *testing.T) {
 	ic := DefaultInterconnect
 	small := ic.P2PTime(1e3)

@@ -75,6 +75,28 @@ func CopyParams(dst, src []*Param) error {
 	return nil
 }
 
+// CopyParamsResident copies src parameter values into the dst params that
+// currently have storage, skipping dst params whose Value was detached
+// (Data == nil) — the broadcast primitive for ZeRO-style sharded replicas,
+// which keep only their owned shard resident and gather the rest on use.
+func CopyParamsResident(dst, src []*Param) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("nn: CopyParamsResident length mismatch: %d vs %d params", len(dst), len(src))
+	}
+	for i, d := range dst {
+		if d.Value.Data == nil {
+			continue
+		}
+		s := src[i]
+		if d.Value.Rows != s.Value.Rows || d.Value.Cols != s.Value.Cols {
+			return fmt.Errorf("nn: CopyParamsResident shape mismatch at %q: %dx%d vs %dx%d",
+				d.Name, d.Value.Rows, d.Value.Cols, s.Value.Rows, s.Value.Cols)
+		}
+		d.Value.CopyFrom(s.Value)
+	}
+	return nil
+}
+
 // NumParameters sums the element counts of params.
 func NumParameters(params []*Param) int {
 	var n int

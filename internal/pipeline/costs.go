@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/hardware"
+	"repro/internal/transport"
 )
 
 // StageCosts models the execution times of all work kinds for one pipeline
@@ -58,6 +59,12 @@ type CostConfig struct {
 	// Interconnect models the collective fabric; zero value uses
 	// hardware.DefaultInterconnect.
 	Interconnect hardware.Interconnect
+	// Transport selects the collective cost model: "" or "loopback" prices
+	// sync-grad/sync-curvature with the flat alpha-beta all-reduce, "ring"
+	// with the chunked chain model of the socket transport
+	// (hardware.ChainAllReduceCost at the transport's default chunk size) —
+	// so simulated schedules and the auto-tuner rank transports too.
+	Transport string
 	// Recompute enables activation recomputation: forward activations are
 	// recomputed during backward, making backward cost fwd+bwd.
 	Recompute bool
@@ -143,8 +150,27 @@ func CostsFor(cfg CostConfig) (StageCosts, error) {
 	})
 
 	if cfg.DataParallelWidth > 1 {
-		costs.SyncGrad = ic.AllReduceTime(paramBytes, cfg.DataParallelWidth)
-		costs.SyncCurvature = ic.AllReduceTime(a.BlockCurvatureBytes()*blocks, cfg.DataParallelWidth)
+		curvBytes := a.BlockCurvatureBytes() * blocks
+		switch cfg.Transport {
+		case "", "loopback":
+			costs.SyncGrad = ic.AllReduceTime(paramBytes, cfg.DataParallelWidth)
+			costs.SyncCurvature = ic.AllReduceTime(curvBytes, cfg.DataParallelWidth)
+		case "ring":
+			costs.SyncGrad = hardware.ChainAllReduceCost(int64(paramBytes), cfg.DataParallelWidth, ringChunks(paramBytes), ic)
+			costs.SyncCurvature = hardware.ChainAllReduceCost(int64(curvBytes), cfg.DataParallelWidth, ringChunks(curvBytes), ic)
+		default:
+			return StageCosts{}, fmt.Errorf("pipeline: unknown collective transport %q (want loopback or ring)", cfg.Transport)
+		}
 	}
 	return costs, nil
+}
+
+// ringChunks is the chunk count the ring transport would cut a payload of
+// the given size into at its default chunk granularity.
+func ringChunks(bytes float64) int {
+	c := int(bytes / (8 * transport.DefaultChunkFloats))
+	if c < 1 {
+		c = 1
+	}
+	return c
 }

@@ -17,6 +17,11 @@ type Event struct {
 	// Always 0 in simulated timelines; the execution engine sets it when
 	// a side-path op succeeded only after retry-with-backoff.
 	Retries int
+	// Bytes counts the bytes this op put on the collective transport's
+	// wire. Always 0 in simulated timelines and on in-process (loopback)
+	// collectives; the execution engine sets it on ops that performed a
+	// cross-rank fold over a wire transport.
+	Bytes int64
 }
 
 // Duration returns End - Start.

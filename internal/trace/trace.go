@@ -139,19 +139,21 @@ func RenderASCII(w io.Writer, tl *pipeline.Timeline, width int) error {
 }
 
 // WriteCSV exports the timeline events as CSV rows
-// (device,kind,stage,replica,micro,step,generation,retries,start_us,end_us)
-// for external plotting. Generation marks carried refresh ops of overlapped
-// rounds; retries counts the failed attempts a fault-tolerant execution
-// needed before the op succeeded (0 in simulated timelines and fault-free
-// runs).
+// (device,kind,stage,replica,micro,step,generation,retries,start_us,end_us,
+// bytes_on_wire) for external plotting. Generation marks carried refresh
+// ops of overlapped rounds; retries counts the failed attempts a
+// fault-tolerant execution needed before the op succeeded (0 in simulated
+// timelines and fault-free runs); bytes_on_wire is what the op's collective
+// put on a wire transport (0 for compute ops, simulated timelines, and
+// in-process collectives).
 func WriteCSV(w io.Writer, tl *pipeline.Timeline) error {
-	if _, err := fmt.Fprintln(w, "device,kind,stage,replica,micro_batch,step,generation,retries,start_us,end_us"); err != nil {
+	if _, err := fmt.Fprintln(w, "device,kind,stage,replica,micro_batch,step,generation,retries,start_us,end_us,bytes_on_wire"); err != nil {
 		return err
 	}
 	for d := 0; d < tl.Devices; d++ {
 		for _, e := range tl.Events[d] {
-			if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%d,%d,%d\n",
-				d, e.Op.Kind, e.Op.Stage, e.Op.Replica, e.Op.MicroBatch, e.Op.Step, e.Op.Generation, e.Retries, e.Start, e.End); err != nil {
+			if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				d, e.Op.Kind, e.Op.Stage, e.Op.Replica, e.Op.MicroBatch, e.Op.Step, e.Op.Generation, e.Retries, e.Start, e.End, e.Bytes); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,57 @@
+package transport
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// NewLocalRing spins up a complete in-process ring group over Unix-domain
+// sockets in a fresh temp directory and returns one *Ring per rank. It
+// exists for tests and benchmarks: the resulting groups exercise the full
+// wire path (frames, chunking, reader goroutines) without needing separate
+// processes. Close every returned ring when done; the socket directory is
+// removed when the last one closes.
+func NewLocalRing(size, chunkFloats int) ([]*Ring, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("transport: local ring needs at least 2 ranks, got %d", size)
+	}
+	dir, err := os.MkdirTemp("", "ring")
+	if err != nil {
+		return nil, err
+	}
+	addrs := make([]string, size)
+	for i := range addrs {
+		addrs[i] = "unix:" + filepath.Join(dir, fmt.Sprintf("r%d.sock", i))
+	}
+	rings := make([]*Ring, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for i := 0; i < size; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rings[i], errs[i] = DialRing(addrs, i, RingOptions{ChunkFloats: chunkFloats})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, r := range rings {
+				if r != nil {
+					r.Close()
+				}
+			}
+			os.RemoveAll(dir)
+			return nil, err
+		}
+	}
+	// Tie directory cleanup to the rings going away.
+	var once sync.Once
+	cleanup := func() { once.Do(func() { os.RemoveAll(dir) }) }
+	for _, r := range rings {
+		r.onClose = cleanup
+	}
+	return rings, nil
+}

@@ -1,0 +1,754 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultChunkFloats is the default pipelining granularity of the ring
+// transport: collectives are cut into chunks of this many float64 values,
+// so while one rank folds chunk c its neighbor is already receiving chunk
+// c+1 — the link/fold overlap that makes the chunked chain all-reduce beat
+// a single-message exchange.
+const DefaultChunkFloats = 8192
+
+// RingOptions configures DialRing.
+type RingOptions struct {
+	// ChunkFloats is the pipelining chunk size in float64 elements
+	// (DefaultChunkFloats when <= 0). A value at least as large as every
+	// collective disables pipelining — the un-chunked single-message mode
+	// the benchmarks compare against.
+	ChunkFloats int
+	// DialTimeout bounds how long DialRing retries connecting to the next
+	// rank (10s when 0) — group members start in arbitrary order.
+	DialTimeout time.Duration
+}
+
+// Ring is one rank of a socket ring group. Collectives run as chunked
+// chain operations over the ring's directed links (rank r sends only to
+// r+1 mod W and receives only from r-1 mod W):
+//
+//   - Reduce pass: for each chunk, rank 0 folds base + its own parts
+//     (ascending) and sends the partial to rank 1; every following rank
+//     adds its own parts in ascending order and passes the partial on.
+//     Rank W-1 completes the chunk — having folded base, then every
+//     rank's parts in ascending (rank, part) order, the package's fold
+//     contract realized on a wire.
+//   - Distribution pass: the completed chunk continues around the ring
+//     (W-1 -> 0 -> 1 -> ... -> W-2), each rank copying it into dst.
+//
+// Chunks pipeline through both passes: in steady state every link carries
+// a different chunk while every rank folds another, which is where the
+// chunked mode's speedup over one monolithic message comes from.
+//
+// Frames are demultiplexed by collective name into per-name FIFO queues,
+// so collectives with different names may run concurrently from different
+// goroutines (the engine folds different pipeline stages in parallel).
+// Frames carry the sender's round epoch: BeginRound advances it and stale
+// frames — stragglers of an aborted, replayed round — are discarded on
+// dequeue instead of corrupting the replay.
+type Ring struct {
+	rank, size int
+	chunk      int
+
+	next  net.Conn
+	prev  net.Conn
+	wmu   sync.Mutex // serializes frames onto next
+	wbuf  *bufio.Writer
+	wscr  []byte // frame-encoding scratch, guarded by wmu
+	bytes atomic.Int64
+	epoch atomic.Int64
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queues     map[string][]*frame
+	aborted    error // non-nil: collectives of abortEpoch fail
+	abortEpoch int64
+	readErr    error // reader terminated (EOF/protocol error)
+	closed     bool
+
+	// Receive-path reuse: rscr is the reader's decode scratch and names
+	// interns collective names (both owned by the single reader goroutine);
+	// payloads recycles decoded frame payloads — the reader draws decode
+	// targets from it and the collective loops return them once copied out —
+	// so steady-state chunk traffic does not allocate.
+	rscr     []byte
+	names    map[string]string
+	payloads sync.Pool
+
+	onClose func() // optional cleanup hook (NewLocalRing temp dir)
+}
+
+// getPayload returns a recycled payload buffer of length n, or a fresh one.
+func (r *Ring) getPayload(n int) []float64 {
+	if v, _ := r.payloads.Get().(*[]float64); v != nil && cap(*v) >= n {
+		return (*v)[:n]
+	}
+	return make([]float64, n)
+}
+
+// putPayload returns a consumed frame's payload to the recycle pool.
+func (r *Ring) putPayload(p []float64) {
+	if cap(p) == 0 {
+		return
+	}
+	p = p[:0]
+	r.payloads.Put(&p)
+}
+
+// Frame kinds on the wire.
+const (
+	frameHello byte = iota
+	frameData
+	frameAbort
+)
+
+// Data-frame passes (assertion only; arrival order already disambiguates).
+const (
+	passReduce byte = iota
+	passFinal
+	passGather
+	passBcast
+)
+
+type frame struct {
+	kind    byte
+	origin  byte // sender rank (abort/hello) or shard owner (all-gather)
+	pass    byte
+	epoch   int64
+	chunk   uint32
+	name    string
+	payload []float64
+	reason  string // abort frames
+}
+
+var errClosed = errors.New("transport: ring closed")
+
+// DialRing joins a ring group: addrs lists one listen address per rank
+// ("unix:/path/sock" or "tcp:host:port"), and rank selects this member's.
+// Each rank listens on its own address, dials the next rank's (with retry
+// — members start in arbitrary order), and accepts the previous rank's
+// connection; a hello exchange validates the wiring. The group needs at
+// least 2 ranks (use Loopback for 1).
+func DialRing(addrs []string, rank int, opts RingOptions) (*Ring, error) {
+	if len(addrs) < 2 {
+		return nil, fmt.Errorf("transport: ring needs at least 2 ranks, got %d (use Loopback for 1)", len(addrs))
+	}
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("transport: rank %d out of range for %d addresses", rank, len(addrs))
+	}
+	chunk := opts.ChunkFloats
+	if chunk <= 0 {
+		chunk = DefaultChunkFloats
+	}
+	timeout := opts.DialTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	network, addr, err := splitAddr(addrs[rank])
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: rank %d listen %s: %w", rank, addrs[rank], err)
+	}
+	defer ln.Close()
+	next, err := dialRetry(addrs[(rank+1)%len(addrs)], timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: rank %d dialing next rank: %w", rank, err)
+	}
+	type acceptResult struct {
+		conn net.Conn
+		err  error
+	}
+	acceptC := make(chan acceptResult, 1)
+	go func() {
+		c, err := ln.Accept()
+		acceptC <- acceptResult{c, err}
+	}()
+	var prev net.Conn
+	select {
+	case r := <-acceptC:
+		if r.err != nil {
+			next.Close()
+			return nil, fmt.Errorf("transport: rank %d accepting previous rank: %w", rank, r.err)
+		}
+		prev = r.conn
+	case <-time.After(timeout):
+		next.Close()
+		return nil, fmt.Errorf("transport: rank %d timed out waiting for previous rank on %s", rank, addrs[rank])
+	}
+	r := &Ring{
+		rank: rank, size: len(addrs), chunk: chunk,
+		next: next, prev: prev,
+		wbuf:   bufio.NewWriterSize(next, 64*1024),
+		queues: make(map[string][]*frame),
+		names:  make(map[string]string),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	// Hello handshake: tell the next rank who we are, check the previous
+	// rank and group size match — a miswired -group spec fails here with an
+	// attributed error instead of a hung collective.
+	if err := r.sendFrame(&frame{kind: frameHello, origin: byte(rank), chunk: uint32(len(addrs))}); err != nil {
+		r.closeConns()
+		return nil, err
+	}
+	br := bufio.NewReaderSize(prev, 64*1024)
+	hello, err := r.readFrame(br)
+	if err != nil {
+		r.closeConns()
+		return nil, fmt.Errorf("transport: rank %d reading hello: %w", rank, err)
+	}
+	wantPrev := (rank - 1 + len(addrs)) % len(addrs)
+	if hello.kind != frameHello || int(hello.origin) != wantPrev || int(hello.chunk) != len(addrs) {
+		r.closeConns()
+		return nil, fmt.Errorf("transport: rank %d miswired ring: hello from rank %d size %d, want rank %d size %d",
+			rank, hello.origin, hello.chunk, wantPrev, len(addrs))
+	}
+	go r.readLoop(br)
+	return r, nil
+}
+
+func splitAddr(spec string) (network, addr string, err error) {
+	switch {
+	case strings.HasPrefix(spec, "unix:"):
+		return "unix", spec[len("unix:"):], nil
+	case strings.HasPrefix(spec, "tcp:"):
+		return "tcp", spec[len("tcp:"):], nil
+	}
+	return "", "", fmt.Errorf("transport: address %q must be unix:PATH or tcp:HOST:PORT", spec)
+}
+
+func dialRetry(spec string, timeout time.Duration) (net.Conn, error) {
+	network, addr, err := splitAddr(spec)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := net.DialTimeout(network, addr, timeout)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dial %s: %w", spec, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Rank returns this member's index.
+func (r *Ring) Rank() int { return r.rank }
+
+// Size returns the group size.
+func (r *Ring) Size() int { return r.size }
+
+// BytesOnWire returns the bytes this rank has sent.
+func (r *Ring) BytesOnWire() int64 { return r.bytes.Load() }
+
+// BeginRound advances the epoch and clears any abort from earlier epochs.
+func (r *Ring) BeginRound() {
+	e := r.epoch.Add(1)
+	r.mu.Lock()
+	if r.aborted != nil && r.abortEpoch < e {
+		r.aborted = nil
+	}
+	r.mu.Unlock()
+}
+
+// Abort poisons the current epoch locally and sends an abort frame around
+// the ring so every peer's blocked collectives fail promptly too.
+func (r *Ring) Abort(reason error) {
+	if reason == nil {
+		reason = errors.New("aborted")
+	}
+	e := r.epoch.Load()
+	r.mu.Lock()
+	if r.aborted == nil || r.abortEpoch < e {
+		r.aborted = fmt.Errorf("transport: rank %d aborted: %w", r.rank, reason)
+		r.abortEpoch = e
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+	// Best-effort: a concurrently closed ring cannot deliver the abort.
+	_ = r.sendFrame(&frame{kind: frameAbort, origin: byte(r.rank), epoch: e, reason: reason.Error()})
+}
+
+// Close shuts the ring's connections down. In-flight collectives fail.
+func (r *Ring) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+	err1 := r.next.Close()
+	err2 := r.prev.Close()
+	if r.onClose != nil {
+		r.onClose()
+	}
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func (r *Ring) closeConns() {
+	r.next.Close()
+	r.prev.Close()
+}
+
+// readLoop demultiplexes incoming frames into per-name queues and handles
+// abort propagation. It exits on connection close or a protocol error,
+// failing every blocked collective.
+func (r *Ring) readLoop(br *bufio.Reader) {
+	for {
+		f, err := r.readFrame(br)
+		if err != nil {
+			r.mu.Lock()
+			if r.readErr == nil {
+				if r.closed || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+					r.readErr = errClosed
+				} else {
+					r.readErr = fmt.Errorf("transport: rank %d reader: %w", r.rank, err)
+				}
+			}
+			r.mu.Unlock()
+			r.cond.Broadcast()
+			return
+		}
+		switch f.kind {
+		case frameData:
+			r.mu.Lock()
+			r.queues[f.name] = append(r.queues[f.name], f)
+			r.mu.Unlock()
+			r.cond.Broadcast()
+		case frameAbort:
+			r.mu.Lock()
+			if r.aborted == nil || r.abortEpoch < f.epoch {
+				r.aborted = fmt.Errorf("transport: aborted by rank %d: %s", f.origin, f.reason)
+				r.abortEpoch = f.epoch
+			}
+			r.mu.Unlock()
+			r.cond.Broadcast()
+			// Forward around the ring until the frame would return to its
+			// originator.
+			if int(f.origin) != (r.rank+1)%r.size {
+				_ = r.sendFrame(f)
+			}
+		default:
+			r.mu.Lock()
+			r.readErr = fmt.Errorf("transport: rank %d unexpected frame kind %d", r.rank, f.kind)
+			r.mu.Unlock()
+			r.cond.Broadcast()
+			return
+		}
+	}
+}
+
+// pop dequeues the next frame for name at the given epoch, discarding
+// stale frames from earlier epochs (aborted-round stragglers) and failing
+// fast on abort, reader death, or close.
+func (r *Ring) pop(name string, epoch int64) (*frame, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		q := r.queues[name]
+		for len(q) > 0 && q[0].epoch < epoch {
+			r.putPayload(q[0].payload) // aborted-round straggler
+			q = q[1:]
+		}
+		if len(q) > 0 && q[0].epoch > epoch {
+			return nil, fmt.Errorf("transport: rank %d received %q frame from future epoch %d (local %d)",
+				r.rank, name, q[0].epoch, epoch)
+		}
+		if len(q) > 0 {
+			f := q[0]
+			r.queues[name] = q[1:]
+			return f, nil
+		}
+		r.queues[name] = q
+		// An abort poisons its own epoch and every earlier *round* epoch,
+		// but never the pre-round epoch 0: initialization collectives
+		// (parameter broadcast, startup barrier) are fully sent before any
+		// rank can start a round, so a faster rank's round abort must not
+		// fail a slower rank still joining.
+		if r.aborted != nil && r.abortEpoch >= epoch && epoch > 0 {
+			return nil, r.aborted
+		}
+		if r.closed {
+			return nil, errClosed
+		}
+		if r.readErr != nil {
+			return nil, r.readErr
+		}
+		r.cond.Wait()
+	}
+}
+
+// abortErr returns the poisoning error if the given epoch is aborted (see
+// pop for the epoch-0 exemption).
+func (r *Ring) abortErr(epoch int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.aborted != nil && r.abortEpoch >= epoch && epoch > 0 {
+		return r.aborted
+	}
+	return nil
+}
+
+// sendData writes one data frame to the next rank and returns its wire
+// size.
+func (r *Ring) sendData(name string, pass byte, origin byte, epoch int64, chunk uint32, payload []float64) (int64, error) {
+	f := &frame{kind: frameData, origin: origin, pass: pass, epoch: epoch, chunk: chunk, name: name, payload: payload}
+	if err := r.sendFrame(f); err != nil {
+		return 0, err
+	}
+	return frameWireSize(f), nil
+}
+
+// expect dequeues a data frame and validates its identity — any mismatch
+// is a protocol bug surfaced as an attributed error, not silent corruption.
+func (r *Ring) expect(name string, epoch int64, pass byte, chunk uint32, n int) (*frame, error) {
+	f, err := r.pop(name, epoch)
+	if err != nil {
+		return nil, err
+	}
+	if f.pass != pass || f.chunk != chunk || len(f.payload) != n {
+		return nil, fmt.Errorf("transport: rank %d %q frame mismatch: got pass %d chunk %d len %d, want pass %d chunk %d len %d",
+			r.rank, name, f.pass, f.chunk, len(f.payload), pass, chunk, n)
+	}
+	return f, nil
+}
+
+// AllReduce implements the chunked chain all-reduce described on Ring.
+func (r *Ring) AllReduce(name string, dst, base []float64, parts [][]float64) (int64, error) {
+	if err := checkReduceArgs(dst, base, parts); err != nil {
+		return 0, err
+	}
+	epoch := r.epoch.Load()
+	if err := r.abortErr(epoch); err != nil {
+		return 0, err
+	}
+	n := len(dst)
+	var sent int64
+	last := r.rank == r.size-1
+	// Reduce pass: partials flow rank 0 -> 1 -> ... -> W-1, each rank
+	// folding its own parts in ascending order. Rank W-1 owns the
+	// completed chunk and starts the distribution pass.
+	for lo, idx := 0, uint32(0); lo < n || n == 0; lo, idx = lo+r.chunk, idx+1 {
+		hi := lo + r.chunk
+		if hi > n {
+			hi = n
+		}
+		if r.rank == 0 {
+			foldInto(dst, base, parts, lo, hi)
+			nb, err := r.sendData(name, passReduce, 0, epoch, idx, dst[lo:hi])
+			if err != nil {
+				return sent, err
+			}
+			sent += nb
+		} else {
+			f, err := r.expect(name, epoch, passReduce, idx, hi-lo)
+			if err != nil {
+				return sent, err
+			}
+			copy(dst[lo:hi], f.payload)
+			addParts(dst, parts, lo, hi)
+			r.putPayload(f.payload)
+			pass := passReduce
+			if last {
+				pass = passFinal // chunk complete; start the distribution pass
+			}
+			nb, err := r.sendData(name, pass, byte(r.rank), epoch, idx, dst[lo:hi])
+			if err != nil {
+				return sent, err
+			}
+			sent += nb
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if last {
+		return sent, nil // dst completed during the reduce pass
+	}
+	// Distribution pass: completed chunks flow W-1 -> 0 -> ... -> W-2;
+	// every rank copies them into dst and forwards until the rank before
+	// the originator.
+	forward := r.rank != r.size-2
+	for lo, idx := 0, uint32(0); lo < n || n == 0; lo, idx = lo+r.chunk, idx+1 {
+		hi := lo + r.chunk
+		if hi > n {
+			hi = n
+		}
+		f, err := r.expect(name, epoch, passFinal, idx, hi-lo)
+		if err != nil {
+			return sent, err
+		}
+		copy(dst[lo:hi], f.payload)
+		if forward {
+			nb, err := r.sendData(name, passFinal, f.origin, epoch, idx, f.payload)
+			if err != nil {
+				return sent, err
+			}
+			sent += nb
+		}
+		r.putPayload(f.payload)
+		if n == 0 {
+			break
+		}
+	}
+	return sent, nil
+}
+
+// ReduceScatter shares AllReduce's chain implementation: the whole reduced
+// vector is delivered, of which the caller's shard is the guaranteed part.
+// The full chain keeps the deterministic fold-order contract — a
+// bandwidth-optimal rotated reduce-scatter would fold each chunk in a
+// different rank order and break bit-identity across transports.
+func (r *Ring) ReduceScatter(name string, dst, base []float64, parts [][]float64) (int64, error) {
+	return r.AllReduce(name, dst, base, parts)
+}
+
+// AllGather rotates shards around the ring: every rank sends its own shard
+// first, then forwards each received shard until the rank before its
+// owner; after Size-1 steps every rank holds every shard.
+func (r *Ring) AllGather(name string, buf []float64) (int64, error) {
+	epoch := r.epoch.Load()
+	if err := r.abortErr(epoch); err != nil {
+		return 0, err
+	}
+	n := len(buf)
+	var sent int64
+	// Send own shard, chunked.
+	olo, ohi := ShardRange(n, r.rank, r.size)
+	for lo, idx := olo, uint32(0); lo < ohi; lo, idx = lo+r.chunk, idx+1 {
+		hi := lo + r.chunk
+		if hi > ohi {
+			hi = ohi
+		}
+		nb, err := r.sendData(name, passGather, byte(r.rank), epoch, idx, buf[lo:hi])
+		if err != nil {
+			return sent, err
+		}
+		sent += nb
+	}
+	// Receive the other Size-1 shards in deterministic arrival order:
+	// prev's own shard first, then the shards prev forwarded, each one
+	// ring-step older.
+	for s := 1; s < r.size; s++ {
+		owner := (r.rank - s + r.size) % r.size
+		slo, shi := ShardRange(n, owner, r.size)
+		forward := (r.rank+1)%r.size != owner
+		for lo, idx := slo, uint32(0); lo < shi; lo, idx = lo+r.chunk, idx+1 {
+			hi := lo + r.chunk
+			if hi > shi {
+				hi = shi
+			}
+			f, err := r.expect(name, epoch, passGather, idx, hi-lo)
+			if err != nil {
+				return sent, err
+			}
+			if int(f.origin) != owner {
+				return sent, fmt.Errorf("transport: rank %d all-gather %q: got shard of rank %d, want rank %d",
+					r.rank, name, f.origin, owner)
+			}
+			copy(buf[lo:hi], f.payload)
+			if forward {
+				nb, err := r.sendData(name, passGather, f.origin, epoch, idx, f.payload)
+				if err != nil {
+					return sent, err
+				}
+				sent += nb
+			}
+			r.putPayload(f.payload)
+		}
+	}
+	return sent, nil
+}
+
+// Broadcast sends root's buf around the ring; every other rank copies and
+// forwards until the rank before root.
+func (r *Ring) Broadcast(name string, root int, buf []float64) (int64, error) {
+	if root < 0 || root >= r.size {
+		return 0, fmt.Errorf("transport: broadcast root %d out of range for %d ranks", root, r.size)
+	}
+	epoch := r.epoch.Load()
+	if err := r.abortErr(epoch); err != nil {
+		return 0, err
+	}
+	n := len(buf)
+	var sent int64
+	if r.rank == root {
+		for lo, idx := 0, uint32(0); lo < n; lo, idx = lo+r.chunk, idx+1 {
+			hi := lo + r.chunk
+			if hi > n {
+				hi = n
+			}
+			nb, err := r.sendData(name, passBcast, byte(root), epoch, idx, buf[lo:hi])
+			if err != nil {
+				return sent, err
+			}
+			sent += nb
+		}
+		return sent, nil
+	}
+	forward := (r.rank+1)%r.size != root
+	for lo, idx := 0, uint32(0); lo < n; lo, idx = lo+r.chunk, idx+1 {
+		hi := lo + r.chunk
+		if hi > n {
+			hi = n
+		}
+		f, err := r.expect(name, epoch, passBcast, idx, hi-lo)
+		if err != nil {
+			return sent, err
+		}
+		copy(buf[lo:hi], f.payload)
+		if forward {
+			nb, err := r.sendData(name, passBcast, f.origin, epoch, idx, f.payload)
+			if err != nil {
+				return sent, err
+			}
+			sent += nb
+		}
+		r.putPayload(f.payload)
+	}
+	return sent, nil
+}
+
+// Wire format (little-endian):
+//
+//	u8 kind | u8 origin | u8 pass | u8 reserved | u64 epoch | u32 chunk |
+//	u32 count | u16 nameLen | name | payload
+//
+// payload is count float64 values for data frames, a count-byte reason
+// string for abort frames, absent for hello frames.
+const frameHeaderSize = 1 + 1 + 1 + 1 + 8 + 4 + 4 + 2
+
+func frameWireSize(f *frame) int64 {
+	n := int64(frameHeaderSize) + int64(len(f.name))
+	if f.kind == frameData {
+		n += int64(len(f.payload)) * 8
+	} else if f.kind == frameAbort {
+		n += int64(len(f.reason))
+	}
+	return n
+}
+
+func (r *Ring) sendFrame(f *frame) error {
+	size := frameWireSize(f)
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	if cap(r.wscr) < int(size) {
+		r.wscr = make([]byte, size)
+	}
+	b := r.wscr[:size]
+	b[0], b[1], b[2], b[3] = f.kind, f.origin, f.pass, 0
+	binary.LittleEndian.PutUint64(b[4:], uint64(f.epoch))
+	binary.LittleEndian.PutUint32(b[12:], f.chunk)
+	off := frameHeaderSize + len(f.name)
+	copy(b[frameHeaderSize:], f.name)
+	switch f.kind {
+	case frameData:
+		binary.LittleEndian.PutUint32(b[16:], uint32(len(f.payload)))
+		binary.LittleEndian.PutUint16(b[20:], uint16(len(f.name)))
+		for _, v := range f.payload {
+			binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+			off += 8
+		}
+	case frameAbort:
+		binary.LittleEndian.PutUint32(b[16:], uint32(len(f.reason)))
+		binary.LittleEndian.PutUint16(b[20:], uint16(len(f.name)))
+		copy(b[off:], f.reason)
+	default:
+		binary.LittleEndian.PutUint32(b[16:], 0)
+		binary.LittleEndian.PutUint16(b[20:], uint16(len(f.name)))
+	}
+	if _, err := r.wbuf.Write(b); err != nil {
+		return fmt.Errorf("transport: rank %d send: %w", r.rank, err)
+	}
+	// Flush per frame: chunk pipelining depends on partials reaching the
+	// next rank as soon as they are folded, not when a buffer fills.
+	if err := r.wbuf.Flush(); err != nil {
+		return fmt.Errorf("transport: rank %d send: %w", r.rank, err)
+	}
+	r.bytes.Add(size)
+	return nil
+}
+
+// readFrame decodes one frame off the wire. Only the reader goroutine (and
+// DialRing's hello exchange, which precedes it) may call this: the decode
+// scratch and the name-intern map are single-owner state.
+func (r *Ring) readFrame(br *bufio.Reader) (*frame, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	f := &frame{
+		kind:   hdr[0],
+		origin: hdr[1],
+		pass:   hdr[2],
+		epoch:  int64(binary.LittleEndian.Uint64(hdr[4:])),
+		chunk:  binary.LittleEndian.Uint32(hdr[12:]),
+	}
+	count := binary.LittleEndian.Uint32(hdr[16:])
+	nameLen := binary.LittleEndian.Uint16(hdr[20:])
+	if nameLen > 0 {
+		if cap(r.rscr) < int(nameLen) {
+			r.rscr = make([]byte, nameLen)
+		}
+		nb := r.rscr[:nameLen]
+		if _, err := io.ReadFull(br, nb); err != nil {
+			return nil, err
+		}
+		// Intern: the same collective names recur every step, and a
+		// map[string] lookup keyed by string(bytes) does not allocate.
+		s, ok := r.names[string(nb)]
+		if !ok {
+			s = string(nb)
+			r.names[s] = s
+		}
+		f.name = s
+	}
+	switch f.kind {
+	case frameData:
+		if count > (1 << 28) {
+			return nil, fmt.Errorf("transport: oversized frame (%d floats)", count)
+		}
+		need := int(count) * 8
+		if cap(r.rscr) < need {
+			r.rscr = make([]byte, need)
+		}
+		raw := r.rscr[:need]
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, err
+		}
+		f.payload = r.getPayload(int(count))
+		for i := range f.payload {
+			f.payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+	case frameAbort:
+		if count > (1 << 20) {
+			return nil, fmt.Errorf("transport: oversized abort reason (%d bytes)", count)
+		}
+		raw := make([]byte, count)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, err
+		}
+		f.reason = string(raw)
+	}
+	return f, nil
+}

@@ -80,6 +80,7 @@ func main() {
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent on gated metrics")
 	gate := flag.String("gate", "seqs_per_s", "comma-separated metrics that fail the run on regression, or \"all\"")
 	gateRows := flag.String("gate-rows", "", "regexp restricting the gate to matching benchmark names (empty = every row)")
+	goneOK := flag.String("gone-ok", "", "regexp of benchmark names whose absence from the current run is tolerated — for baseline rows committed ahead of a narrower -bench regex, or rows only some hosts produce")
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "bench_compare: -baseline and -current are required")
@@ -107,6 +108,14 @@ func main() {
 		rowRe, err = regexp.Compile(*gateRows)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench_compare: -gate-rows:", err)
+			os.Exit(2)
+		}
+	}
+	var goneRe *regexp.Regexp
+	if *goneOK != "" {
+		goneRe, err = regexp.Compile(*goneOK)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench_compare: -gone-ok:", err)
 			os.Exit(2)
 		}
 	}
@@ -158,6 +167,10 @@ func main() {
 	}
 	sort.Strings(gone)
 	for _, name := range gone {
+		if goneRe != nil && goneRe.MatchString(name) {
+			fmt.Printf("%-55s %-10s %14s %14s %9s\n", name, "-", "-", "(gone, ok)", "-")
+			continue
+		}
 		fmt.Printf("%-55s %-10s %14s %14s %9s\n", name, "-", "-", "(gone)", "-")
 		// A vanished benchmark whose baseline row carried a gated metric
 		// would otherwise disable the gate silently (renamed b.Run names,
