@@ -1,0 +1,257 @@
+package main
+
+// Elastic membership driver: the CLI-side protocol that keeps a multi-process
+// ring run alive through rank deaths and brings restarted ranks back.
+//
+//   - Shrink: when a round fails with an attributed transport.RankFailure,
+//     every survivor maps the dead member back to its original rank, reforms
+//     the ring over the survivors (transport.Reform), swaps the engine onto
+//     it (engine.Reconnect), and rewinds to the reconciled round checkpoint
+//     (engine.RegroupRestore). Training continues at reduced width. Requires
+//     -checkpoint — without a round checkpoint there is nothing consistent to
+//     rewind to.
+//
+//   - Rejoin: a restarted rank (relaunched by the spawn supervisor with
+//     -rejoin after a kill-fault death) announces itself through a request
+//     file in the group's socket directory. At every round boundary of a
+//     shrunken group the current rank 0 polls for requests and broadcasts a
+//     membership command to the group ("member/cmd"), so all survivors agree
+//     on the SAME boundary; rank 0 then writes a go-file carrying the new
+//     view and member list, everyone (rejoiner included) re-forms the
+//     full-width ring, and engine.Reconnect(g, true) re-broadcasts
+//     parameters, optimizer state, and step counters from the current rank 0.
+//     The rejoiner builds its engine on the in-process loopback first — the
+//     resync IS its initialization — so the collective sequence is identical
+//     on every rank.
+//
+// File signaling needs unix: addresses (the spawn runner's default); over
+// tcp: the run still survives shrinks but restarted ranks cannot rejoin.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/transport"
+)
+
+// killExitCode is how a rank killed by a fault plan announces "I was
+// murdered on purpose" to the spawn supervisor — distinguishable from a
+// genuine crash, and the trigger for a -supervise restart.
+const killExitCode = 3
+
+// Membership commands broadcast at round boundaries of a shrunken group.
+const (
+	cmdNone   = 0
+	cmdRejoin = 1
+)
+
+// elastic reports whether this run knows the full ring membership and can
+// survive rank failures (multi-process ring runs only).
+func (tr *transportConfig) elastic() bool { return len(tr.addrs) >= 2 }
+
+// rejoinDir returns the directory used for rejoin signaling files, derived
+// from the group's first address ("" when the group is not unix-socketed).
+func rejoinDir(addrs []string) string {
+	if p, ok := strings.CutPrefix(addrs[0], "unix:"); ok {
+		return filepath.Dir(p)
+	}
+	return ""
+}
+
+// deadRanks lists the original ranks currently missing from the group.
+func deadRanks(tr *transportConfig) []int {
+	in := make(map[int]bool, len(tr.alive))
+	for _, a := range tr.alive {
+		in[a] = true
+	}
+	var out []int
+	for r := range tr.addrs {
+		if !in[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// surviveFailure regroups after an attributed rank failure: reform the ring
+// over the survivors, reconnect the engine, and rewind to the reconciled
+// checkpoint. Returns the step training resumes from.
+func surviveFailure(eng *engine.Engine, tr *transportConfig, ft faultConfig, rf *transport.RankFailure) (int, error) {
+	if !ft.checkpoint {
+		return 0, fmt.Errorf("rank failure without -checkpoint: no round checkpoint to rewind the survivors to (%v)", rf)
+	}
+	if rf.Rank < 0 || rf.Rank >= len(tr.alive) {
+		return 0, fmt.Errorf("rank failure without an attributable rank: %v", rf)
+	}
+	dead := tr.alive[rf.Rank] // rf names a rank of the CURRENT group
+	fmt.Printf("membership: rank %d failed: %v\n", dead, rf.Cause)
+	alive := make([]int, 0, len(tr.alive)-1)
+	for _, a := range tr.alive {
+		if a != dead {
+			alive = append(alive, a)
+		}
+	}
+	if len(alive) < 2 {
+		return 0, fmt.Errorf("only %d rank(s) left after rank %d failed: below the 2-rank ring minimum", len(alive), dead)
+	}
+	view := tr.view + 1
+	g, err := transport.Reform(tr.addrs, alive, tr.self, view, tr.opts)
+	if err != nil {
+		return 0, fmt.Errorf("reforming the survivor ring: %w", err)
+	}
+	// Close the failed group only now: with the survivor ring formed, every
+	// survivor has observed the failure and no one is mid-write into it.
+	old := tr.group
+	tr.group, tr.alive, tr.view = g, alive, view
+	old.Close()
+	if err := eng.Reconnect(g, false); err != nil {
+		return 0, err
+	}
+	step, err := eng.RegroupRestore()
+	if err != nil {
+		return 0, err
+	}
+	fmt.Printf("membership: regrouped to W=%d (view %d), resuming at step %d\n", len(alive), view, step)
+	return step, nil
+}
+
+// memberSync is the per-round membership exchange of a shrunken group: the
+// current rank 0 polls for rejoin requests and broadcasts its decision, so
+// every survivor admits the returning rank at the same round boundary. A
+// full-width group skips the exchange entirely.
+func memberSync(eng *engine.Engine, tr *transportConfig) error {
+	if tr.group == nil || !tr.elastic() || len(tr.alive) == len(tr.addrs) {
+		return nil
+	}
+	dir := rejoinDir(tr.addrs)
+	buf := make([]float64, 2) // [command, rejoining rank]
+	if tr.group.Rank() == 0 && dir != "" {
+		for _, d := range deadRanks(tr) {
+			if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("rejoin.%d", d))); err == nil {
+				buf[0], buf[1] = cmdRejoin, float64(d)
+				break
+			}
+		}
+	}
+	if _, err := tr.group.Broadcast("member/cmd", 0, buf); err != nil {
+		return err
+	}
+	if int(buf[0]) != cmdRejoin {
+		return nil
+	}
+	d := int(buf[1])
+	alive := make([]int, 0, len(tr.alive)+1)
+	for _, a := range tr.alive {
+		if a < d {
+			alive = append(alive, a)
+		}
+	}
+	alive = append(alive, d)
+	for _, a := range tr.alive {
+		if a > d {
+			alive = append(alive, a)
+		}
+	}
+	view := tr.view + 1
+	if tr.group.Rank() == 0 && dir != "" {
+		os.Remove(filepath.Join(dir, fmt.Sprintf("rejoin.%d", d)))
+		body := fmt.Sprintf("%d;%s", view, joinInts(alive))
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("rejoin-go.%d", d)), []byte(body), 0o644); err != nil {
+			return fmt.Errorf("writing rejoin go-file: %w", err)
+		}
+	}
+	g, err := transport.Reform(tr.addrs, alive, tr.self, view, tr.opts)
+	if err != nil {
+		return fmt.Errorf("reforming the full ring for rejoin: %w", err)
+	}
+	old := tr.group
+	tr.group, tr.alive, tr.view = g, alive, view
+	old.Close()
+	if err := eng.Reconnect(g, true); err != nil {
+		return err
+	}
+	fmt.Printf("membership: rank %d rejoined, W=%d (view %d)\n", d, len(alive), view)
+	return nil
+}
+
+// rejoinHandshake is the restarted rank's side of the rejoin protocol: drop
+// a request file, wait for the group's go-file naming the view and member
+// list, dial the full ring with everyone, and resync training state over
+// it. Returns the step training resumes from.
+func rejoinHandshake(eng *engine.Engine, tr *transportConfig) (int, error) {
+	dir := rejoinDir(tr.addrs)
+	if dir == "" {
+		return 0, fmt.Errorf("-rejoin needs unix: group addresses for file signaling")
+	}
+	req := filepath.Join(dir, fmt.Sprintf("rejoin.%d", tr.self))
+	goFile := filepath.Join(dir, fmt.Sprintf("rejoin-go.%d", tr.self))
+	os.Remove(goFile)
+	if err := os.WriteFile(req, []byte("rejoin\n"), 0o644); err != nil {
+		return 0, fmt.Errorf("writing rejoin request: %w", err)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	var body []byte
+	for {
+		var err error
+		if body, err = os.ReadFile(goFile); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("no rejoin go-ahead within 2m (is the group still running with a free slot?)")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	os.Remove(goFile)
+	view, alive, err := parseGoFile(string(body))
+	if err != nil {
+		return 0, err
+	}
+	g, err := transport.Reform(tr.addrs, alive, tr.self, view, tr.opts)
+	if err != nil {
+		return 0, fmt.Errorf("dialing the full ring for rejoin: %w", err)
+	}
+	tr.group, tr.alive, tr.view = g, alive, view
+	if err := eng.Reconnect(g, true); err != nil {
+		return 0, err
+	}
+	step := eng.StepsDone()
+	fmt.Printf("membership: rejoined as rank %d of %d (view %d), resuming at step %d\n",
+		g.Rank(), g.Size(), view, step)
+	return step, nil
+}
+
+// joinInts renders ranks as "0,1,2".
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseGoFile parses "view;rank,rank,...".
+func parseGoFile(s string) (int64, []int, error) {
+	s = strings.TrimSpace(s)
+	vs, rs, ok := strings.Cut(s, ";")
+	if !ok {
+		return 0, nil, fmt.Errorf("malformed rejoin go-file %q", s)
+	}
+	view, err := strconv.ParseInt(vs, 10, 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("malformed rejoin view in %q", s)
+	}
+	var alive []int
+	for _, f := range strings.Split(rs, ",") {
+		r, err := strconv.Atoi(f)
+		if err != nil {
+			return 0, nil, fmt.Errorf("malformed rejoin member list in %q", s)
+		}
+		alive = append(alive, r)
+	}
+	return view, alive, nil
+}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +26,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/arch"
@@ -83,10 +86,13 @@ func main() {
 		rankFlag     = flag.Int("rank", 0, "this process's rank within -group")
 		chunkFl      = flag.Int("chunk", 0, "ring all-reduce chunk size in float64 elements (0 = transport default)")
 		shardParams  = flag.Bool("shard-params", false, "ZeRO-style parameter sharding across the replica axis with -execute (needs -replicas >= 2)")
+		heartbeat    = flag.Duration("heartbeat", 0, "ring heartbeat interval for liveness and straggler detection (0 = transport default, negative disables)")
+		supervise    = flag.Bool("supervise", false, "with -group spawn:N: restart ranks killed by a fault plan and rejoin them at the next round boundary")
+		rejoin       = flag.Bool("rejoin", false, "internal: this process is a restarted rank rejoining a running elastic group (set by the spawn supervisor)")
 	)
 	flag.Parse()
 	if n, ok := spawnCount(*groupSpec); ok {
-		os.Exit(spawnRanks(n))
+		os.Exit(spawnRanks(n, *supervise))
 	}
 	if *workers < 0 {
 		*workers = 0 // negative means "default", like 0
@@ -208,18 +214,35 @@ func main() {
 			if len(addrs) < 2 {
 				log.Fatal("-transport ring needs a -group with at least 2 addresses (or spawn:N)")
 			}
-			g, err := transport.DialRing(addrs, *rankFlag, transport.RingOptions{
+			tr.addrs, tr.self = addrs, *rankFlag
+			tr.opts = transport.RingOptions{
 				ChunkFloats: *chunkFl, DialTimeout: 30 * time.Second,
-			})
-			if err != nil {
-				log.Fatal(err)
+				HeartbeatInterval: *heartbeat,
 			}
-			defer g.Close()
-			tr.group = g
+			if *rejoin {
+				// A restarted rank builds its engine on the loopback first;
+				// the ring forms during the rejoin handshake and Reconnect
+				// initializes its state from the survivors.
+				tr.rejoin = true
+			} else {
+				for i := range addrs {
+					tr.alive = append(tr.alive, i)
+				}
+				g, err := transport.DialRing(addrs, *rankFlag, tr.opts)
+				if err != nil {
+					log.Fatal(err)
+				}
+				tr.group = g
+			}
 		default:
 			log.Fatalf("unknown -transport %q (want loopback or ring)", *transName)
 		}
-		executeSchedule(*method, *stages, *nmicro, *replicas, *invParallel, *execSteps, *refreshSteps, *carryDepth, *width, *workers, *overlap, *svgPath, ft, tn, tr)
+		defer func() {
+			if tr.group != nil {
+				tr.group.Close()
+			}
+		}()
+		executeSchedule(*method, *stages, *nmicro, *replicas, *invParallel, *execSteps, *refreshSteps, *carryDepth, *width, *workers, *overlap, *svgPath, ft, tn, &tr)
 	}
 }
 
@@ -242,8 +265,15 @@ func spawnCount(spec string) (int, bool) {
 // 0's stdout passes through — its step losses are the group's, so a spawned
 // run's output is comparable line-for-line with a single-process run of the
 // same global batch — while the other ranks' stdout is discarded and all
-// stderr is shared. Returns the exit code for the parent.
-func spawnRanks(n int) int {
+// stderr is shared.
+//
+// As supervisor, it watches for children that exit with killExitCode — a
+// fault-plan kill, not a crash. Without -supervise the death is accepted:
+// the survivors shrink the ring and finish at reduced width, and the run
+// counts as a success. With -supervise the dead rank is relaunched with
+// -rejoin so it re-enters the group at the next round boundary, restoring
+// full width. Returns the exit code for the parent.
+func spawnRanks(n int, supervise bool) int {
 	exe, err := os.Executable()
 	if err != nil {
 		log.Print(err)
@@ -259,36 +289,77 @@ func spawnRanks(n int) int {
 	for i := range specs {
 		specs[i] = "unix:" + filepath.Join(dir, fmt.Sprintf("rank%d.sock", i))
 	}
-	base := stripFlags(os.Args[1:], "group", "rank", "csv", "svg", "tune-csv")
-	zero := stripFlags(os.Args[1:], "group", "rank")
-	cmds := make([]*exec.Cmd, n)
-	for i := range cmds {
+	base := stripFlags(os.Args[1:], "group", "rank", "supervise", "csv", "svg", "tune-csv")
+	zero := stripFlags(os.Args[1:], "group", "rank", "supervise")
+	start := func(i int, rejoin bool) (*exec.Cmd, error) {
 		args := zero
 		if i > 0 {
 			args = base // secondary ranks must not race rank 0 on output files
 		}
 		args = append(append([]string{}, args...),
 			"-transport", "ring", "-group", strings.Join(specs, ","), "-rank", strconv.Itoa(i))
+		if rejoin {
+			// The fault plan already did its job — it crashed the original
+			// process. Its replacement runs clean, or a rank-targeted kill
+			// would re-fire on every incarnation and the run would never end.
+			args = append(stripFlags(args, "faults"), "-rejoin")
+		}
 		c := exec.Command(exe, args...)
 		c.Stdout = io.Discard
 		if i == 0 {
 			c.Stdout = os.Stdout
 		}
 		c.Stderr = os.Stderr
-		if err := c.Start(); err != nil {
+		return c, c.Start()
+	}
+	cmds := make([]*exec.Cmd, n)
+	for i := range cmds {
+		c, err := start(i, false)
+		if err != nil {
 			log.Print(err)
 			return 1
 		}
 		cmds[i] = c
 	}
-	code := 0
-	for i, c := range cmds {
-		if err := c.Wait(); err != nil {
-			log.Printf("rank %d: %v", i, err)
-			code = 1
-		}
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for i := range cmds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := cmds[i]
+			for {
+				err := c.Wait()
+				if err == nil {
+					return
+				}
+				var ee *exec.ExitError
+				if errors.As(err, &ee) && ee.ExitCode() == killExitCode {
+					if !supervise {
+						log.Printf("rank %d killed by fault plan; survivors continue at reduced width", i)
+						return
+					}
+					log.Printf("rank %d killed by fault plan; supervisor restarting it for rejoin", i)
+					nc, serr := start(i, true)
+					if serr != nil {
+						log.Printf("rank %d restart: %v", i, serr)
+						failed.Store(true)
+						return
+					}
+					c = nc
+					continue
+				}
+				log.Printf("rank %d: %v", i, err)
+				failed.Store(true)
+				return
+			}
+		}(i)
 	}
-	return code
+	wg.Wait()
+	if failed.Load() {
+		return 1
+	}
+	return 0
 }
 
 // stripFlags removes the named flags (and their values) from an argument
@@ -333,10 +404,19 @@ type faultConfig struct {
 }
 
 // transportConfig bundles the collective-transport flags for real
-// execution. A nil group means the in-process loopback transport.
+// execution. A nil group means the in-process loopback transport (or, with
+// rejoin set, a ring that forms during the rejoin handshake). For elastic
+// multi-process rings, addrs/self/alive/view track the ORIGINAL membership
+// so the group can be re-formed after rank failures and rejoins.
 type transportConfig struct {
-	group transport.Group
-	shard bool
+	group  transport.Group
+	shard  bool
+	addrs  []string // full original ring address list ("" transport: none)
+	self   int      // this process's original rank within addrs
+	alive  []int    // current members, as original ranks (ascending)
+	view   int64    // membership view of the current group
+	opts   transport.RingOptions
+	rejoin bool // this process rejoins a running group instead of dialing
 }
 
 // executeSchedule trains a small BERT (one block per stage) for real under
@@ -350,7 +430,7 @@ type transportConfig struct {
 // observes every executed round and may hot-swap the engine to a
 // predicted-faster configuration at a round boundary; its decision log and
 // final choice are printed after training.
-func executeSchedule(method string, stages, nmicro, replicas int, invParallel bool, steps, refreshSteps, carryDepth, width, workers int, overlap bool, svgPath string, ft faultConfig, tc tuneConfig, tr transportConfig) {
+func executeSchedule(method string, stages, nmicro, replicas int, invParallel bool, steps, refreshSteps, carryDepth, width, workers int, overlap bool, svgPath string, ft faultConfig, tc tuneConfig, tr *transportConfig) {
 	cfg := bert.TinyConfig()
 	cfg.Blocks = stages
 	model, err := bert.New(cfg, 7)
@@ -361,8 +441,13 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The ORIGINAL group width sizes the global batch, so a shrunken group
+	// keeps consuming the same data stream (survivors re-shard the same
+	// micro-batches) and losses stay comparable across membership changes.
 	groupSize := 1
-	if tr.group != nil {
+	if tr.elastic() {
+		groupSize = len(tr.addrs)
+	} else if tr.group != nil {
 		groupSize = tr.group.Size()
 	}
 	adaptive := refreshSteps == 0
@@ -380,6 +465,12 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tr.elastic() {
+		// A fault-plan kill must look like a real rank death to the peers:
+		// exit the process so every survivor sees the wire drop. The exit
+		// code tells the spawn supervisor this was deliberate.
+		eng.SetKillHook(func() { os.Exit(killExitCode) })
 	}
 	// With explicit one-step rounds keep the classic every-2-steps skip
 	// cadence; multi-step (or adaptively sized) windows ARE the cadence.
@@ -417,7 +508,23 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 		method, stages, nmicro, replicas, kDesc, overlap, tensor.Parallelism())
 	if tr.group != nil {
 		fmt.Printf("transport: ring rank %d of %d, global data-parallel width %d\n",
-			tr.group.Rank(), groupSize, groupSize*replicas)
+			tr.group.Rank(), tr.group.Size(), groupSize*replicas)
+	} else if tr.rejoin {
+		fmt.Printf("transport: ring rank %d rejoining a %d-wide group\n", tr.self, groupSize)
+	}
+	if tr.elastic() {
+		hb := transport.DefaultHeartbeatInterval
+		if h, ok := tr.group.(interface{ HeartbeatInterval() time.Duration }); ok {
+			hb = h.HeartbeatInterval()
+		} else if tr.opts.HeartbeatInterval != 0 {
+			hb = tr.opts.HeartbeatInterval
+		}
+		if hb > 0 {
+			fmt.Printf("elastic: heartbeat every %v, membership view %d, rank failures survive with -checkpoint\n",
+				hb, tr.view)
+		} else {
+			fmt.Printf("elastic: heartbeats disabled, membership view %d\n", tr.view)
+		}
 	}
 	if full, resident, ok := eng.ShardStats(); ok {
 		fmt.Printf("shard-params: secondary replicas keep %d of %d parameter bytes resident (%.0f%%)\n",
@@ -430,7 +537,21 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 	if tn != nil {
 		fmt.Printf("autotune: on, starting from %s (decision every %d rounds)\n", startCand, tc.interval)
 	}
-	for done := 0; done < steps; {
+	done := 0
+	if tr.rejoin {
+		step, err := rejoinHandshake(eng, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		done = step
+	}
+	for done < steps {
+		// Round boundaries are where membership changes land: a shrunken
+		// group checks for (and admits) restarted ranks here, so every
+		// member switches groups between the same two rounds.
+		if err := memberSync(eng, tr); err != nil {
+			log.Fatal("membership sync: ", err)
+		}
 		// A tuner swap can change the round length between rounds, so the
 		// batch shape is re-derived from the engine every iteration.
 		k = eng.RoundSteps()
@@ -447,7 +568,12 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 		// checkpoint and re-runs the same batches. Count-limited faults
 		// stay consumed across the rewind, so a transient fault's replay
 		// goes through; a persistent one exhausts the attempts and dies.
+		// A rank failure is different: local replay cannot outrun a dead
+		// peer, so the survivors regroup onto a smaller ring instead.
 		for attempt := 1; err != nil && ft.checkpoint && attempt <= 3; attempt++ {
+			if _, isRF := transport.AsRankFailure(err); isRF {
+				break
+			}
 			fmt.Printf("round aborted: %v\n  restoring checkpoint and replaying (attempt %d/3)\n", err, attempt)
 			if _, rerr := eng.RestoreCheckpoint(); rerr != nil {
 				log.Fatal(rerr)
@@ -455,6 +581,22 @@ func executeSchedule(method string, stages, nmicro, replicas int, invParallel bo
 			res, err = eng.TrainRound(batches)
 		}
 		if err != nil {
+			if rf, ok := transport.AsRankFailure(err); ok && tr.elastic() {
+				if eng.StepsDone() >= steps {
+					// Every step this run needed has committed — the "dead"
+					// peer finished first and tore down while this rank was
+					// draining its final round. Nothing is left to regroup
+					// for; finish like everyone else.
+					fmt.Printf("membership: peer closed after final commit (%v)\n", rf.Cause)
+					break
+				}
+				step, serr := surviveFailure(eng, tr, ft, rf)
+				if serr != nil {
+					log.Fatal(serr)
+				}
+				done = step
+				continue
+			}
 			log.Fatal(err)
 		}
 		for j, r := range res {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/hardware"
 	"repro/internal/pipeline"
 	"repro/internal/schedule"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -39,6 +40,14 @@ func main() {
 		dp      = flag.Int("dp", 1, "data-parallel width W priced into the simulated wall-clock conversion")
 	)
 	flag.Parse()
+	if *trans == "ring" {
+		// The convergence runs here are single-process; the ring is priced
+		// into the wall-clock conversion only. State the liveness contract a
+		// live ring of this width would run under (pipefisher -execute runs
+		// it for real, including rank-failure survival).
+		fmt.Printf("transport: ring priced at W=%d, heartbeat every %v on live groups (elastic membership view 0)\n",
+			*dp, transport.DefaultHeartbeatInterval)
+	}
 
 	switch *optName {
 	case "both":

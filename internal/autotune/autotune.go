@@ -95,6 +95,15 @@ func New(eng *engine.Engine, cfg Config) (*Tuner, error) {
 func (t *Tuner) Observe() (*Decision, error) {
 	t.fit.BeginRound()
 	t.ingestTimeline()
+	// Straggler headroom: a slow peer delays every collective rendezvous in
+	// a way this rank's own op durations never show (the wait hides inside
+	// whichever op anchors the fold). Heartbeat-carried round times expose
+	// the ratio; pricing the synchronization classes up by it makes the
+	// ranking prefer schedules that overlap communication when the group is
+	// imbalanced. The scale clears as soon as the straggler catches up.
+	slow := t.eng.RankSlowness()
+	t.fit.SetScale(int(pipeline.SyncGrad), slow)
+	t.fit.SetScale(int(pipeline.SyncCurvature), slow)
 	rec := trace.TuneRecord{Round: t.fit.Rounds(), ModelError: -1, Current: t.CurrentCandidate().String()}
 	if me, ok := t.ModelError(); ok {
 		rec.ModelError = me

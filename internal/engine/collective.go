@@ -57,35 +57,40 @@ func (e *Engine) initCollectives() {
 	}
 }
 
-// syncInitialParams aligns a multi-rank group's starting weights: a shape
-// handshake (parameter count and sizes broadcast from rank 0 and verified
+// syncInitialParams aligns a multi-rank group's starting weights on rank
+// 0's; elastic resyncs (resyncFrom) reuse the same exchange with the state
+// owner as the root.
+func (e *Engine) syncInitialParams() error { return e.syncParamsFrom(0) }
+
+// syncParamsFrom aligns a multi-rank group's weights: a shape handshake
+// (parameter count and sizes broadcast from the root rank and verified
 // everywhere — a mismatched model configuration fails here with an
 // attributed error instead of a silently diverging group) followed by a
-// one-time broadcast of rank 0's parameter values. Steady state needs no
+// broadcast of the root's parameter values. Steady state needs no
 // re-broadcast: every rank folds identical gradients and runs the
 // optimizer in lockstep, so parameters stay bit-identical by induction.
-func (e *Engine) syncInitialParams() error {
+func (e *Engine) syncParamsFrom(root int) error {
 	params := e.reps[0].params
 	desc := make([]float64, 1+len(params))
-	if e.group.Rank() == 0 {
+	if e.group.Rank() == root {
 		desc[0] = float64(len(params))
 		for i, p := range params {
 			desc[i+1] = float64(p.NumElements())
 		}
 	}
-	if _, err := e.group.Broadcast("init/shape", 0, desc); err != nil {
+	if _, err := e.group.Broadcast("init/shape", root, desc); err != nil {
 		return fmt.Errorf("engine: parameter shape handshake: %w", err)
 	}
 	if int(desc[0]) != len(params) {
-		return fmt.Errorf("engine: rank %d has %d parameters, rank 0 has %d (group must build identical models)",
-			e.group.Rank(), len(params), int(desc[0]))
+		return fmt.Errorf("engine: rank %d has %d parameters, rank %d has %d (group must build identical models)",
+			e.group.Rank(), len(params), root, int(desc[0]))
 	}
 	for i, p := range params {
 		if int(desc[i+1]) != p.NumElements() {
-			return fmt.Errorf("engine: rank %d parameter %s has %d elements, rank 0 has %d",
-				e.group.Rank(), p.Name, p.NumElements(), int(desc[i+1]))
+			return fmt.Errorf("engine: rank %d parameter %s has %d elements, rank %d has %d",
+				e.group.Rank(), p.Name, p.NumElements(), root, int(desc[i+1]))
 		}
-		if _, err := e.group.Broadcast(fmt.Sprintf("init/p/%d", i), 0, p.Value.Data); err != nil {
+		if _, err := e.group.Broadcast(fmt.Sprintf("init/p/%d", i), root, p.Value.Data); err != nil {
 			return fmt.Errorf("engine: broadcasting initial value of %s: %w", p.Name, err)
 		}
 	}

@@ -383,6 +383,16 @@ type Engine struct {
 	// resilience layer (resilience.go) is active only when inj is set or
 	// OpTimeout/OpRetries are configured.
 	inj *faults.Injector
+	// memberView counts the elastic membership changes this engine has lived
+	// through (0 until the first Reconnect); executed timeline events are
+	// stamped with it, and memberChanged marks the first round after a
+	// change so its timeline carries a Membership marker span (elastic.go).
+	memberView    int
+	memberChanged bool
+	// killHook, when set (SetKillHook), fires when the fault injector
+	// delivers a Kill outcome on this rank — before the op's failure aborts
+	// the round. The CLI exits the process here; tests sever the transport.
+	killHook func()
 	// optState is the optimizer state attached via AttachOptimizerState,
 	// snapshotted and restored by the round checkpoint.
 	optState OptimizerState
@@ -413,7 +423,7 @@ func NewWithConfig(model pipemodel.Model, cfg Config) (*Engine, error) {
 	if len(model.PipelineBlocks()) == 0 {
 		return nil, fmt.Errorf("engine: model has no pipeline blocks")
 	}
-	e := &Engine{cfg: cfg, roundLen: cfg.RefreshSteps, inj: faults.NewInjector(cfg.FaultPlan)}
+	e := &Engine{cfg: cfg, roundLen: cfg.RefreshSteps}
 	if cfg.RefreshSteps == AdaptiveRefreshSteps {
 		e.roundLen = 1 // resolved from measured work at EnableKFAC
 	}
@@ -442,6 +452,10 @@ func NewWithConfig(model pipemodel.Model, cfg Config) (*Engine, error) {
 		e.stageMu[r] = make([]sync.Mutex, cfg.Stages)
 	}
 	e.initCollectives()
+	// The fault plan is projected onto this member's transport rank, so a
+	// rank-targeted fault (kill:rank=2) costs every other rank nothing —
+	// their injector stays nil and the fault-free fast path stays intact.
+	e.inj = faults.NewInjector(cfg.FaultPlan.ForRank(e.group.Rank()))
 	if e.multiRank {
 		if err := e.syncInitialParams(); err != nil {
 			return nil, err
@@ -970,7 +984,17 @@ func (e *Engine) TrainRound(batches []*data.Batch) ([]*StepResult, error) {
 	prevCap := tensor.OpParallelism()
 	tensor.SetOpParallelism(e.opShare)
 	defer tensor.SetOpParallelism(prevCap)
+	roundStart := time.Now()
 	res, committed, err := e.runRound(micro, totals, refresh, cur, pending)
+	if err == nil {
+		// Feed the round's wall time to the transport's liveness layer:
+		// heartbeats carry it to every peer, where it surfaces as the
+		// per-rank pace RankStats reports and the autotuner's straggler
+		// inflation consumes.
+		if ob, ok := e.group.(interface{ ObserveRoundDuration(time.Duration) }); ok {
+			ob.ObserveRoundDuration(time.Since(roundStart))
+		}
+	}
 	e.stepIndex += committed
 	if committed > 0 {
 		e.roundIndex++

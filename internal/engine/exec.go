@@ -974,6 +974,25 @@ func (st *runState) timeline() *pipeline.Timeline {
 			tl.StepEnd[j] = tl.StepEnd[j-1]
 		}
 	}
+	// Stamp every event with the elastic membership view it executed under,
+	// and mark the first round after a membership change with a
+	// zero-duration Membership span at the timeline's origin — the regroup
+	// marker trace renderers draw.
+	if e := st.e; e.memberView > 0 {
+		for d := range tl.Events {
+			for i := range tl.Events[d] {
+				tl.Events[d][i].Membership = e.memberView
+			}
+		}
+		if e.memberChanged {
+			e.memberChanged = false
+			mark := pipeline.Event{
+				Op:         &pipeline.Op{Kind: pipeline.Membership, Step: 0},
+				Membership: e.memberView,
+			}
+			tl.Events[0] = append([]pipeline.Event{mark}, tl.Events[0]...)
+		}
+	}
 	return tl
 }
 

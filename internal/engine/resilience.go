@@ -106,6 +106,19 @@ func (st *runState) execFaulty(d int, op *pipeline.Op) error {
 			return errRoundAborted
 		}
 	}
+	if out.Kill {
+		// A kill fault models this rank dying, not an op failing: the
+		// registered hook does the dying (the CLI exits the process; tests
+		// sever the transport so peers observe a real rank death), and the
+		// error below only matters when the hook leaves the process alive —
+		// it aborts the round base-path, which the severed transport turns
+		// into the peers' attributed RankFailure.
+		if h := e.killHook; h != nil {
+			h()
+		}
+		return fmt.Errorf("faults: rank %d killed at step %d (%s op on device %d)",
+			e.group.Rank(), e.stepIndex+op.Step, op.Kind, d)
+	}
 	if out.Err != nil {
 		return out.Err
 	}

@@ -43,6 +43,12 @@ const (
 	Drop
 	// Corrupt poisons the op's numeric output with NaN after it runs.
 	Corrupt
+	// Kill terminates the whole rank at the matched op: the engine invokes
+	// its registered kill hook (the CLI exits the process; tests sever the
+	// rank's transport), simulating a machine loss the survivors must
+	// regroup around. Usually combined with rank= so exactly one member of
+	// a multi-process group dies.
+	Kill
 )
 
 var kindNames = map[Kind]string{
@@ -50,6 +56,7 @@ var kindNames = map[Kind]string{
 	Stall:   "stall",
 	Drop:    "drop",
 	Corrupt: "corrupt",
+	Kill:    "kill",
 }
 
 func (k Kind) String() string {
@@ -63,10 +70,11 @@ func (k Kind) String() string {
 const Any = -1
 
 // Fault is one injection point. Zero-valued coordinates are NOT wildcards —
-// use Any (-1) to match every step/device/micro-batch. Op uses OpAny to
-// match every op kind.
+// use Any (-1) to match every step/device/micro-batch/rank. Op uses OpAny
+// to match every op kind.
 type Fault struct {
 	Kind   Kind
+	Rank   int               // data-parallel rank to target, Any = every rank (Plan.ForRank filters)
 	Step   int               // global training step, Any = every step
 	Device int               // schedule device index, Any = every device
 	Op     pipeline.WorkKind // op kind to match, OpAny = every kind
@@ -107,6 +115,9 @@ func (f Fault) String() string {
 		b.WriteByte('=')
 		b.WriteString(val)
 	}
+	if f.Rank != Any {
+		field("rank", strconv.Itoa(f.Rank))
+	}
 	if f.Step != Any {
 		field("step", strconv.Itoa(f.Step))
 	}
@@ -145,12 +156,36 @@ func (p *Plan) String() string {
 	return strings.Join(parts, ";")
 }
 
+// ForRank projects the plan onto one member of a multi-process group: the
+// faults targeting that rank (or every rank) survive with their rank
+// selector satisfied; faults aimed at other ranks drop out. Returns nil —
+// a never-firing plan — when nothing applies, so a rank-targeted plan
+// costs every other rank the usual zero (a nil Injector keeps the engine
+// on its fault-free fast path). The engine applies this at construction
+// with its transport rank.
+func (p *Plan) ForRank(rank int) *Plan {
+	if p == nil {
+		return nil
+	}
+	out := &Plan{Seed: p.Seed}
+	for _, f := range p.Faults {
+		if f.Rank == Any || f.Rank == rank {
+			out.Faults = append(out.Faults, f)
+		}
+	}
+	if len(out.Faults) == 0 {
+		return nil
+	}
+	return out
+}
+
 // Outcome is what the injector decided for one op execution. Zero value
 // means "no fault here".
 type Outcome struct {
 	Err     error         // non-nil: the op fails with this error (Fail/Drop)
 	Delay   time.Duration // non-zero: stall this long before executing
 	Corrupt bool          // poison the op's output with NaN after it runs
+	Kill    bool          // terminate the whole rank at this op (Kill faults)
 }
 
 // Injector evaluates a Plan at op coordinates. Safe for concurrent use by
@@ -214,6 +249,8 @@ func (in *Injector) At(step, device int, kind pipeline.WorkKind, micro int) Outc
 			out.Delay += f.Delay
 		case Corrupt:
 			out.Corrupt = true
+		case Kill:
+			out.Kill = true
 		}
 	}
 	return out
@@ -238,12 +275,13 @@ func init() {
 }
 
 // Parse decodes a CLI fault spec: semicolon-separated faults, each
-// "kind:field=value,field=value". Kinds: fail, stall, drop, corrupt.
-// Fields: step, dev, op, micro, count, delay (Go duration). Omitted
-// step/dev/micro match everything; omitted op matches every kind.
+// "kind:field=value,field=value". Kinds: fail, stall, drop, corrupt, kill.
+// Fields: rank, step, dev, op, micro, count, delay (Go duration). Omitted
+// rank/step/dev/micro match everything; omitted op matches every kind.
 //
 //	fail:step=2,dev=1,op=curvature
 //	stall:op=forward,delay=5ms,count=2;drop:op=sync-grad,count=1
+//	kill:rank=1,step=2
 func Parse(spec string) (*Plan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
@@ -265,9 +303,9 @@ func Parse(spec string) (*Plan, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("faults: unknown fault kind %q in %q (want fail, stall, drop, or corrupt)", kindStr, part)
+			return nil, fmt.Errorf("faults: unknown fault kind %q in %q (want fail, stall, drop, corrupt, or kill)", kindStr, part)
 		}
-		f := Fault{Kind: kind, Step: Any, Device: Any, Op: OpAny, Micro: Any}
+		f := Fault{Kind: kind, Rank: Any, Step: Any, Device: Any, Op: OpAny, Micro: Any}
 		if rest != "" {
 			for _, kv := range strings.Split(rest, ",") {
 				key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
@@ -275,12 +313,17 @@ func Parse(spec string) (*Plan, error) {
 					return nil, fmt.Errorf("faults: malformed field %q in %q (want key=value)", kv, part)
 				}
 				switch key {
-				case "step", "dev", "micro", "count":
+				case "rank", "step", "dev", "micro", "count":
 					n, err := strconv.Atoi(val)
 					if err != nil {
 						return nil, fmt.Errorf("faults: bad %s value %q in %q: %v", key, val, part, err)
 					}
 					switch key {
+					case "rank":
+						if n < 0 {
+							return nil, fmt.Errorf("faults: negative rank in %q", part)
+						}
+						f.Rank = n
 					case "step":
 						f.Step = n
 					case "dev":
@@ -345,8 +388,11 @@ func Random(seed int64, n, maxStep, devices int) *Plan {
 		pipeline.SyncCurvature, pipeline.OptStep, pipeline.Recompute,
 	}
 	for i := 0; i < n; i++ {
+		// Kill is deliberately absent from the pool: a random rank death
+		// ends the soak run instead of exercising recovery.
 		f := Fault{
 			Kind:   kinds[rng.Intn(len(kinds))],
+			Rank:   Any,
 			Step:   rng.Intn(maxStep),
 			Device: Any,
 			Op:     ops[rng.Intn(len(ops))],

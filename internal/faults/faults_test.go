@@ -147,6 +147,64 @@ func TestNilInjector(t *testing.T) {
 	}
 }
 
+func TestParseRankAndKill(t *testing.T) {
+	plan, err := Parse("kill:rank=1,step=2,count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := plan.Faults[0]
+	if f.Kind != Kill || f.Rank != 1 || f.Step != 2 || f.Count != 1 || f.Op != OpAny {
+		t.Fatalf("kill fault parsed wrong: %+v", f)
+	}
+	// rank= round-trips through String.
+	plan2, err := Parse(plan.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", plan.String(), err)
+	}
+	if plan2.Faults[0] != f {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", plan2.Faults[0], f)
+	}
+	if !strings.Contains(plan.String(), "rank=1") {
+		t.Fatalf("String() = %q, missing rank selector", plan.String())
+	}
+	if _, err := Parse("kill:rank=-2"); err == nil {
+		t.Fatal("negative rank parsed")
+	}
+	// A kill fires as Outcome.Kill at its coordinates.
+	in := NewInjector(plan)
+	if out := in.At(2, 0, pipeline.Forward, 0); !out.Kill || out.Err != nil {
+		t.Fatalf("kill outcome wrong: %+v", out)
+	}
+	if out := in.At(2, 0, pipeline.Backward, 0); out.Kill {
+		t.Fatal("count-limited kill fired twice")
+	}
+}
+
+func TestPlanForRank(t *testing.T) {
+	plan, err := Parse("kill:rank=2,step=1;fail:op=backward;stall:rank=0,delay=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := plan.ForRank(0)
+	if len(r0.Faults) != 2 || r0.Faults[0].Kind != Fail || r0.Faults[1].Kind != Stall {
+		t.Fatalf("ForRank(0) = %+v, want the wildcard fail and the rank-0 stall", r0)
+	}
+	r2 := plan.ForRank(2)
+	if len(r2.Faults) != 2 || r2.Faults[0].Kind != Kill || r2.Faults[1].Kind != Fail {
+		t.Fatalf("ForRank(2) = %+v, want the rank-2 kill and the wildcard fail", r2)
+	}
+	only, err := Parse("kill:rank=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if only.ForRank(1) != nil {
+		t.Fatal("ForRank with no applicable faults should be nil (never-firing)")
+	}
+	if (*Plan)(nil).ForRank(0) != nil {
+		t.Fatal("nil plan ForRank should stay nil")
+	}
+}
+
 func TestRandomDeterministic(t *testing.T) {
 	a := Random(42, 6, 10, 4)
 	b := Random(42, 6, 10, 4)

@@ -31,6 +31,12 @@ type Fit struct {
 	samples    map[int][]float64
 	next       map[int]int // ring write position per class
 	full       map[int]bool
+	// scale inflates a class's Estimate by an externally observed factor —
+	// the straggler headroom: heartbeat-derived per-rank slowness makes a
+	// peer's collectives arrive late in a way this rank's own measured
+	// durations cannot see, so the tuner prices synchronization classes up
+	// by the group's slowest/own round-time ratio (SetScale).
+	scale map[int]float64
 }
 
 // NewFit creates a Fit that ignores the first warmupRounds rounds.
@@ -44,7 +50,28 @@ func NewFit(warmupRounds int) *Fit {
 		samples:    make(map[int][]float64),
 		next:       make(map[int]int),
 		full:       make(map[int]bool),
+		scale:      make(map[int]float64),
 	}
+}
+
+// SetScale installs (or, at factor <= 1, clears) a multiplicative
+// inflation on a class's Estimate. The samples themselves stay raw — the
+// scale reflects a condition external to this rank's measurements (a
+// straggling peer) that can lift or clear between rounds.
+func (f *Fit) SetScale(class int, factor float64) {
+	if factor <= 1 {
+		delete(f.scale, class)
+		return
+	}
+	f.scale[class] = factor
+}
+
+// Scale reports the active inflation factor for a class (1 when none).
+func (f *Fit) Scale(class int) float64 {
+	if s, ok := f.scale[class]; ok {
+		return s
+	}
+	return 1
 }
 
 // BeginRound marks the start of one observation round (one executed
@@ -96,6 +123,9 @@ func (f *Fit) Estimate(class int) (Microseconds, bool) {
 	}
 	if med < 1 {
 		med = 1
+	}
+	if s, ok := f.scale[class]; ok {
+		med *= s
 	}
 	return Microseconds(med + 0.5), true
 }

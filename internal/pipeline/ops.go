@@ -38,6 +38,11 @@ const (
 	// paper's §3.1 staleness rule extended across failures). Schedules
 	// never contain Degraded ops; only executed timelines do.
 	Degraded
+	// Membership is a zero-duration marker event the execution engine
+	// emits on the first round after an elastic membership change (a rank
+	// failure shrank the group, or a supervised rejoin restored it).
+	// Schedules never contain Membership ops; only executed timelines do.
+	Membership
 )
 
 // String returns the legend label of the kind.
@@ -63,6 +68,8 @@ func (k WorkKind) String() string {
 		return "recompute"
 	case Degraded:
 		return "degraded"
+	case Membership:
+		return "membership"
 	}
 	return fmt.Sprintf("WorkKind(%d)", int(k))
 }
@@ -141,6 +148,8 @@ func (o *Op) Label() string {
 		letter = "R"
 	case Degraded:
 		letter = "D"
+	case Membership:
+		letter = "M"
 	}
 	return fmt.Sprintf("%s[s%d,m%d]", letter, o.Stage, o.MicroBatch)
 }

@@ -22,6 +22,11 @@ type Event struct {
 	// collectives; the execution engine sets it on ops that performed a
 	// cross-rank fold over a wire transport.
 	Bytes int64
+	// Membership is the elastic membership view the op executed under:
+	// 0 until the first membership change (always 0 in simulated
+	// timelines), incremented by the execution engine at every regroup
+	// (rank-failure shrink) and rejoin (width restore).
+	Membership int
 }
 
 // Duration returns End - Start.

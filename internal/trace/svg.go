@@ -31,6 +31,8 @@ func kindColor(k pipeline.WorkKind) string {
 		return "#bcd4fb" // pale blue, between forward and backward
 	case pipeline.Degraded:
 		return "#c71585" // magenta: degraded-mode marker spans
+	case pipeline.Membership:
+		return "#ff8c00" // orange: elastic membership-change marker spans
 	}
 	return "#000000"
 }
@@ -95,6 +97,7 @@ func RenderSVG(w io.Writer, tl *pipeline.Timeline, width int) error {
 		pipeline.Forward, pipeline.Backward, pipeline.Recompute, pipeline.Curvature,
 		pipeline.Inversion, pipeline.Precondition, pipeline.SyncGrad,
 		pipeline.SyncCurvature, pipeline.OptStep, pipeline.Degraded,
+		pipeline.Membership,
 	} {
 		fmt.Fprintf(w, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`, lx, ly, kindColor(k))
 		fmt.Fprintf(w, `<text x="%d" y="%d">%s</text>`, lx+16, ly+11, k)

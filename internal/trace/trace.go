@@ -37,6 +37,8 @@ func kindRune(k pipeline.WorkKind) byte {
 		return 'R'
 	case pipeline.Degraded:
 		return 'D'
+	case pipeline.Membership:
+		return 'M'
 	}
 	return '?'
 }
@@ -134,26 +136,28 @@ func RenderASCII(w io.Writer, tl *pipeline.Timeline, width int) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintln(w, "legend: F=forward B=backward R=recompute C=curvature I=inverse P=precondition g=sync-grad c=sync-curv o=opt D=degraded .=idle")
+	_, err := fmt.Fprintln(w, "legend: F=forward B=backward R=recompute C=curvature I=inverse P=precondition g=sync-grad c=sync-curv o=opt D=degraded M=membership .=idle")
 	return err
 }
 
 // WriteCSV exports the timeline events as CSV rows
-// (device,kind,stage,replica,micro,step,generation,retries,start_us,end_us,
-// bytes_on_wire) for external plotting. Generation marks carried refresh
-// ops of overlapped rounds; retries counts the failed attempts a
-// fault-tolerant execution needed before the op succeeded (0 in simulated
-// timelines and fault-free runs); bytes_on_wire is what the op's collective
-// put on a wire transport (0 for compute ops, simulated timelines, and
-// in-process collectives).
+// (device,kind,stage,replica,micro,step,generation,retries,membership,
+// start_us,end_us,bytes_on_wire) for external plotting. Generation marks
+// carried refresh ops of overlapped rounds; retries counts the failed
+// attempts a fault-tolerant execution needed before the op succeeded (0 in
+// simulated timelines and fault-free runs); membership is the elastic
+// membership view the op ran under (0 until a rank failure or rejoin
+// changes the group); bytes_on_wire is what the op's collective put on a
+// wire transport (0 for compute ops, simulated timelines, and in-process
+// collectives).
 func WriteCSV(w io.Writer, tl *pipeline.Timeline) error {
-	if _, err := fmt.Fprintln(w, "device,kind,stage,replica,micro_batch,step,generation,retries,start_us,end_us,bytes_on_wire"); err != nil {
+	if _, err := fmt.Fprintln(w, "device,kind,stage,replica,micro_batch,step,generation,retries,membership,start_us,end_us,bytes_on_wire"); err != nil {
 		return err
 	}
 	for d := 0; d < tl.Devices; d++ {
 		for _, e := range tl.Events[d] {
-			if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
-				d, e.Op.Kind, e.Op.Stage, e.Op.Replica, e.Op.MicroBatch, e.Op.Step, e.Op.Generation, e.Retries, e.Start, e.End, e.Bytes); err != nil {
+			if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+				d, e.Op.Kind, e.Op.Stage, e.Op.Replica, e.Op.MicroBatch, e.Op.Step, e.Op.Generation, e.Retries, e.Membership, e.Start, e.End, e.Bytes); err != nil {
 				return err
 			}
 		}

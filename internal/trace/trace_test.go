@@ -101,8 +101,8 @@ func TestRenderStepBoundaries(t *testing.T) {
 	steps := map[string]bool{}
 	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n")[1:] {
 		cols := strings.Split(line, ",")
-		if len(cols) != 11 {
-			t.Fatalf("CSV row has %d columns, want 11: %q", len(cols), line)
+		if len(cols) != 12 {
+			t.Fatalf("CSV row has %d columns, want 12: %q", len(cols), line)
 		}
 		steps[cols[5]] = true
 	}
@@ -145,7 +145,7 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != wantRows {
 		t.Fatalf("expected %d CSV rows, got %d", wantRows, len(lines))
 	}
-	if lines[0] != "device,kind,stage,replica,micro_batch,step,generation,retries,start_us,end_us,bytes_on_wire" {
+	if lines[0] != "device,kind,stage,replica,micro_batch,step,generation,retries,membership,start_us,end_us,bytes_on_wire" {
 		t.Fatalf("bad header: %s", lines[0])
 	}
 	if !strings.Contains(sb.String(), "forward") || !strings.Contains(sb.String(), "backward") {

@@ -14,12 +14,29 @@ import (
 // processes. Close every returned ring when done; the socket directory is
 // removed when the last one closes.
 func NewLocalRing(size, chunkFloats int) ([]*Ring, error) {
+	rings, _, cleanup, err := NewLocalRingOpts(size, RingOptions{ChunkFloats: chunkFloats})
+	if err != nil {
+		return nil, err
+	}
+	// Tie directory cleanup to the rings going away.
+	for _, r := range rings {
+		r.onClose = cleanup
+	}
+	return rings, nil
+}
+
+// NewLocalRingOpts is NewLocalRing with full RingOptions control. It also
+// returns the per-rank addresses and the socket-directory cleanup func so
+// elastic-membership tests can Reform subgroups on the same addresses
+// after closing (some of) the original rings: cleanup is NOT tied to ring
+// Close here — the caller decides when the address space dies.
+func NewLocalRingOpts(size int, opts RingOptions) ([]*Ring, []string, func(), error) {
 	if size < 2 {
-		return nil, fmt.Errorf("transport: local ring needs at least 2 ranks, got %d", size)
+		return nil, nil, nil, fmt.Errorf("transport: local ring needs at least 2 ranks, got %d", size)
 	}
 	dir, err := os.MkdirTemp("", "ring")
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	addrs := make([]string, size)
 	for i := range addrs {
@@ -32,7 +49,7 @@ func NewLocalRing(size, chunkFloats int) ([]*Ring, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rings[i], errs[i] = DialRing(addrs, i, RingOptions{ChunkFloats: chunkFloats})
+			rings[i], errs[i] = DialRing(addrs, i, opts)
 		}(i)
 	}
 	wg.Wait()
@@ -44,14 +61,10 @@ func NewLocalRing(size, chunkFloats int) ([]*Ring, error) {
 				}
 			}
 			os.RemoveAll(dir)
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
-	// Tie directory cleanup to the rings going away.
 	var once sync.Once
 	cleanup := func() { once.Do(func() { os.RemoveAll(dir) }) }
-	for _, r := range rings {
-		r.onClose = cleanup
-	}
-	return rings, nil
+	return rings, addrs, cleanup, nil
 }

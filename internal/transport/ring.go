@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -21,6 +22,14 @@ import (
 // a single-message exchange.
 const DefaultChunkFloats = 8192
 
+// Liveness defaults. A heartbeat every 500ms against a 10s wire deadline
+// gives ~20 missed beats of slack — far above scheduler jitter, far below
+// the "hung forever" a dead peer used to cost.
+const (
+	DefaultHeartbeatInterval = 500 * time.Millisecond
+	DefaultWireTimeout       = 10 * time.Second
+)
+
 // RingOptions configures DialRing.
 type RingOptions struct {
 	// ChunkFloats is the pipelining chunk size in float64 elements
@@ -29,8 +38,33 @@ type RingOptions struct {
 	// the benchmarks compare against.
 	ChunkFloats int
 	// DialTimeout bounds how long DialRing retries connecting to the next
-	// rank (10s when 0) — group members start in arbitrary order.
+	// rank (10s when 0) — group members start in arbitrary order. The same
+	// deadline bounds the accept and hello exchange, so a group that never
+	// fully forms fails fast with an attributed error.
 	DialTimeout time.Duration
+	// HeartbeatInterval is the period of the liveness heartbeat each rank
+	// sends to its next neighbor (DefaultHeartbeatInterval when 0; negative
+	// disables heartbeats and with them the read-side wire deadline).
+	// Heartbeats are forwarded around the ring, so every rank sees every
+	// peer's liveness and self-reported round pace.
+	HeartbeatInterval time.Duration
+	// WireTimeout bounds every wire operation (DefaultWireTimeout when 0;
+	// negative disables). Writes always carry it; reads carry it only while
+	// heartbeats are enabled (heartbeat traffic is what guarantees a healthy
+	// idle link still delivers bytes before the deadline). It is clamped to
+	// at least 4x the heartbeat interval.
+	WireTimeout time.Duration
+	// CollectiveTimeout bounds how long a collective waits for any single
+	// frame (0 disables). Unlike WireTimeout it fires even when the peer
+	// process is alive but stuck — the frame simply never arrives — and the
+	// resulting RankFailure is attributed to the rank with the stalest
+	// heartbeat.
+	CollectiveTimeout time.Duration
+	// View is the membership view number this ring is formed under. The
+	// hello exchange validates that all members agree — a rank rejoining
+	// with a stale view fails the handshake instead of silently joining a
+	// differently-shaped group. Ring.View reports it.
+	View int64
 }
 
 // Ring is one rank of a socket ring group. Collectives run as chunked
@@ -59,22 +93,42 @@ type RingOptions struct {
 type Ring struct {
 	rank, size int
 	chunk      int
+	view       int64
 
-	next  net.Conn
-	prev  net.Conn
-	wmu   sync.Mutex // serializes frames onto next
-	wbuf  *bufio.Writer
-	wscr  []byte // frame-encoding scratch, guarded by wmu
-	bytes atomic.Int64
-	epoch atomic.Int64
+	hbInterval  time.Duration // <= 0: heartbeats off
+	wireTimeout time.Duration // <= 0: wire deadlines off
+	collTimeout time.Duration // <= 0: collective frame waits unbounded
+
+	next     net.Conn
+	prev     net.Conn
+	wmu      sync.Mutex // serializes frames onto next
+	wbuf     *bufio.Writer
+	wscr     []byte    // frame-encoding scratch, guarded by wmu
+	wdeadArm time.Time // next write-deadline re-arm point, guarded by wmu
+	bytes    atomic.Int64
+	epoch    atomic.Int64
+
+	// closing is set (before any connection teardown) the moment Close
+	// starts. Writers check it so a best-effort send racing Close — an
+	// Abort's poison frame, a heartbeat tick — declines silently instead of
+	// surfacing the teardown as a spurious peer failure.
+	closing atomic.Bool
+	stopC   chan struct{} // closed by Close; stops the liveness goroutines
+
+	roundUS atomic.Uint32 // this rank's last round wall time (µs), carried in heartbeats
 
 	mu         sync.Mutex
 	cond       *sync.Cond
 	queues     map[string][]*frame
 	aborted    error // non-nil: collectives of abortEpoch fail
 	abortEpoch int64
-	readErr    error // reader terminated (EOF/protocol error)
+	readErr    error        // reader terminated (protocol error/local close)
+	failure    error        // sticky *RankFailure: a peer is believed dead
+	health     []rankHealth // per-rank liveness from forwarded heartbeats
 	closed     bool
+
+	hbSend frame // heartbeat encode scratch, owned by the heartbeat goroutine
+	hbRecv frame // heartbeat decode scratch, owned by the reader goroutine
 
 	// Receive-path reuse: rscr is the reader's decode scratch and names
 	// interns collective names (both owned by the single reader goroutine);
@@ -110,6 +164,17 @@ const (
 	frameHello byte = iota
 	frameData
 	frameAbort
+	// frameHeartbeat is a periodic liveness beacon: origin is the sender,
+	// epoch its current round epoch, chunk its last round's wall time in
+	// microseconds. Heartbeats are consumed inline by the reader (never
+	// queued) and forwarded around the ring, and both directions reuse
+	// Ring-owned scratch frames — liveness costs zero allocations.
+	frameHeartbeat
+	// frameFailure announces a dead peer: chunk carries the failed rank,
+	// reason what the detector observed. It propagates around the ring like
+	// an abort so every survivor's collectives fail with the attributed
+	// rank instead of a cascade of secondary timeouts.
+	frameFailure
 )
 
 // Data-frame passes (assertion only; arrival order already disambiguates).
@@ -122,13 +187,20 @@ const (
 
 type frame struct {
 	kind    byte
-	origin  byte // sender rank (abort/hello) or shard owner (all-gather)
+	origin  byte // sender rank (abort/hello/heartbeat/failure) or shard owner (all-gather)
 	pass    byte
 	epoch   int64
-	chunk   uint32
+	chunk   uint32 // chunk index (data), group size (hello), round µs (heartbeat), dead rank (failure)
 	name    string
 	payload []float64
-	reason  string // abort frames
+	reason  string // abort/failure frames
+}
+
+// rankHealth is one peer's liveness as last heard via heartbeat.
+type rankHealth struct {
+	last   time.Time // when the last heartbeat arrived (zero: never)
+	epoch  int64     // the peer's round epoch at that heartbeat
+	micros uint32    // the peer's self-reported last round wall time (µs)
 }
 
 var errClosed = errors.New("transport: ring closed")
@@ -137,8 +209,10 @@ var errClosed = errors.New("transport: ring closed")
 // ("unix:/path/sock" or "tcp:host:port"), and rank selects this member's.
 // Each rank listens on its own address, dials the next rank's (with retry
 // — members start in arbitrary order), and accepts the previous rank's
-// connection; a hello exchange validates the wiring. The group needs at
-// least 2 ranks (use Loopback for 1).
+// connection; a hello exchange validates the wiring and the membership
+// view. Every step — dial, accept, hello — is bounded by DialTimeout, so a
+// group that never fully forms fails fast with an attributed error instead
+// of hanging. The group needs at least 2 ranks (use Loopback for 1).
 func DialRing(addrs []string, rank int, opts RingOptions) (*Ring, error) {
 	if len(addrs) < 2 {
 		return nil, fmt.Errorf("transport: ring needs at least 2 ranks, got %d (use Loopback for 1)", len(addrs))
@@ -154,6 +228,17 @@ func DialRing(addrs []string, rank int, opts RingOptions) (*Ring, error) {
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
+	hb := opts.HeartbeatInterval
+	if hb == 0 {
+		hb = DefaultHeartbeatInterval
+	}
+	wire := opts.WireTimeout
+	if wire == 0 {
+		wire = DefaultWireTimeout
+	}
+	if wire > 0 && hb > 0 && wire < 4*hb {
+		wire = 4 * hb // a deadline tighter than a few beats is all false positives
+	}
 	network, addr, err := splitAddr(addrs[rank])
 	if err != nil {
 		return nil, err
@@ -167,56 +252,84 @@ func DialRing(addrs []string, rank int, opts RingOptions) (*Ring, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: rank %d dialing next rank: %w", rank, err)
 	}
-	type acceptResult struct {
-		conn net.Conn
-		err  error
+	// Bound the accept with the listener's own deadline — both net.TCPListener
+	// and net.UnixListener implement SetDeadline.
+	if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		_ = d.SetDeadline(time.Now().Add(timeout))
 	}
-	acceptC := make(chan acceptResult, 1)
-	go func() {
-		c, err := ln.Accept()
-		acceptC <- acceptResult{c, err}
-	}()
-	var prev net.Conn
-	select {
-	case r := <-acceptC:
-		if r.err != nil {
-			next.Close()
-			return nil, fmt.Errorf("transport: rank %d accepting previous rank: %w", rank, r.err)
-		}
-		prev = r.conn
-	case <-time.After(timeout):
+	wantPrev := (rank - 1 + len(addrs)) % len(addrs)
+	prev, err := ln.Accept()
+	if err != nil {
 		next.Close()
-		return nil, fmt.Errorf("transport: rank %d timed out waiting for previous rank on %s", rank, addrs[rank])
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return nil, fmt.Errorf("transport: rank %d timed out after %v waiting for rank %d to connect on %s (group never fully formed)",
+				rank, timeout, wantPrev, addrs[rank])
+		}
+		return nil, fmt.Errorf("transport: rank %d accepting previous rank: %w", rank, err)
 	}
 	r := &Ring{
 		rank: rank, size: len(addrs), chunk: chunk,
+		view: opts.View, hbInterval: hb, wireTimeout: wire, collTimeout: opts.CollectiveTimeout,
 		next: next, prev: prev,
 		wbuf:   bufio.NewWriterSize(next, 64*1024),
 		queues: make(map[string][]*frame),
 		names:  make(map[string]string),
+		health: make([]rankHealth, len(addrs)),
+		stopC:  make(chan struct{}),
 	}
 	r.cond = sync.NewCond(&r.mu)
-	// Hello handshake: tell the next rank who we are, check the previous
-	// rank and group size match — a miswired -group spec fails here with an
-	// attributed error instead of a hung collective.
-	if err := r.sendFrame(&frame{kind: frameHello, origin: byte(rank), chunk: uint32(len(addrs))}); err != nil {
+	// Hello handshake: tell the next rank who we are and which membership
+	// view we joined under, check the previous rank agrees — a miswired
+	// -group spec or a stale rejoin fails here with an attributed error
+	// instead of a hung or cross-view collective. The exchange itself runs
+	// under the dial deadline: a peer that connects but never speaks must
+	// not hang the group either.
+	_ = next.SetWriteDeadline(time.Now().Add(timeout))
+	_ = prev.SetReadDeadline(time.Now().Add(timeout))
+	if err := r.sendFrame(&frame{kind: frameHello, origin: byte(rank), epoch: opts.View, chunk: uint32(len(addrs))}); err != nil {
 		r.closeConns()
-		return nil, err
+		return nil, fmt.Errorf("transport: rank %d sending hello: %w", rank, err)
 	}
 	br := bufio.NewReaderSize(prev, 64*1024)
 	hello, err := r.readFrame(br)
 	if err != nil {
 		r.closeConns()
+		if ne, ok := errAs[net.Error](err); ok && ne.Timeout() {
+			return nil, fmt.Errorf("transport: rank %d timed out after %v waiting for rank %d's hello on %s (peer connected but never spoke)",
+				rank, timeout, wantPrev, addrs[rank])
+		}
 		return nil, fmt.Errorf("transport: rank %d reading hello: %w", rank, err)
 	}
-	wantPrev := (rank - 1 + len(addrs)) % len(addrs)
 	if hello.kind != frameHello || int(hello.origin) != wantPrev || int(hello.chunk) != len(addrs) {
 		r.closeConns()
 		return nil, fmt.Errorf("transport: rank %d miswired ring: hello from rank %d size %d, want rank %d size %d",
 			rank, hello.origin, hello.chunk, wantPrev, len(addrs))
 	}
+	if hello.epoch != opts.View {
+		r.closeConns()
+		return nil, fmt.Errorf("transport: rank %d membership view mismatch: rank %d is at view %d, this rank at view %d",
+			rank, wantPrev, hello.epoch, opts.View)
+	}
+	// Handshake deadlines off; steady-state wire deadlines are re-armed
+	// per operation by sendFrame and readLoop.
+	_ = next.SetWriteDeadline(time.Time{})
+	_ = prev.SetReadDeadline(time.Time{})
+	r.wdeadArm = time.Time{}
 	go r.readLoop(br)
+	if r.hbInterval > 0 {
+		go r.heartbeatLoop()
+	}
+	if r.collTimeout > 0 {
+		go r.timeoutLoop()
+	}
 	return r, nil
+}
+
+// errAs is errors.As for interface targets.
+func errAs[T any](err error) (T, bool) {
+	var t T
+	ok := errors.As(err, &t)
+	return t, ok
 }
 
 func splitAddr(spec string) (network, addr string, err error) {
@@ -281,19 +394,24 @@ func (r *Ring) Abort(reason error) {
 	r.mu.Unlock()
 	r.cond.Broadcast()
 	// Best-effort: a concurrently closed ring cannot deliver the abort.
+	// sendFrame checks the closing flag under the writer lock, so this
+	// races Close's connection teardown safely and silently.
 	_ = r.sendFrame(&frame{kind: frameAbort, origin: byte(r.rank), epoch: e, reason: reason.Error()})
 }
 
-// Close shuts the ring's connections down. In-flight collectives fail.
+// Close shuts the ring's connections down. In-flight collectives fail. The
+// closing flag is raised before any teardown so concurrent best-effort
+// sends (Abort, heartbeats) decline silently instead of misreading their
+// own ring's teardown as a peer failure.
 func (r *Ring) Close() error {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	if r.closing.Swap(true) {
 		return nil
 	}
+	r.mu.Lock()
 	r.closed = true
 	r.mu.Unlock()
 	r.cond.Broadcast()
+	close(r.stopC)
 	err1 := r.next.Close()
 	err2 := r.prev.Close()
 	if r.onClose != nil {
@@ -311,22 +429,56 @@ func (r *Ring) closeConns() {
 }
 
 // readLoop demultiplexes incoming frames into per-name queues and handles
-// abort propagation. It exits on connection close or a protocol error,
-// failing every blocked collective.
+// abort, heartbeat, and failure propagation. It exits on connection close
+// or a protocol error, failing every blocked collective; a dead previous
+// rank (EOF, reset, or wire-deadline expiry) is recorded as a RankFailure
+// and announced around the ring.
 func (r *Ring) readLoop(br *bufio.Reader) {
+	prevRank := (r.rank - 1 + r.size) % r.size
+	// Read-side wire deadline: only sound while heartbeats guarantee the
+	// link carries traffic at least every interval. Re-armed at half-life
+	// rather than per frame to keep the hot path to one time.Now call.
+	armReads := r.wireTimeout > 0 && r.hbInterval > 0
+	var rearm time.Time
 	for {
+		if armReads {
+			if now := time.Now(); now.After(rearm) {
+				_ = r.prev.SetReadDeadline(now.Add(r.wireTimeout))
+				rearm = now.Add(r.wireTimeout / 2)
+			}
+		}
 		f, err := r.readFrame(br)
 		if err != nil {
+			var rf *RankFailure
+			var re error
+			switch ne, isNet := errAs[net.Error](err); {
+			case r.closing.Load():
+				re = errClosed // our own teardown, not a peer failure
+			case isNet && ne.Timeout():
+				rf = &RankFailure{Rank: prevRank, Cause: fmt.Errorf(
+					"rank %d heard nothing from rank %d for %v (wire deadline)", r.rank, prevRank, r.wireTimeout)}
+			case errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET):
+				rf = &RankFailure{Rank: prevRank, Cause: fmt.Errorf(
+					"rank %d lost the connection from rank %d: %v", r.rank, prevRank, err)}
+			default:
+				re = fmt.Errorf("transport: rank %d reader: %w", r.rank, err)
+			}
 			r.mu.Lock()
-			if r.readErr == nil {
-				if r.closed || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-					r.readErr = errClosed
-				} else {
-					r.readErr = fmt.Errorf("transport: rank %d reader: %w", r.rank, err)
+			if rf != nil {
+				if r.failure == nil {
+					r.failure = rf
 				}
+			} else if r.readErr == nil {
+				r.readErr = re
 			}
 			r.mu.Unlock()
 			r.cond.Broadcast()
+			if rf != nil {
+				// Announce the failure around the ring so every survivor's
+				// collectives fail with the attributed rank, not a cascade
+				// of secondary timeouts.
+				_ = r.sendFrame(&frame{kind: frameFailure, origin: byte(r.rank), chunk: uint32(rf.Rank), reason: rf.Cause.Error()})
+			}
 			return
 		}
 		switch f.kind {
@@ -348,6 +500,32 @@ func (r *Ring) readLoop(br *bufio.Reader) {
 			if int(f.origin) != (r.rank+1)%r.size {
 				_ = r.sendFrame(f)
 			}
+		case frameHeartbeat:
+			// f is the reader-owned hbRecv scratch: record liveness and
+			// forward before the next readFrame overwrites it (sendFrame
+			// serializes synchronously, so the reuse is safe).
+			r.mu.Lock()
+			if int(f.origin) < len(r.health) && int(f.origin) != r.rank {
+				h := &r.health[f.origin]
+				h.last = time.Now()
+				h.epoch = f.epoch
+				h.micros = f.chunk
+			}
+			r.mu.Unlock()
+			if int(f.origin) != (r.rank+1)%r.size && int(f.origin) != r.rank {
+				_ = r.sendFrame(f)
+			}
+		case frameFailure:
+			r.mu.Lock()
+			if r.failure == nil {
+				r.failure = &RankFailure{Rank: int(f.chunk), Cause: fmt.Errorf(
+					"rank %d reported: %s", f.origin, f.reason)}
+			}
+			r.mu.Unlock()
+			r.cond.Broadcast()
+			if int(f.origin) != (r.rank+1)%r.size {
+				_ = r.sendFrame(f)
+			}
 		default:
 			r.mu.Lock()
 			r.readErr = fmt.Errorf("transport: rank %d unexpected frame kind %d", r.rank, f.kind)
@@ -360,8 +538,14 @@ func (r *Ring) readLoop(br *bufio.Reader) {
 
 // pop dequeues the next frame for name at the given epoch, discarding
 // stale frames from earlier epochs (aborted-round stragglers) and failing
-// fast on abort, reader death, or close.
+// fast on rank failure, abort, reader death, close, or — when a collective
+// timeout is configured — on waiting too long for a frame that will never
+// arrive.
 func (r *Ring) pop(name string, epoch int64) (*frame, error) {
+	var deadline time.Time
+	if r.collTimeout > 0 {
+		deadline = time.Now().Add(r.collTimeout)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for {
@@ -370,16 +554,27 @@ func (r *Ring) pop(name string, epoch int64) (*frame, error) {
 			r.putPayload(q[0].payload) // aborted-round straggler
 			q = q[1:]
 		}
-		if len(q) > 0 && q[0].epoch > epoch {
+		r.queues[name] = q
+		// Frames that already arrived are served before any failure check: a
+		// dead peer fails only collectives still missing data on the wire.
+		// A rank that finished its sends and died (or closed during
+		// teardown) must not poison a round whose frames fully landed — the
+		// survivors' last committed step would otherwise depend on how fast
+		// each rank drained its queue.
+		if len(q) > 0 && q[0].epoch == epoch {
+			r.queues[name] = q[1:]
+			return q[0], nil
+		}
+		// A rank failure is sticky and poisons every epoch, the pre-round
+		// epoch 0 included: the missing frame can never arrive on a ring
+		// with a dead member, and the caller must regroup, not replay.
+		if r.failure != nil {
+			return nil, r.failure
+		}
+		if len(q) > 0 { // q[0].epoch > epoch
 			return nil, fmt.Errorf("transport: rank %d received %q frame from future epoch %d (local %d)",
 				r.rank, name, q[0].epoch, epoch)
 		}
-		if len(q) > 0 {
-			f := q[0]
-			r.queues[name] = q[1:]
-			return f, nil
-		}
-		r.queues[name] = q
 		// An abort poisons its own epoch and every earlier *round* epoch,
 		// but never the pre-round epoch 0: initialization collectives
 		// (parameter broadcast, startup barrier) are fully sent before any
@@ -394,15 +589,48 @@ func (r *Ring) pop(name string, epoch int64) (*frame, error) {
 		if r.readErr != nil {
 			return nil, r.readErr
 		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			// The frame never came although the connection is healthy: a
+			// peer process is alive but stuck. Attribute the failure to the
+			// rank with the stalest heartbeat — the best liveness signal we
+			// have — and record it sticky so every other collective on this
+			// ring fails the same way.
+			rf := &RankFailure{Rank: r.suspectLocked(), Cause: fmt.Errorf(
+				"rank %d waited %v for a %q frame (collective timeout)", r.rank, r.collTimeout, name)}
+			r.failure = rf
+			return nil, rf
+		}
 		r.cond.Wait()
 	}
 }
 
+// suspectLocked picks the rank with the stalest heartbeat (r.mu held).
+// Returns -1 when heartbeats are off — there is nothing to attribute with.
+func (r *Ring) suspectLocked() int {
+	if r.hbInterval <= 0 {
+		return -1
+	}
+	suspect, oldest := -1, time.Time{}
+	for i := range r.health {
+		if i == r.rank {
+			continue
+		}
+		if suspect < 0 || r.health[i].last.Before(oldest) {
+			suspect, oldest = i, r.health[i].last
+		}
+	}
+	return suspect
+}
+
 // abortErr returns the poisoning error if the given epoch is aborted (see
-// pop for the epoch-0 exemption).
+// pop for the epoch-0 exemption) or a rank failure is recorded (which
+// poisons every epoch).
 func (r *Ring) abortErr(epoch int64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.failure != nil {
+		return r.failure
+	}
 	if r.aborted != nil && r.abortEpoch >= epoch && epoch > 0 {
 		return r.aborted
 	}
@@ -635,14 +863,15 @@ func (r *Ring) Broadcast(name string, root int, buf []float64) (int64, error) {
 //	u32 count | u16 nameLen | name | payload
 //
 // payload is count float64 values for data frames, a count-byte reason
-// string for abort frames, absent for hello frames.
+// string for abort and failure frames, absent for hello and heartbeat
+// frames.
 const frameHeaderSize = 1 + 1 + 1 + 1 + 8 + 4 + 4 + 2
 
 func frameWireSize(f *frame) int64 {
 	n := int64(frameHeaderSize) + int64(len(f.name))
 	if f.kind == frameData {
 		n += int64(len(f.payload)) * 8
-	} else if f.kind == frameAbort {
+	} else if f.kind == frameAbort || f.kind == frameFailure {
 		n += int64(len(f.reason))
 	}
 	return n
@@ -652,6 +881,19 @@ func (r *Ring) sendFrame(f *frame) error {
 	size := frameWireSize(f)
 	r.wmu.Lock()
 	defer r.wmu.Unlock()
+	if r.closing.Load() {
+		return errClosed // racing our own Close: decline silently
+	}
+	if r.wireTimeout > 0 {
+		// Write-side wire deadline, re-armed at half-life so the hot path
+		// pays one time.Now and the occasional SetWriteDeadline. A write
+		// stuck longer than ~1.5x the timeout means the peer stopped
+		// draining — its reader is gone.
+		if now := time.Now(); now.After(r.wdeadArm) {
+			_ = r.next.SetWriteDeadline(now.Add(r.wireTimeout))
+			r.wdeadArm = now.Add(r.wireTimeout / 2)
+		}
+	}
 	if cap(r.wscr) < int(size) {
 		r.wscr = make([]byte, size)
 	}
@@ -669,7 +911,7 @@ func (r *Ring) sendFrame(f *frame) error {
 			binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
 			off += 8
 		}
-	case frameAbort:
+	case frameAbort, frameFailure:
 		binary.LittleEndian.PutUint32(b[16:], uint32(len(f.reason)))
 		binary.LittleEndian.PutUint16(b[20:], uint16(len(f.name)))
 		copy(b[off:], f.reason)
@@ -678,15 +920,37 @@ func (r *Ring) sendFrame(f *frame) error {
 		binary.LittleEndian.PutUint16(b[20:], uint16(len(f.name)))
 	}
 	if _, err := r.wbuf.Write(b); err != nil {
-		return fmt.Errorf("transport: rank %d send: %w", r.rank, err)
+		return r.sendErr(err)
 	}
 	// Flush per frame: chunk pipelining depends on partials reaching the
 	// next rank as soon as they are folded, not when a buffer fills.
 	if err := r.wbuf.Flush(); err != nil {
-		return fmt.Errorf("transport: rank %d send: %w", r.rank, err)
+		return r.sendErr(err)
 	}
 	r.bytes.Add(size)
 	return nil
+}
+
+// sendErr classifies a wire-write error (wmu held). A write can only fail
+// when our own ring is tearing down (silent errClosed) or the next rank
+// stopped draining its connection — a peer failure, recorded sticky and
+// attributed. A failure already recorded wins over fabricating a new one:
+// when a third rank died first, the next rank may have torn down in
+// *response* (it regrouped before we finished writing), and attributing
+// the broken pipe to it would misname the root cause.
+func (r *Ring) sendErr(err error) error {
+	if r.closing.Load() {
+		return errClosed
+	}
+	nextRank := (r.rank + 1) % r.size
+	r.mu.Lock()
+	if r.failure == nil {
+		r.failure = &RankFailure{Rank: nextRank, Cause: fmt.Errorf("rank %d writing to rank %d: %v", r.rank, nextRank, err)}
+	}
+	rf := r.failure
+	r.mu.Unlock()
+	r.cond.Broadcast()
+	return rf
 }
 
 // readFrame decodes one frame off the wire. Only the reader goroutine (and
@@ -697,13 +961,21 @@ func (r *Ring) readFrame(br *bufio.Reader) (*frame, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, err
 	}
-	f := &frame{
-		kind:   hdr[0],
-		origin: hdr[1],
-		pass:   hdr[2],
-		epoch:  int64(binary.LittleEndian.Uint64(hdr[4:])),
-		chunk:  binary.LittleEndian.Uint32(hdr[12:]),
+	var f *frame
+	if hdr[0] == frameHeartbeat {
+		// Heartbeats are consumed inline by the reader and never queued, so
+		// they decode into the reader-owned scratch frame — steady-state
+		// liveness traffic costs zero allocations.
+		f = &r.hbRecv
+		*f = frame{}
+	} else {
+		f = &frame{}
 	}
+	f.kind = hdr[0]
+	f.origin = hdr[1]
+	f.pass = hdr[2]
+	f.epoch = int64(binary.LittleEndian.Uint64(hdr[4:]))
+	f.chunk = binary.LittleEndian.Uint32(hdr[12:])
 	count := binary.LittleEndian.Uint32(hdr[16:])
 	nameLen := binary.LittleEndian.Uint16(hdr[20:])
 	if nameLen > 0 {
@@ -740,7 +1012,7 @@ func (r *Ring) readFrame(br *bufio.Reader) (*frame, error) {
 		for i := range f.payload {
 			f.payload[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
 		}
-	case frameAbort:
+	case frameAbort, frameFailure:
 		if count > (1 << 20) {
 			return nil, fmt.Errorf("transport: oversized abort reason (%d bytes)", count)
 		}
@@ -751,4 +1023,44 @@ func (r *Ring) readFrame(br *bufio.Reader) (*frame, error) {
 		f.reason = string(raw)
 	}
 	return f, nil
+}
+
+// heartbeatLoop sends this rank's liveness beacon to the next rank every
+// interval, carrying the current epoch and the last round's wall time. It
+// reuses the sender-owned scratch frame — heartbeats allocate nothing.
+func (r *Ring) heartbeatLoop() {
+	t := time.NewTicker(r.hbInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopC:
+			return
+		case <-t.C:
+		}
+		f := &r.hbSend
+		*f = frame{kind: frameHeartbeat, origin: byte(r.rank), epoch: r.epoch.Load(), chunk: r.roundUS.Load()}
+		if r.sendFrame(f) != nil {
+			return // closed, or the failure path owns liveness now
+		}
+	}
+}
+
+// timeoutLoop periodically wakes blocked pop calls so they can notice an
+// expired collective deadline — sync.Cond has no timed wait. Only runs
+// when a collective timeout is configured.
+func (r *Ring) timeoutLoop() {
+	period := r.collTimeout / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopC:
+			return
+		case <-t.C:
+			r.cond.Broadcast()
+		}
+	}
 }

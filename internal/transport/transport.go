@@ -36,7 +36,10 @@
 // curvature names.
 package transport
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Group is one rank's membership in a collective group of Size() peers.
 // Implementations: Loopback (the in-process degenerate group, Size 1) and
@@ -89,6 +92,39 @@ type Group interface {
 	// Close releases the group's connections. Collectives must not be in
 	// flight.
 	Close() error
+}
+
+// RankFailure is the typed liveness error of a wire transport: a specific
+// peer is believed dead or unreachable — its connection closed, its wire
+// deadline expired, or a collective timed out waiting on it. It is
+// distinguishable from an ordinary Abort (a software fault a checkpoint
+// replay at the same membership recovers from) precisely so callers can
+// regroup instead: shrink the ring around Rank, re-shard, rewind, and
+// continue at reduced width. Rank is numbered in the failing group's own
+// rank space (a shrunken ring renumbers survivors contiguously).
+type RankFailure struct {
+	Rank  int   // the rank believed dead (-1 when unattributable)
+	Cause error // what was observed
+}
+
+func (f *RankFailure) Error() string {
+	if f.Rank < 0 {
+		return fmt.Sprintf("transport: rank failure: %v", f.Cause)
+	}
+	return fmt.Sprintf("transport: rank %d failed: %v", f.Rank, f.Cause)
+}
+
+func (f *RankFailure) Unwrap() error { return f.Cause }
+
+// AsRankFailure extracts a RankFailure from an error chain, so callers can
+// tell "peer died, regroup" from "round aborted, replay" however many
+// layers of wrapping the engine added.
+func AsRankFailure(err error) (*RankFailure, bool) {
+	var rf *RankFailure
+	if errors.As(err, &rf) {
+		return rf, true
+	}
+	return nil, false
 }
 
 // ShardRange returns rank's contiguous shard [lo, hi) of an n-element
